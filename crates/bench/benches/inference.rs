@@ -1,0 +1,61 @@
+//! Criterion benchmarks of full-model inference (single 150 ms window):
+//! Bioformer fp32, Bioformer int8 (integer-only pipeline) and TEMPONet
+//! fp32. Host-side throughput; the MCU latencies come from `bioformer-gap8`.
+
+use bioformer_core::{Bioformer, BioformerConfig, TempoNet};
+use bioformer_nn::serialize::state_dict;
+use bioformer_nn::Model;
+use bioformer_quant::QuantBioformer;
+use bioformer_tensor::{parallel, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn window(seed: u64) -> Tensor {
+    let mut state = seed | 1;
+    Tensor::from_fn(&[1, 14, 300], |_| {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        ((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    })
+}
+
+fn bench_fp32(c: &mut Criterion) {
+    parallel::set_max_threads(1);
+    let mut g = c.benchmark_group("fp32_inference");
+    let x = window(1);
+    let mut bio1 = Bioformer::new(&BioformerConfig::bio1());
+    g.bench_function("bio1_f10", |b| {
+        b.iter(|| black_box(bio1.forward(black_box(&x), false)))
+    });
+    let mut bio2 = Bioformer::new(&BioformerConfig::bio2());
+    g.bench_function("bio2_f10", |b| {
+        b.iter(|| black_box(bio2.forward(black_box(&x), false)))
+    });
+    let mut bio1_f30 = Bioformer::new(&BioformerConfig::bio1().with_filter(30));
+    g.bench_function("bio1_f30", |b| {
+        b.iter(|| black_box(bio1_f30.forward(black_box(&x), false)))
+    });
+    let mut tempo = TempoNet::new(0);
+    g.bench_function("temponet", |b| {
+        b.iter(|| black_box(tempo.forward(black_box(&x), false)))
+    });
+    g.finish();
+}
+
+fn bench_int8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("int8_inference");
+    let cfg = BioformerConfig::bio1();
+    let mut model = Bioformer::new(&cfg);
+    let dict = state_dict(&mut model);
+    let calib = window(2).reshape(&[1, 14, 300]);
+    let qmodel = QuantBioformer::convert(&cfg, &dict, &calib).expect("convert");
+    let w = window(3).reshape(&[14, 300]);
+    g.bench_function("bio1_f10_int8", |b| {
+        b.iter(|| black_box(qmodel.forward_window(black_box(&w))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fp32, bench_int8);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **Ablation** — the paper's architecture grid search (§III-A): depth ∈
+//! {1, 2, 3, 4} × heads ∈ {1, 2, 4, 8}, reporting accuracy vs parameter
+//! count. The paper selected Bio1 (h=8, d=1) and Bio2 (h=2, d=2) as the
+//! best accuracy/parameter trade-offs of this grid.
+//!
+//! ```text
+//! cargo run --release -p bioformer-bench --bin ablation_grid [--smoke|--quick|--full]
+//! ```
+
+use bioformer_bench::{pct, print_table, write_csv, RunConfig, Scale};
+use bioformer_core::protocol::run_standard;
+use bioformer_core::{complexity, Bioformer, BioformerConfig};
+use bioformer_semg::NinaproDb6;
+use std::time::Instant;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let db = NinaproDb6::generate(&cfg.spec);
+    let (depths, heads): (Vec<usize>, Vec<usize>) = match cfg.scale {
+        Scale::Full => (vec![1, 2, 3, 4], vec![1, 2, 4, 8]),
+        Scale::Quick => (vec![1, 2], vec![1, 2, 4, 8]),
+        Scale::Smoke => (vec![1, 2], vec![2, 8]),
+    };
+    println!(
+        "Grid ablation: depths {:?} × heads {:?}, {} subjects, {:?} scale",
+        depths,
+        heads,
+        cfg.subjects.len(),
+        cfg.scale
+    );
+
+    let mut rows = Vec::new();
+    for &depth in &depths {
+        for &h in &heads {
+            let bcfg = BioformerConfig {
+                depth,
+                heads: h,
+                ..BioformerConfig::bio1()
+            };
+            let comp = complexity::of_bioformer(&bcfg);
+            let t0 = Instant::now();
+            let mut acc = 0.0f32;
+            for &subject in &cfg.subjects {
+                let seeded = bcfg.clone().with_seed(cfg.spec.seed ^ subject as u64);
+                let mut model = Bioformer::new(&seeded);
+                acc += run_standard(&mut model, &db, subject, &cfg.protocol).overall;
+            }
+            acc /= cfg.subjects.len() as f32;
+            println!("  d={depth} h={h}: {:.1?}", t0.elapsed());
+            rows.push(vec![
+                depth.to_string(),
+                h.to_string(),
+                comp.params.to_string(),
+                format!("{:.2}", comp.mmacs()),
+                pct(acc),
+            ]);
+        }
+    }
+
+    let headers = ["depth", "heads", "params", "MMAC", "accuracy [%]"];
+    print_table(
+        "Grid search — depth × heads (standard training)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_grid.csv", &headers, &rows);
+}

@@ -1,0 +1,162 @@
+//! **Fig. 2** — Accuracy per testing session for Bioformer (h=8,d=1),
+//! Bioformer (h=2,d=2) and TEMPONet, with and without inter-subject
+//! pre-training. Each reported point is the mean over subjects, as in the
+//! paper.
+//!
+//! ```text
+//! cargo run --release -p bioformer-bench --bin fig2_sessions [--smoke|--quick|--full]
+//! ```
+
+use bioformer_bench::{pct, print_table, write_csv, RunConfig};
+use bioformer_core::protocol::{run_pretrained, run_standard};
+use bioformer_core::{Bioformer, BioformerConfig, TempoNet};
+use bioformer_semg::NinaproDb6;
+use std::time::Instant;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let db = NinaproDb6::generate(&cfg.spec);
+    let n_test_sessions = cfg.spec.test_sessions().len();
+    println!(
+        "Fig.2 harness: {} subjects, {} test sessions, {:?} scale",
+        cfg.subjects.len(),
+        n_test_sessions,
+        cfg.scale
+    );
+
+    // (label, pretrained?, builder)
+    type Builder = Box<dyn Fn(u64) -> Box<dyn ModelRun>>;
+    let variants: Vec<(&str, Builder)> = vec![
+        (
+            "Bioformer (h=8,d=1)",
+            Box::new(|seed| Box::new(Bioformer::new(&BioformerConfig::bio1().with_seed(seed)))),
+        ),
+        (
+            "Bioformer (h=2,d=2)",
+            Box::new(|seed| Box::new(Bioformer::new(&BioformerConfig::bio2().with_seed(seed)))),
+        ),
+        ("TEMPONet", Box::new(|seed| Box::new(TempoNet::new(seed)))),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (label, build) in &variants {
+        for pretrain in [false, true] {
+            let t0 = Instant::now();
+            // Mean accuracy per session index across subjects.
+            let mut session_sums = vec![0.0f32; n_test_sessions];
+            let mut overall_sum = 0.0f32;
+            for &subject in &cfg.subjects {
+                let mut model = build(cfg.spec.seed ^ subject as u64);
+                let outcome = if pretrain {
+                    model.run_pretrained(&db, subject, &cfg.protocol)
+                } else {
+                    model.run_standard(&db, subject, &cfg.protocol)
+                };
+                for (i, s) in outcome.iter().enumerate() {
+                    session_sums[i] += s;
+                }
+                overall_sum += outcome.iter().sum::<f32>() / outcome.len() as f32;
+            }
+            let n = cfg.subjects.len() as f32;
+            let mut row = vec![
+                label.to_string(),
+                if pretrain { "pretrain" } else { "standard" }.to_string(),
+            ];
+            for s in &session_sums {
+                row.push(pct(s / n));
+            }
+            row.push(pct(overall_sum / n));
+            println!(
+                "  {label} / {}: {:.1?}",
+                if pretrain { "pretrain" } else { "standard" },
+                t0.elapsed()
+            );
+            csv.push(row.clone());
+            rows.push(row);
+        }
+    }
+
+    let mut headers: Vec<String> = vec!["model".into(), "protocol".into()];
+    for k in cfg.spec.test_sessions() {
+        headers.push(format!("sess{}", k + 1));
+    }
+    headers.push("mean".into());
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "Fig. 2 — accuracy [%] per testing session (mean over subjects)",
+        &headers_ref,
+        &rows,
+    );
+    write_csv("fig2_sessions.csv", &headers_ref, &csv);
+}
+
+/// Object-safe adapter so Bioformer and TEMPONet share the harness loop.
+trait ModelRun {
+    fn run_standard(
+        &mut self,
+        db: &NinaproDb6,
+        subject: usize,
+        cfg: &bioformer_core::protocol::ProtocolConfig,
+    ) -> Vec<f32>;
+    fn run_pretrained(
+        &mut self,
+        db: &NinaproDb6,
+        subject: usize,
+        cfg: &bioformer_core::protocol::ProtocolConfig,
+    ) -> Vec<f32>;
+}
+
+impl ModelRun for Bioformer {
+    fn run_standard(
+        &mut self,
+        db: &NinaproDb6,
+        subject: usize,
+        cfg: &bioformer_core::protocol::ProtocolConfig,
+    ) -> Vec<f32> {
+        run_standard(self, db, subject, cfg)
+            .per_session
+            .iter()
+            .map(|s| s.accuracy)
+            .collect()
+    }
+    fn run_pretrained(
+        &mut self,
+        db: &NinaproDb6,
+        subject: usize,
+        cfg: &bioformer_core::protocol::ProtocolConfig,
+    ) -> Vec<f32> {
+        run_pretrained(self, db, subject, cfg)
+            .per_session
+            .iter()
+            .map(|s| s.accuracy)
+            .collect()
+    }
+}
+
+impl ModelRun for TempoNet {
+    fn run_standard(
+        &mut self,
+        db: &NinaproDb6,
+        subject: usize,
+        cfg: &bioformer_core::protocol::ProtocolConfig,
+    ) -> Vec<f32> {
+        run_standard(self, db, subject, cfg)
+            .per_session
+            .iter()
+            .map(|s| s.accuracy)
+            .collect()
+    }
+    fn run_pretrained(
+        &mut self,
+        db: &NinaproDb6,
+        subject: usize,
+        cfg: &bioformer_core::protocol::ProtocolConfig,
+    ) -> Vec<f32> {
+        run_pretrained(self, db, subject, cfg)
+            .per_session
+            .iter()
+            .map(|s| s.accuracy)
+            .collect()
+    }
+}

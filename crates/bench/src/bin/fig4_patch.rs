@@ -1,0 +1,80 @@
+//! **Fig. 4** — Accuracy vs the width of the front-end 1D-convolution
+//! filter ({1, 5, 10, 20, 30} in the paper), for both Bioformers, with and
+//! without pre-training. The paper finds filter 10 the sweet spot; larger
+//! filters trade a little accuracy for a near-linear MAC reduction.
+//!
+//! Filter 1 (300 tokens → 300×300 attention) is ~30× the compute of the
+//! default and is only run at `--full` scale.
+//!
+//! ```text
+//! cargo run --release -p bioformer-bench --bin fig4_patch [--smoke|--quick|--full]
+//! ```
+
+use bioformer_bench::{pct, print_table, write_csv, RunConfig, Scale};
+use bioformer_core::complexity;
+use bioformer_core::protocol::{run_pretrained, run_standard};
+use bioformer_core::{Bioformer, BioformerConfig};
+use bioformer_semg::NinaproDb6;
+use std::time::Instant;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let db = NinaproDb6::generate(&cfg.spec);
+    let filters: Vec<usize> = match cfg.scale {
+        Scale::Full => vec![1, 5, 10, 20, 30],
+        Scale::Quick => vec![5, 10, 20, 30],
+        Scale::Smoke => vec![10, 30],
+    };
+    println!(
+        "Fig.4 harness: filters {:?}, {} subjects, {:?} scale",
+        filters,
+        cfg.subjects.len(),
+        cfg.scale
+    );
+
+    let mut rows = Vec::new();
+    for (label, base) in [
+        ("Bioformer (h=8,d=1)", BioformerConfig::bio1()),
+        ("Bioformer (h=2,d=2)", BioformerConfig::bio2()),
+    ] {
+        for &filter in &filters {
+            let bcfg = base.clone().with_filter(filter);
+            let comp = complexity::of_bioformer(&bcfg);
+            let t0 = Instant::now();
+            let mut acc_std = 0.0f32;
+            let mut acc_pre = 0.0f32;
+            for &subject in &cfg.subjects {
+                let seeded = bcfg.clone().with_seed(cfg.spec.seed ^ subject as u64);
+                let mut m1 = Bioformer::new(&seeded);
+                acc_std += run_standard(&mut m1, &db, subject, &cfg.protocol).overall;
+                let mut m2 = Bioformer::new(&seeded);
+                acc_pre += run_pretrained(&mut m2, &db, subject, &cfg.protocol).overall;
+            }
+            let n = cfg.subjects.len() as f32;
+            println!("  {label} f={filter}: {:.1?}", t0.elapsed());
+            rows.push(vec![
+                label.to_string(),
+                filter.to_string(),
+                format!("{:.2}", comp.mmacs()),
+                comp.params.to_string(),
+                pct(acc_std / n),
+                pct(acc_pre / n),
+            ]);
+        }
+    }
+
+    let headers = [
+        "model",
+        "filter",
+        "MMAC",
+        "params",
+        "standard [%]",
+        "pretrain [%]",
+    ];
+    print_table(
+        "Fig. 4 — accuracy vs front-end filter width",
+        &headers,
+        &rows,
+    );
+    write_csv("fig4_patch.csv", &headers, &rows);
+}

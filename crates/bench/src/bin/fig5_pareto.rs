@@ -1,0 +1,124 @@
+//! **Fig. 5** — Pareto spaces: accuracy vs MACs (5a) and accuracy vs
+//! parameters (5b) for the Bioformer family (both configs × filter sweep)
+//! and TEMPONet, all with pre-training (the paper plots both protocols;
+//! this harness reports both columns).
+//!
+//! ```text
+//! cargo run --release -p bioformer-bench --bin fig5_pareto [--smoke|--quick|--full]
+//! ```
+
+use bioformer_bench::{pct, print_table, write_csv, RunConfig, Scale};
+use bioformer_core::protocol::{run_pretrained, run_standard};
+use bioformer_core::{complexity, Bioformer, BioformerConfig, TempoNet};
+use bioformer_semg::NinaproDb6;
+use std::time::Instant;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let db = NinaproDb6::generate(&cfg.spec);
+    let filters: Vec<usize> = match cfg.scale {
+        Scale::Full => vec![5, 10, 20, 30],
+        Scale::Quick => vec![10, 20, 30],
+        Scale::Smoke => vec![10, 30],
+    };
+    println!(
+        "Fig.5 harness: filters {:?}, {} subjects, {:?} scale",
+        filters,
+        cfg.subjects.len(),
+        cfg.scale
+    );
+
+    struct Point {
+        label: String,
+        mmac: f64,
+        params: u64,
+        acc_std: f32,
+        acc_pre: f32,
+    }
+    let mut points = Vec::new();
+    let n = cfg.subjects.len() as f32;
+
+    for (label, base) in [
+        ("Bio1", BioformerConfig::bio1()),
+        ("Bio2", BioformerConfig::bio2()),
+    ] {
+        for &filter in &filters {
+            let bcfg = base.clone().with_filter(filter);
+            let comp = complexity::of_bioformer(&bcfg);
+            let t0 = Instant::now();
+            let mut acc_std = 0.0f32;
+            let mut acc_pre = 0.0f32;
+            for &subject in &cfg.subjects {
+                let seeded = bcfg.clone().with_seed(cfg.spec.seed ^ subject as u64);
+                let mut m1 = Bioformer::new(&seeded);
+                acc_std += run_standard(&mut m1, &db, subject, &cfg.protocol).overall;
+                let mut m2 = Bioformer::new(&seeded);
+                acc_pre += run_pretrained(&mut m2, &db, subject, &cfg.protocol).overall;
+            }
+            println!("  {label} f={filter}: {:.1?}", t0.elapsed());
+            points.push(Point {
+                label: format!("{label} f={filter}"),
+                mmac: comp.mmacs(),
+                params: comp.params,
+                acc_std: acc_std / n,
+                acc_pre: acc_pre / n,
+            });
+        }
+    }
+    // TEMPONet reference point.
+    {
+        let comp = complexity::of_temponet();
+        let t0 = Instant::now();
+        let mut acc_std = 0.0f32;
+        let mut acc_pre = 0.0f32;
+        for &subject in &cfg.subjects {
+            let mut m1 = TempoNet::new(cfg.spec.seed ^ subject as u64);
+            acc_std += run_standard(&mut m1, &db, subject, &cfg.protocol).overall;
+            let mut m2 = TempoNet::new(cfg.spec.seed ^ subject as u64);
+            acc_pre += run_pretrained(&mut m2, &db, subject, &cfg.protocol).overall;
+        }
+        println!("  TEMPONet: {:.1?}", t0.elapsed());
+        points.push(Point {
+            label: "TEMPONet".into(),
+            mmac: comp.mmacs(),
+            params: comp.params,
+            acc_std: acc_std / n,
+            acc_pre: acc_pre / n,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.2}", p.mmac),
+                p.params.to_string(),
+                pct(p.acc_std),
+                pct(p.acc_pre),
+            ]
+        })
+        .collect();
+    let headers = ["network", "MMAC", "params", "standard [%]", "pretrain [%]"];
+    print_table(
+        "Fig. 5 — Pareto points (accuracy vs complexity)",
+        &headers,
+        &rows,
+    );
+    write_csv("fig5_pareto.csv", &headers, &rows);
+
+    // Pareto-frontier summary in the MAC/accuracy plane (pre-trained).
+    let mut frontier: Vec<&Point> = Vec::new();
+    for p in &points {
+        if !points
+            .iter()
+            .any(|q| q.mmac < p.mmac && q.acc_pre >= p.acc_pre)
+        {
+            frontier.push(p);
+        }
+    }
+    println!("\nPareto frontier (MACs vs pre-trained accuracy):");
+    for p in frontier {
+        println!("  {} ({:.2} MMAC, {})", p.label, p.mmac, pct(p.acc_pre));
+    }
+}

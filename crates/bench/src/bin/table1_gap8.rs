@@ -1,0 +1,155 @@
+//! **Table I** — Quantized Pareto architectures deployed on GAP8:
+//! memory, MMAC, latency, energy and int8 accuracy, plus the §IV-C
+//! duty-cycled battery-life comparison.
+//!
+//! Per network this harness (i) trains fp32 with the inter-subject
+//! protocol, (ii) runs QAT-lite weight snapping, (iii) converts to the
+//! integer-only pipeline (`bioformer-quant`) and measures quantized
+//! accuracy on the held-out sessions, and (iv) queries the analytical GAP8
+//! model (`bioformer-gap8`) for the deployment columns.
+//!
+//! TEMPONet's quantized accuracy uses fp32 inference with int8-snapped
+//! weights (the integer-conv pipeline is transformer-specific); the
+//! deployment columns use the same analytical model as the Bioformers.
+//!
+//! ```text
+//! cargo run --release -p bioformer-bench --bin table1_gap8 [--smoke|--quick|--full]
+//! ```
+
+use bioformer_bench::{pct, print_table, write_csv, RunConfig, Scale};
+use bioformer_core::descriptor::{bioformer_descriptor, temponet_descriptor};
+use bioformer_core::protocol::run_pretrained;
+use bioformer_core::{Bioformer, BioformerConfig, TempoNet};
+use bioformer_gap8::deploy::analyze_default;
+use bioformer_nn::serialize::state_dict;
+use bioformer_nn::trainer::evaluate;
+use bioformer_quant::qat::{fake_quantize_weights, qat_finetune, QatConfig};
+use bioformer_quant::QuantBioformer;
+use bioformer_semg::{NinaproDb6, Normalizer};
+use std::time::Instant;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let db = NinaproDb6::generate(&cfg.spec);
+    let variants: Vec<(&str, BioformerConfig)> = match cfg.scale {
+        Scale::Smoke => vec![
+            ("Bio1, wind=10", BioformerConfig::bio1()),
+            ("Bio2, wind=10", BioformerConfig::bio2()),
+        ],
+        _ => vec![
+            ("Bio1, wind=30", BioformerConfig::bio1().with_filter(30)),
+            ("Bio1, wind=20", BioformerConfig::bio1().with_filter(20)),
+            ("Bio1, wind=10", BioformerConfig::bio1().with_filter(10)),
+            ("Bio2, wind=30", BioformerConfig::bio2().with_filter(30)),
+            ("Bio2, wind=10", BioformerConfig::bio2().with_filter(10)),
+        ],
+    };
+    println!(
+        "Table I harness: {} Bioformer variants + TEMPONet, {} subjects, {:?} scale",
+        variants.len(),
+        cfg.subjects.len(),
+        cfg.scale
+    );
+
+    let mut rows = Vec::new();
+    for (label, bcfg) in &variants {
+        let t0 = Instant::now();
+        let mut q_acc_sum = 0.0f32;
+        for &subject in &cfg.subjects {
+            // fp32 training with the paper's two-step protocol.
+            let seeded = bcfg.clone().with_seed(cfg.spec.seed ^ subject as u64);
+            let mut model = Bioformer::new(&seeded);
+            let _ = run_pretrained(&mut model, &db, subject, &cfg.protocol);
+
+            // QAT-lite on the subject's training split.
+            let train_raw = db.train_dataset(subject);
+            let norm = Normalizer::fit(&train_raw);
+            let train_data = norm.apply(&train_raw);
+            drop(train_raw);
+            let _ = qat_finetune(
+                &mut model,
+                train_data.x(),
+                train_data.labels(),
+                &QatConfig::default(),
+            );
+
+            // Convert to integer-only inference; calibrate on (up to) 128
+            // training windows.
+            let dict = state_dict(&mut model);
+            let calib_n = train_data.x().dims()[0].min(128);
+            let sample = bioformer_semg::CHANNELS * bioformer_semg::WINDOW;
+            let calib = bioformer_tensor::Tensor::from_vec(
+                train_data.x().data()[..calib_n * sample].to_vec(),
+                &[calib_n, bioformer_semg::CHANNELS, bioformer_semg::WINDOW],
+            );
+            let qmodel = QuantBioformer::convert(&seeded, &dict, &calib)
+                .expect("conversion of a trained Bioformer");
+
+            // Quantized accuracy on the held-out sessions.
+            let test = norm.apply(&db.test_dataset(subject));
+            q_acc_sum += qmodel.accuracy(test.x(), test.labels());
+        }
+        let q_acc = q_acc_sum / cfg.subjects.len() as f32;
+        let report = analyze_default(&bioformer_descriptor(bcfg));
+        println!("  {label}: {:.1?}", t0.elapsed());
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1} kB", report.memory_kb),
+            format!("{:.1}", report.mmac),
+            format!("{:.2}", report.latency_ms),
+            format!("{:.3}", report.energy_mj),
+            pct(q_acc),
+            format!("{:.0} h", report.battery_hours),
+        ]);
+    }
+
+    // TEMPONet row.
+    {
+        let t0 = Instant::now();
+        let mut q_acc_sum = 0.0f32;
+        for &subject in &cfg.subjects {
+            let mut model = TempoNet::new(cfg.spec.seed ^ subject as u64);
+            let _ = run_pretrained(&mut model, &db, subject, &cfg.protocol);
+            // Weight-snap proxy for int8 accuracy (see module docs).
+            fake_quantize_weights(&mut model);
+            let train_raw = db.train_dataset(subject);
+            let norm = Normalizer::fit(&train_raw);
+            drop(train_raw);
+            let test = norm.apply(&db.test_dataset(subject));
+            let (_, acc) = evaluate(&model, test.x(), test.labels(), 256);
+            q_acc_sum += acc;
+        }
+        let q_acc = q_acc_sum / cfg.subjects.len() as f32;
+        let report = analyze_default(&temponet_descriptor());
+        println!("  TEMPONet: {:.1?}", t0.elapsed());
+        rows.push(vec![
+            "TEMPONet".to_string(),
+            format!("{:.1} kB", report.memory_kb),
+            format!("{:.1}", report.mmac),
+            format!("{:.2}", report.latency_ms),
+            format!("{:.3}", report.energy_mj),
+            pct(q_acc),
+            format!("{:.0} h", report.battery_hours),
+        ]);
+    }
+
+    let headers = [
+        "Network",
+        "Memory",
+        "MMAC",
+        "Lat.[ms]",
+        "E.[mJ]",
+        "Q.Acc [%]",
+        "Battery",
+    ];
+    print_table(
+        "Table I — quantized architectures on GAP8 (100 MHz @ 1V, 51 mW)",
+        &headers,
+        &rows,
+    );
+    write_csv("table1_gap8.csv", &headers, &rows);
+    println!(
+        "\npaper reference rows: Bio1 w10 = 94.2 kB / 3.3 MMAC / 2.72 ms / 0.139 mJ / 64.69 %;\n\
+         TEMPONet = 461 kB / 16.0 MMAC / 21.82 ms / 1.11 mJ / 61.00 %"
+    );
+}

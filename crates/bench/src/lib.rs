@@ -1,0 +1,197 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every figure/table of the paper has a binary in `src/bin/`; all of them
+//! share the scale presets (`--smoke` / `--quick` / `--full`), the
+//! result-table printer and the CSV writer defined here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bioformer_core::protocol::ProtocolConfig;
+use bioformer_semg::DatasetSpec;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// How much compute an experiment run may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale sanity run: 3 subjects, tiny epochs. Trends are noisy
+    /// but visible.
+    Smoke,
+    /// Default: a few subjects, scaled-down protocol — reproduces every
+    /// qualitative trend in tens of minutes.
+    Quick,
+    /// The paper's full protocol shape (10 subjects); hours of CPU.
+    Full,
+}
+
+/// Scale-resolved experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Which preset was selected.
+    pub scale: Scale,
+    /// Dataset generation parameters.
+    pub spec: DatasetSpec,
+    /// Training protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// Subjects evaluated (0-based).
+    pub subjects: Vec<usize>,
+}
+
+impl RunConfig {
+    /// Builds the configuration for a scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => {
+                let spec = DatasetSpec {
+                    subjects: 3,
+                    reps_per_gesture: 2,
+                    rep_duration_s: 0.8,
+                    slide: 250,
+                    ..DatasetSpec::default()
+                };
+                let protocol = ProtocolConfig {
+                    pretrain_epochs: 4,
+                    finetune_epochs: 4,
+                    standard_epochs: 8,
+                    ..ProtocolConfig::default()
+                };
+                RunConfig {
+                    scale,
+                    spec,
+                    protocol,
+                    subjects: vec![0, 1, 2],
+                }
+            }
+            Scale::Quick => {
+                let spec = DatasetSpec {
+                    subjects: 5,
+                    reps_per_gesture: 2,
+                    rep_duration_s: 1.0,
+                    slide: 180,
+                    ..DatasetSpec::default()
+                };
+                let protocol = ProtocolConfig {
+                    pretrain_epochs: 6,
+                    finetune_epochs: 5,
+                    standard_epochs: 10,
+                    ..ProtocolConfig::default()
+                };
+                RunConfig {
+                    scale,
+                    spec,
+                    protocol,
+                    subjects: (0..5).collect(),
+                }
+            }
+            Scale::Full => RunConfig {
+                scale,
+                spec: DatasetSpec::default(),
+                protocol: ProtocolConfig {
+                    pretrain_epochs: 12,
+                    finetune_epochs: 8,
+                    standard_epochs: 16,
+                    ..ProtocolConfig::default()
+                },
+                subjects: (0..10).collect(),
+            },
+        }
+    }
+
+    /// Parses the scale from CLI args (`--smoke`, `--quick` (default),
+    /// `--full`) plus an optional `--subjects N` override.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let scale = if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else if args.iter().any(|a| a == "--smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Quick
+        };
+        let mut cfg = RunConfig::at_scale(scale);
+        if let Some(pos) = args.iter().position(|a| a == "--subjects") {
+            if let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+                let n = n.clamp(1, cfg.spec.subjects);
+                cfg.subjects = (0..n).collect();
+            }
+        }
+        cfg
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+    for row in rows {
+        let mut out = String::new();
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        println!("{out}");
+    }
+}
+
+/// Writes rows as CSV under `results/` (created on demand). Errors are
+/// reported to stderr but do not abort the experiment.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(name);
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        let smoke = RunConfig::at_scale(Scale::Smoke);
+        let quick = RunConfig::at_scale(Scale::Quick);
+        let full = RunConfig::at_scale(Scale::Full);
+        assert!(smoke.subjects.len() <= quick.subjects.len());
+        assert!(quick.subjects.len() <= full.subjects.len());
+        assert!(smoke.spec.windows_per_session() <= full.spec.windows_per_session());
+        smoke.spec.validate().unwrap();
+        quick.spec.validate().unwrap();
+        full.spec.validate().unwrap();
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.6573), "65.73");
+    }
+}

@@ -1,0 +1,369 @@
+//! The Bioformer model (paper §III-A, Fig. 1 bottom).
+//!
+//! ```text
+//! [B, 14, 300] ──Conv1d(k=f, stride=f)──▶ [B, 64, N] ──transpose──▶ [B, N, 64]
+//!      └─ append class token ──▶ [B, N+1, 64] ──d× TransformerBlock──▶
+//!      └─ take class row ──▶ LayerNorm ──▶ Linear(64→8) ──▶ logits
+//! ```
+
+use crate::config::BioformerConfig;
+use bioformer_nn::{Conv1d, LayerNorm, Linear, Model, Param, TransformerBlock};
+use bioformer_tensor::conv::Conv1dSpec;
+use bioformer_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The Bioformer tiny transformer for sEMG gesture recognition.
+///
+/// # Example
+///
+/// ```
+/// use bioformer_core::{Bioformer, BioformerConfig};
+/// use bioformer_nn::Model;
+/// use bioformer_tensor::Tensor;
+///
+/// let mut model = Bioformer::new(&BioformerConfig::bio1());
+/// let window = Tensor::zeros(&[2, 14, 300]);
+/// let logits = model.forward(&window, false);
+/// assert_eq!(logits.dims(), &[2, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bioformer {
+    cfg: BioformerConfig,
+    patch: Conv1d,
+    class_token: Param,
+    blocks: Vec<TransformerBlock>,
+    ln_final: LayerNorm,
+    head: Linear,
+    fwd_batch: Option<usize>,
+}
+
+impl Bioformer {
+    /// Builds a Bioformer with weights initialised from `cfg.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails validation.
+    pub fn new(cfg: &BioformerConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid BioformerConfig: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let patch = Conv1d::new(
+            "patch_embed",
+            cfg.channels,
+            cfg.embed,
+            cfg.filter,
+            Conv1dSpec::patch(cfg.filter),
+            &mut rng,
+        );
+        // ViT initialises the class token from N(0, 0.02); we use a larger
+        // 0.25 so the token is commensurate with the patch-embedding range.
+        // This is neutral for fp32 training but crucial for int8 deployment:
+        // the token shares the patch activations' per-tensor quantization
+        // grid, and a 0.02-scale row would collapse to ±3 codes, destroying
+        // the classification path (the class row is what the head reads).
+        let class_token = Param::new(
+            "class_token",
+            bioformer_nn::init::normal(&mut rng, &[cfg.embed], 0.25),
+        );
+        let blocks = (0..cfg.depth)
+            .map(|l| {
+                TransformerBlock::new(
+                    &format!("block{l}"),
+                    cfg.embed,
+                    cfg.heads,
+                    cfg.head_dim,
+                    cfg.hidden,
+                    cfg.dropout,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let ln_final = LayerNorm::new("ln_final", cfg.embed);
+        let head = Linear::new("head", cfg.embed, cfg.classes, &mut rng);
+        Bioformer {
+            cfg: cfg.clone(),
+            patch,
+            class_token,
+            blocks,
+            ln_final,
+            head,
+            fwd_batch: None,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &BioformerConfig {
+        &self.cfg
+    }
+
+    /// Transposes conv output `[B, E, N]` into token-major `[B, N, E]` and
+    /// appends the class token at position `N`.
+    fn tokenize(&self, conv_out: &Tensor) -> Tensor {
+        let (b, e, n) = (conv_out.dims()[0], conv_out.dims()[1], conv_out.dims()[2]);
+        let s = n + 1;
+        let mut tokens = Tensor::zeros(&[b, s, e]);
+        let src = conv_out.data();
+        let dst = tokens.data_mut();
+        for bi in 0..b {
+            for ei in 0..e {
+                let row = &src[(bi * e + ei) * n..(bi * e + ei + 1) * n];
+                for (ni, &v) in row.iter().enumerate() {
+                    dst[(bi * s + ni) * e + ei] = v;
+                }
+            }
+            let cls = self.class_token.value.data();
+            dst[(bi * s + n) * e..(bi * s + n + 1) * e].copy_from_slice(cls);
+        }
+        tokens
+    }
+
+    /// Splits token gradients back into the conv layout and the class-token
+    /// gradient (summed over the batch).
+    fn detokenize_grad(&self, dtokens: &Tensor) -> (Tensor, Tensor) {
+        let (b, s, e) = (dtokens.dims()[0], dtokens.dims()[1], dtokens.dims()[2]);
+        let n = s - 1;
+        let mut dconv = Tensor::zeros(&[b, e, n]);
+        let mut dcls = Tensor::zeros(&[e]);
+        let src = dtokens.data();
+        let dst = dconv.data_mut();
+        for bi in 0..b {
+            for ni in 0..n {
+                for ei in 0..e {
+                    dst[(bi * e + ei) * n + ni] = src[(bi * s + ni) * e + ei];
+                }
+            }
+            for ei in 0..e {
+                dcls.data_mut()[ei] += src[(bi * s + n) * e + ei];
+            }
+        }
+        (dconv, dcls)
+    }
+
+    /// Extracts the class-token rows `[B, E]` from `[B, S, E]`.
+    fn class_rows(tokens: &Tensor) -> Tensor {
+        let (b, s, e) = (tokens.dims()[0], tokens.dims()[1], tokens.dims()[2]);
+        let mut out = Tensor::zeros(&[b, e]);
+        for bi in 0..b {
+            out.data_mut()[bi * e..(bi + 1) * e]
+                .copy_from_slice(&tokens.data()[(bi * s + s - 1) * e..(bi * s + s) * e]);
+        }
+        out
+    }
+}
+
+impl Model for Bioformer {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.cfg.channels,
+            "Bioformer: channel mismatch"
+        );
+        assert_eq!(x.dims()[2], self.cfg.window, "Bioformer: window mismatch");
+        let conv_out = self.patch.forward(x, train);
+        let mut tokens = self.tokenize(&conv_out);
+        for blk in &mut self.blocks {
+            tokens = blk.forward(&tokens, train);
+        }
+        let cls = Self::class_rows(&tokens);
+        let normed = self.ln_final.forward(&cls, train);
+        let logits = self.head.forward(&normed, train);
+        if train {
+            self.fwd_batch = Some(x.dims()[0]);
+        }
+        logits
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) {
+        let batch = self
+            .fwd_batch
+            .expect("Bioformer: backward before training-mode forward");
+        let (s, e) = (self.cfg.seq_len(), self.cfg.embed);
+        let dnormed = self.head.backward(dlogits);
+        let dcls_rows = self.ln_final.backward(&dnormed);
+        // Scatter class-row gradients into an otherwise-zero token grad.
+        let mut dtokens = Tensor::zeros(&[batch, s, e]);
+        for bi in 0..batch {
+            dtokens.data_mut()[(bi * s + s - 1) * e..(bi * s + s) * e]
+                .copy_from_slice(&dcls_rows.data()[bi * e..(bi + 1) * e]);
+        }
+        for blk in self.blocks.iter_mut().rev() {
+            dtokens = blk.backward(&dtokens);
+        }
+        let (dconv, dcls_token) = self.detokenize_grad(&dtokens);
+        self.class_token.accumulate(&dcls_token);
+        let _ = self.patch.backward(&dconv);
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.patch.visit_params(f);
+        f(&mut self.class_token);
+        for blk in &mut self.blocks {
+            blk.visit_params(f);
+        }
+        self.ln_final.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    fn clear_cache(&mut self) {
+        self.patch.clear_cache();
+        for blk in &mut self.blocks {
+            blk.clear_cache();
+        }
+        self.ln_final.clear_cache();
+        self.head.clear_cache();
+        self.fwd_batch = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::bioformer_descriptor;
+    use rand::Rng;
+
+    fn small_cfg() -> BioformerConfig {
+        BioformerConfig {
+            channels: 3,
+            window: 20,
+            classes: 4,
+            embed: 8,
+            filter: 5,
+            heads: 2,
+            depth: 1,
+            head_dim: 4,
+            hidden: 16,
+            dropout: 0.0,
+            seed: 7,
+        }
+    }
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = Bioformer::new(&BioformerConfig::bio1());
+        let x = filled(&[2, 14, 300], 0);
+        let y = m.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 8]);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn param_count_matches_descriptor() {
+        for cfg in [
+            BioformerConfig::bio1(),
+            BioformerConfig::bio2(),
+            BioformerConfig::bio1().with_filter(30),
+        ] {
+            let mut m = Bioformer::new(&cfg);
+            let desc = bioformer_descriptor(&cfg);
+            assert_eq!(
+                m.num_params() as u64,
+                desc.params(),
+                "model/descriptor param mismatch for {}",
+                desc.name
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let mut a = Bioformer::new(&small_cfg());
+        let mut b = Bioformer::new(&small_cfg());
+        let x = filled(&[1, 3, 20], 1);
+        assert!(a.forward(&x, false).allclose(&b.forward(&x, false), 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Bioformer::new(&small_cfg());
+        let mut b = Bioformer::new(&small_cfg().with_seed(8));
+        let x = filled(&[1, 3, 20], 1);
+        assert!(!a.forward(&x, false).allclose(&b.forward(&x, false), 1e-6));
+    }
+
+    #[test]
+    fn gradcheck_end_to_end() {
+        let mut m = Bioformer::new(&small_cfg());
+        let x = filled(&[2, 3, 20], 2);
+        let y = m.forward(&x, true);
+        let dy = filled(y.dims(), 3);
+        m.zero_grad();
+        m.backward(&dy);
+
+        // Check a sample of parameter gradients against finite differences.
+        let mut grads: Vec<(String, Tensor)> = Vec::new();
+        m.visit_params(&mut |p| grads.push((p.name.clone(), p.grad.clone())));
+
+        let objective = |m: &mut Bioformer, x: &Tensor| -> f32 { m.forward(x, false).mul(&dy).sum() };
+        // Small eps: parameters like the class token are initialised at
+        // scale 0.02, so a large probe step leaves the linear regime of the
+        // downstream LayerNorm.
+        let eps = 2e-3;
+        for (pi, (name, grad)) in grads.iter().enumerate() {
+            let n_elems = grad.len();
+            for idx in (0..n_elems).step_by((n_elems / 3).max(1)) {
+                let mut orig = 0.0;
+                let mut count = 0usize;
+                m.visit_params(&mut |p| {
+                    if count == pi {
+                        orig = p.value.data()[idx];
+                        p.value.data_mut()[idx] = orig + eps;
+                    }
+                    count += 1;
+                });
+                let fp = objective(&mut m, &x);
+                count = 0;
+                m.visit_params(&mut |p| {
+                    if count == pi {
+                        p.value.data_mut()[idx] = orig - eps;
+                    }
+                    count += 1;
+                });
+                let fm = objective(&mut m, &x);
+                count = 0;
+                m.visit_params(&mut |p| {
+                    if count == pi {
+                        p.value.data_mut()[idx] = orig;
+                    }
+                    count += 1;
+                });
+                let num = (fp - fm) / (2.0 * eps);
+                let got = grad.data()[idx];
+                assert!(
+                    (num - got).abs() < 0.08 * (1.0 + num.abs().max(got.abs())),
+                    "{name}[{idx}]: fd={num} analytic={got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_token_receives_gradient() {
+        let mut m = Bioformer::new(&small_cfg());
+        let x = filled(&[2, 3, 20], 4);
+        let y = m.forward(&x, true);
+        m.zero_grad();
+        m.backward(&Tensor::ones(y.dims()));
+        assert!(
+            m.class_token.grad.abs_max() > 0.0,
+            "class token gradient is zero"
+        );
+    }
+
+    #[test]
+    fn clone_then_clear_cache_still_forwards() {
+        let mut m = Bioformer::new(&small_cfg());
+        let x = filled(&[1, 3, 20], 5);
+        let _ = m.forward(&x, true);
+        let mut c = m.clone();
+        c.clear_cache();
+        let y = c.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 4]);
+    }
+}

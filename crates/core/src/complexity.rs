@@ -1,0 +1,109 @@
+//! Analytic complexity accounting (MACs, parameters, deployed memory).
+//!
+//! Thin veneer over [`crate::descriptor`]; used by the Fig. 5 Pareto
+//! harness and the GAP8 deployment model. The numbers are validated against
+//! the paper's Table I in the descriptor test-suite.
+
+use crate::config::BioformerConfig;
+use crate::descriptor::{bioformer_descriptor, temponet_descriptor};
+use std::fmt;
+
+/// Inference complexity of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Complexity {
+    /// Multiply-accumulate operations per inference.
+    pub macs: u64,
+    /// Trainable parameters.
+    pub params: u64,
+    /// Deployed weight memory in bytes (int8 weights, int32 biases).
+    pub memory_bytes: u64,
+}
+
+impl Complexity {
+    /// MACs in millions.
+    pub fn mmacs(&self) -> f64 {
+        self.macs as f64 / 1e6
+    }
+
+    /// Memory in kibibytes.
+    pub fn memory_kb(&self) -> f64 {
+        self.memory_bytes as f64 / 1024.0
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} MMAC, {} params, {:.1} kB",
+            self.mmacs(),
+            self.params,
+            self.memory_kb()
+        )
+    }
+}
+
+/// Complexity of a Bioformer configuration.
+///
+/// # Panics
+///
+/// Panics if the config fails validation.
+pub fn of_bioformer(cfg: &BioformerConfig) -> Complexity {
+    let d = bioformer_descriptor(cfg);
+    Complexity {
+        macs: d.macs(),
+        params: d.params(),
+        memory_bytes: d.memory_bytes(),
+    }
+}
+
+/// Complexity of the TEMPONet baseline.
+pub fn of_temponet() -> Complexity {
+    let d = temponet_descriptor();
+    Complexity {
+        macs: d.macs(),
+        params: d.params(),
+        memory_bytes: d.memory_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_units() {
+        let c = of_bioformer(&BioformerConfig::bio1());
+        let s = c.to_string();
+        assert!(s.contains("MMAC") && s.contains("kB"));
+    }
+
+    #[test]
+    fn larger_filter_fewer_macs_more_params() {
+        // Fig. 4 caption: "Increasing filter dimension reduces both the
+        // number of parameters and the number of operations" — operations
+        // fall because the token count shrinks; the *conv layer's* params
+        // grow but attention dominates ops.
+        let f10 = of_bioformer(&BioformerConfig::bio1().with_filter(10));
+        let f30 = of_bioformer(&BioformerConfig::bio1().with_filter(30));
+        assert!(f30.macs < f10.macs);
+    }
+
+    #[test]
+    fn filter_sweep_monotone_in_macs() {
+        let mut last = u64::MAX;
+        for f in [1usize, 5, 10, 20, 30] {
+            let c = of_bioformer(&BioformerConfig::bio1().with_filter(f));
+            assert!(c.macs < last, "MACs must fall as filter grows");
+            last = c.macs;
+        }
+    }
+
+    #[test]
+    fn temponet_dominated() {
+        let bio = of_bioformer(&BioformerConfig::bio1());
+        let tempo = of_temponet();
+        assert!(tempo.macs > 4 * bio.macs);
+        assert!(tempo.memory_bytes > 4 * bio.memory_bytes);
+    }
+}

@@ -1,0 +1,186 @@
+//! Bioformer architecture hyper-parameters.
+
+use bioformer_semg::{CHANNELS, GESTURE_CLASSES, WINDOW};
+
+/// Hyper-parameters of a Bioformer (paper §III-A).
+///
+/// The two reference points the paper benchmarks are
+/// [`BioformerConfig::bio1`] (one layer of eight heads) and
+/// [`BioformerConfig::bio2`] (two layers of two heads); all other fields
+/// are common: 64-wide token embedding produced by a **non-overlapping**
+/// 1-D convolution (stride = filter width), per-head dimension `P = 32`,
+/// FFN hidden width 128, and a learned class token appended to the
+/// sequence.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BioformerConfig {
+    /// Input electrode count (DB6: 14).
+    pub channels: usize,
+    /// Input window length in samples (DB6: 300 = 150 ms @ 2 kHz).
+    pub window: usize,
+    /// Output classes (DB6: 8).
+    pub classes: usize,
+    /// Token embedding width `C` (paper: 64).
+    pub embed: usize,
+    /// Patch-embedding filter width ∈ {1, 5, 10, 20, 30} in the paper's
+    /// sweep; sets the token count `N = window / filter`.
+    pub filter: usize,
+    /// Attention heads per layer `H`.
+    pub heads: usize,
+    /// Number of encoder layers (depth `d`).
+    pub depth: usize,
+    /// Per-head projection width `P` (paper: 32).
+    pub head_dim: usize,
+    /// FFN hidden width (paper: 128).
+    pub hidden: usize,
+    /// Dropout probability inside encoder blocks (0 disables).
+    pub dropout: f32,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for BioformerConfig {
+    fn default() -> Self {
+        BioformerConfig::bio1()
+    }
+}
+
+impl BioformerConfig {
+    /// Fields shared by every Bioformer in the paper.
+    fn base() -> Self {
+        BioformerConfig {
+            channels: CHANNELS,
+            window: WINDOW,
+            classes: GESTURE_CLASSES,
+            embed: 64,
+            filter: 10,
+            heads: 8,
+            depth: 1,
+            head_dim: 32,
+            hidden: 128,
+            dropout: 0.1,
+            seed: 0xB10F,
+        }
+    }
+
+    /// **Bio1**: 8 heads × depth 1 — the paper's most accurate Bioformer
+    /// (65.73 % after pre-training; 3.3 MMAC, 94.2 kB at filter 10).
+    pub fn bio1() -> Self {
+        BioformerConfig {
+            heads: 8,
+            depth: 1,
+            ..Self::base()
+        }
+    }
+
+    /// **Bio2**: 2 heads × depth 2 — the paper's lightest Pareto Bioformer
+    /// (2.5 MMAC, 78.3 kB at filter 10).
+    pub fn bio2() -> Self {
+        BioformerConfig {
+            heads: 2,
+            depth: 2,
+            ..Self::base()
+        }
+    }
+
+    /// Returns a copy with a different patch filter width (the Fig. 4
+    /// sweep: {1, 5, 10, 20, 30}).
+    pub fn with_filter(mut self, filter: usize) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Returns a copy with a different init seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of patch tokens `N` produced by the front-end
+    /// (`window / filter`, non-overlapping).
+    pub fn tokens(&self) -> usize {
+        (self.window - self.filter) / self.filter + 1
+    }
+
+    /// Sequence length seen by the encoder (`N + 1` for the class token).
+    pub fn seq_len(&self) -> usize {
+        self.tokens() + 1
+    }
+
+    /// Total per-layer projection width `H·P`.
+    pub fn inner(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.filter == 0 || self.filter > self.window {
+            return Err(format!(
+                "filter {} must be in 1..={}",
+                self.filter, self.window
+            ));
+        }
+        if self.window % self.filter != 0 {
+            return Err(format!(
+                "window {} must be a multiple of filter {} (non-overlapping patches)",
+                self.window, self.filter
+            ));
+        }
+        if self.heads == 0 || self.depth == 0 || self.embed == 0 || self.head_dim == 0 {
+            return Err("heads, depth, embed and head_dim must be positive".into());
+        }
+        if self.classes < 2 {
+            return Err("need at least two classes".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err("dropout must be in [0,1)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_valid() {
+        BioformerConfig::bio1().validate().unwrap();
+        BioformerConfig::bio2().validate().unwrap();
+        for f in [1usize, 5, 10, 20, 30] {
+            BioformerConfig::bio1().with_filter(f).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn token_counts_match_paper() {
+        // §IV-B: "the resulting input sequence length is 30 instead of 60
+        // and 300 for filter sizes 10, 5 and 1".
+        assert_eq!(BioformerConfig::bio1().with_filter(1).tokens(), 300);
+        assert_eq!(BioformerConfig::bio1().with_filter(5).tokens(), 60);
+        assert_eq!(BioformerConfig::bio1().with_filter(10).tokens(), 30);
+        assert_eq!(BioformerConfig::bio1().with_filter(20).tokens(), 15);
+        assert_eq!(BioformerConfig::bio1().with_filter(30).tokens(), 10);
+    }
+
+    #[test]
+    fn seq_len_includes_class_token() {
+        assert_eq!(BioformerConfig::bio1().seq_len(), 31);
+    }
+
+    #[test]
+    fn inner_widths() {
+        assert_eq!(BioformerConfig::bio1().inner(), 256);
+        assert_eq!(BioformerConfig::bio2().inner(), 64);
+    }
+
+    #[test]
+    fn invalid_filter_rejected() {
+        assert!(BioformerConfig::bio1().with_filter(7).validate().is_err());
+        assert!(BioformerConfig::bio1().with_filter(0).validate().is_err());
+        assert!(BioformerConfig::bio1().with_filter(301).validate().is_err());
+    }
+}

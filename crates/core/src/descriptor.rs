@@ -1,0 +1,573 @@
+//! Kernel-level network descriptions.
+//!
+//! A [`NetworkDescriptor`] lists every compute kernel a network executes for
+//! one inference, with enough shape information to derive
+//!
+//! * analytic MAC/parameter counts ([`crate::complexity`]), and
+//! * per-kernel cycle/memory costs on the GAP8 model (`bioformer-gap8`).
+//!
+//! Keeping a single source of truth for both guarantees the Pareto plots
+//! (Fig. 5) and the deployment table (Table I) describe the same networks.
+
+use crate::config::BioformerConfig;
+
+/// One kernel invocation in a network's inference schedule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LayerDesc {
+    /// 1-D convolution over `[in_ch, len]`.
+    Conv1d {
+        /// Kernel label (e.g. `"patch_embed"`).
+        name: String,
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Kernel width.
+        kernel: usize,
+        /// Output length (after stride/padding).
+        out_len: usize,
+        /// Whether the deployment kernel can lower this conv to a SIMD
+        /// GEMM (true for the Bioformer's non-overlapping patch embedding;
+        /// false for dilated/strided temporal convolutions, which run at
+        /// scalar MAC rate on GAP8 — the root of TEMPONet's lower
+        /// MAC/cycle in Table I).
+        gemm_lowered: bool,
+    },
+    /// Affine layer applied to `rows` independent positions.
+    Linear {
+        /// Kernel label.
+        name: String,
+        /// Positions the layer is applied to (sequence length or 1).
+        rows: usize,
+        /// Input width.
+        in_features: usize,
+        /// Output width.
+        out_features: usize,
+        /// Core-parallelism granularity: 1 = rows spread freely over all
+        /// cores; `h > 1` = the kernel library splits work by attention
+        /// head, capping usable cores at `h` (MCU-Transformer kernels,
+        /// Burrello et al. COINS 2021).
+        groups: usize,
+    },
+    /// Parameter-free matrix product (attention scores / attention×values).
+    MatMul {
+        /// Kernel label.
+        name: String,
+        /// Output rows (aggregated over heads).
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+        /// Head-parallelism granularity (see [`LayerDesc::Linear::groups`]).
+        groups: usize,
+    },
+    /// Row-wise softmax.
+    Softmax {
+        /// Kernel label.
+        name: String,
+        /// Rows.
+        rows: usize,
+        /// Columns (keys).
+        cols: usize,
+        /// Head-parallelism granularity (see [`LayerDesc::Linear::groups`]).
+        groups: usize,
+    },
+    /// Row-wise LayerNorm.
+    LayerNorm {
+        /// Kernel label.
+        name: String,
+        /// Rows.
+        rows: usize,
+        /// Feature width (contributes 2×width parameters).
+        width: usize,
+    },
+    /// Element-wise GELU.
+    Gelu {
+        /// Kernel label.
+        name: String,
+        /// Element count.
+        elems: usize,
+    },
+    /// Element-wise ReLU.
+    Relu {
+        /// Kernel label.
+        name: String,
+        /// Element count.
+        elems: usize,
+    },
+    /// Average pooling over the time axis.
+    AvgPool {
+        /// Kernel label.
+        name: String,
+        /// Channels.
+        channels: usize,
+        /// Output length.
+        out_len: usize,
+        /// Pooling window.
+        kernel: usize,
+    },
+    /// Element-wise residual addition.
+    Add {
+        /// Kernel label.
+        name: String,
+        /// Element count.
+        elems: usize,
+    },
+    /// Learned embedding rows stored with the weights (e.g. class token).
+    Embedding {
+        /// Kernel label.
+        name: String,
+        /// Stored elements.
+        elems: usize,
+    },
+}
+
+impl LayerDesc {
+    /// Kernel label.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerDesc::Conv1d { name, .. }
+            | LayerDesc::Linear { name, .. }
+            | LayerDesc::MatMul { name, .. }
+            | LayerDesc::Softmax { name, .. }
+            | LayerDesc::LayerNorm { name, .. }
+            | LayerDesc::Gelu { name, .. }
+            | LayerDesc::Relu { name, .. }
+            | LayerDesc::AvgPool { name, .. }
+            | LayerDesc::Add { name, .. }
+            | LayerDesc::Embedding { name, .. } => name,
+        }
+    }
+
+    /// Multiply-accumulate operations for one inference.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerDesc::Conv1d {
+                in_ch,
+                out_ch,
+                kernel,
+                out_len,
+                ..
+            } => (out_ch * out_len * in_ch * kernel) as u64,
+            LayerDesc::Linear {
+                rows,
+                in_features,
+                out_features,
+                ..
+            } => (rows * in_features * out_features) as u64,
+            LayerDesc::MatMul { m, k, n, .. } => (m * k * n) as u64,
+            // Non-MAC kernels are accounted in cycles by the GAP8 model but
+            // contribute 0 to the paper's MAC metric.
+            _ => 0,
+        }
+    }
+
+    /// Trainable parameters held by this kernel.
+    pub fn params(&self) -> u64 {
+        match *self {
+            LayerDesc::Conv1d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => (out_ch * in_ch * kernel + out_ch) as u64,
+            LayerDesc::Linear {
+                in_features,
+                out_features,
+                ..
+            } => (in_features * out_features + out_features) as u64,
+            LayerDesc::LayerNorm { width, .. } => 2 * width as u64,
+            LayerDesc::Embedding { elems, .. } => elems as u64,
+            _ => 0,
+        }
+    }
+
+    /// Deployed size in bytes under the paper's int8 scheme: int8 weights,
+    /// int32 biases, LayerNorm/embedding parameters kept at 32/8 bit as in
+    /// I-BERT.
+    pub fn memory_bytes(&self) -> u64 {
+        match *self {
+            LayerDesc::Conv1d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => (out_ch * in_ch * kernel) as u64 + 4 * out_ch as u64,
+            LayerDesc::Linear {
+                in_features,
+                out_features,
+                ..
+            } => (in_features * out_features) as u64 + 4 * out_features as u64,
+            LayerDesc::LayerNorm { width, .. } => 8 * width as u64,
+            LayerDesc::Embedding { elems, .. } => elems as u64,
+            _ => 0,
+        }
+    }
+
+    /// Output activation elements produced by this kernel (int8 bytes on
+    /// device).
+    pub fn output_elems(&self) -> u64 {
+        match *self {
+            LayerDesc::Conv1d {
+                out_ch, out_len, ..
+            } => (out_ch * out_len) as u64,
+            LayerDesc::Linear {
+                rows, out_features, ..
+            } => (rows * out_features) as u64,
+            LayerDesc::MatMul { m, n, .. } => (m * n) as u64,
+            LayerDesc::Softmax { rows, cols, .. } => (rows * cols) as u64,
+            LayerDesc::LayerNorm { rows, width, .. } => (rows * width) as u64,
+            LayerDesc::Gelu { elems, .. }
+            | LayerDesc::Relu { elems, .. }
+            | LayerDesc::Add { elems, .. } => elems as u64,
+            LayerDesc::AvgPool {
+                channels, out_len, ..
+            } => (channels * out_len) as u64,
+            LayerDesc::Embedding { elems, .. } => elems as u64,
+        }
+    }
+}
+
+/// A network's complete inference schedule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkDescriptor {
+    /// Network label (e.g. `"Bioformer(h=8,d=1,f=10)"`).
+    pub name: String,
+    /// Kernels in execution order.
+    pub layers: Vec<LayerDesc>,
+}
+
+impl NetworkDescriptor {
+    /// Total MACs per inference.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(LayerDesc::macs).sum()
+    }
+
+    /// Total trainable parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(LayerDesc::params).sum()
+    }
+
+    /// Total deployed weight memory in bytes (int8 scheme).
+    pub fn memory_bytes(&self) -> u64 {
+        self.layers.iter().map(LayerDesc::memory_bytes).sum()
+    }
+
+    /// Largest single activation produced by any kernel, in elements —
+    /// a lower bound for on-device scratch sizing.
+    pub fn peak_activation_elems(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(LayerDesc::output_elems)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Builds the kernel schedule of a Bioformer.
+///
+/// # Panics
+///
+/// Panics if the config fails validation.
+pub fn bioformer_descriptor(cfg: &BioformerConfig) -> NetworkDescriptor {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid BioformerConfig: {e}");
+    }
+    let n = cfg.tokens();
+    let s = cfg.seq_len();
+    let (c, hp, h, p) = (cfg.embed, cfg.inner(), cfg.heads, cfg.head_dim);
+    let mut layers = vec![
+        LayerDesc::Conv1d {
+            name: "patch_embed".into(),
+            in_ch: cfg.channels,
+            out_ch: c,
+            kernel: cfg.filter,
+            out_len: n,
+            gemm_lowered: true,
+        },
+        LayerDesc::Embedding {
+            name: "class_token".into(),
+            elems: c,
+        },
+    ];
+    for l in 0..cfg.depth {
+        let pre = |s: &str| format!("block{l}.{s}");
+        layers.push(LayerDesc::LayerNorm {
+            name: pre("ln1"),
+            rows: s,
+            width: c,
+        });
+        for proj in ["wq", "wk", "wv"] {
+            layers.push(LayerDesc::Linear {
+                name: pre(proj),
+                rows: s,
+                in_features: c,
+                out_features: hp,
+                groups: h,
+            });
+        }
+        layers.push(LayerDesc::MatMul {
+            name: pre("attn_scores"),
+            m: h * s,
+            k: p,
+            n: s,
+            groups: h,
+        });
+        layers.push(LayerDesc::Softmax {
+            name: pre("attn_softmax"),
+            rows: h * s,
+            cols: s,
+            groups: h,
+        });
+        layers.push(LayerDesc::MatMul {
+            name: pre("attn_values"),
+            m: h * s,
+            k: s,
+            n: p,
+            groups: h,
+        });
+        layers.push(LayerDesc::Linear {
+            name: pre("wo"),
+            rows: s,
+            in_features: hp,
+            out_features: c,
+            groups: 1,
+        });
+        layers.push(LayerDesc::Add {
+            name: pre("residual1"),
+            elems: s * c,
+        });
+        layers.push(LayerDesc::LayerNorm {
+            name: pre("ln2"),
+            rows: s,
+            width: c,
+        });
+        layers.push(LayerDesc::Linear {
+            name: pre("fc1"),
+            rows: s,
+            in_features: c,
+            out_features: cfg.hidden,
+            groups: 1,
+        });
+        layers.push(LayerDesc::Gelu {
+            name: pre("gelu"),
+            elems: s * cfg.hidden,
+        });
+        layers.push(LayerDesc::Linear {
+            name: pre("fc2"),
+            rows: s,
+            in_features: cfg.hidden,
+            out_features: c,
+            groups: 1,
+        });
+        layers.push(LayerDesc::Add {
+            name: pre("residual2"),
+            elems: s * c,
+        });
+    }
+    layers.push(LayerDesc::LayerNorm {
+        name: "ln_final".into(),
+        rows: 1,
+        width: c,
+    });
+    layers.push(LayerDesc::Linear {
+        name: "head".into(),
+        rows: 1,
+        in_features: c,
+        out_features: cfg.classes,
+        groups: 1,
+    });
+    NetworkDescriptor {
+        name: format!("Bioformer(h={},d={},f={})", cfg.heads, cfg.depth, cfg.filter),
+        layers,
+    }
+}
+
+/// Builds the kernel schedule of the TEMPONet-like baseline
+/// (see [`crate::temponet`] for the architecture rationale).
+pub fn temponet_descriptor() -> NetworkDescriptor {
+    let mut layers = Vec::new();
+    // (name, in_ch, out_ch, kernel, out_len)
+    let convs: [(&str, usize, usize, usize, usize); 9] = [
+        ("b0.conv0", 14, 32, 3, 300),
+        ("b0.conv1", 32, 32, 3, 300),
+        ("b0.down", 32, 32, 5, 150),
+        ("b1.conv0", 32, 64, 3, 150),
+        ("b1.conv1", 64, 64, 3, 150),
+        ("b1.down", 64, 64, 5, 75),
+        ("b2.conv0", 64, 128, 3, 75),
+        ("b2.conv1", 128, 128, 3, 75),
+        ("b2.down", 128, 128, 5, 38),
+    ];
+    for (name, in_ch, out_ch, kernel, out_len) in convs {
+        layers.push(LayerDesc::Conv1d {
+            name: name.into(),
+            in_ch,
+            out_ch,
+            kernel,
+            out_len,
+            // Dilated/strided temporal convolutions cannot use the 4×int8
+            // SIMD dot product on GAP8 (non-contiguous taps).
+            gemm_lowered: false,
+        });
+        layers.push(LayerDesc::Relu {
+            name: format!("{name}.relu"),
+            elems: out_ch * out_len,
+        });
+    }
+    layers.push(LayerDesc::AvgPool {
+        name: "pool".into(),
+        channels: 128,
+        out_len: 19,
+        kernel: 2,
+    });
+    layers.push(LayerDesc::Linear {
+        name: "fc1".into(),
+        rows: 1,
+        in_features: 128 * 19,
+        out_features: 96,
+        groups: 1,
+    });
+    layers.push(LayerDesc::Relu {
+        name: "fc1.relu".into(),
+        elems: 96,
+    });
+    layers.push(LayerDesc::Linear {
+        name: "fc2".into(),
+        rows: 1,
+        in_features: 96,
+        out_features: 48,
+        groups: 1,
+    });
+    layers.push(LayerDesc::Relu {
+        name: "fc2.relu".into(),
+        elems: 48,
+    });
+    layers.push(LayerDesc::Linear {
+        name: "head".into(),
+        rows: 1,
+        in_features: 48,
+        out_features: 8,
+        groups: 1,
+    });
+    NetworkDescriptor {
+        name: "TEMPONet".into(),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bio1_f10_macs_match_table1() {
+        // Table I: Bio1, wind=10 → 3.3 MMAC.
+        let d = bioformer_descriptor(&BioformerConfig::bio1());
+        let mmac = d.macs() as f64 / 1e6;
+        assert!((mmac - 3.3).abs() < 0.2, "Bio1 f10: {mmac} MMAC");
+    }
+
+    #[test]
+    fn bio1_filter_sweep_matches_table1() {
+        for (f, expect) in [(20usize, 1.7f64), (30, 1.2)] {
+            let d = bioformer_descriptor(&BioformerConfig::bio1().with_filter(f));
+            let mmac = d.macs() as f64 / 1e6;
+            assert!(
+                (mmac - expect).abs() / expect < 0.1,
+                "Bio1 f{f}: {mmac} MMAC (expect {expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn bio2_macs_match_table1() {
+        for (f, expect) in [(10usize, 2.5f64), (30, 1.0)] {
+            let d = bioformer_descriptor(&BioformerConfig::bio2().with_filter(f));
+            let mmac = d.macs() as f64 / 1e6;
+            assert!(
+                (mmac - expect).abs() / expect < 0.1,
+                "Bio2 f{f}: {mmac} MMAC (expect {expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn bio1_f10_memory_matches_table1() {
+        // Table I: Bio1, wind=10 → 94.2 kB.
+        let d = bioformer_descriptor(&BioformerConfig::bio1());
+        let kb = d.memory_bytes() as f64 / 1024.0;
+        assert!((kb - 94.2).abs() / 94.2 < 0.05, "Bio1 f10: {kb} kB");
+    }
+
+    #[test]
+    fn bio_memory_sweep_close_to_table1() {
+        for (cfg, f, expect) in [
+            (BioformerConfig::bio1(), 20usize, 102.1f64),
+            (BioformerConfig::bio1(), 30, 110.8),
+            (BioformerConfig::bio2(), 10, 78.3),
+            (BioformerConfig::bio2(), 30, 92.2),
+        ] {
+            let d = bioformer_descriptor(&cfg.with_filter(f));
+            let kb = d.memory_bytes() as f64 / 1024.0;
+            assert!(
+                (kb - expect).abs() / expect < 0.10,
+                "{}: {kb} kB (expect {expect})",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn temponet_scale_close_to_paper() {
+        // Paper: 461 kB, 16 MMAC. Our reconstruction: within ~20 %.
+        let d = temponet_descriptor();
+        let mmac = d.macs() as f64 / 1e6;
+        let kb = d.memory_bytes() as f64 / 1024.0;
+        assert!((mmac - 16.0).abs() / 16.0 < 0.2, "TEMPONet {mmac} MMAC");
+        assert!((kb - 461.0).abs() / 461.0 < 0.2, "TEMPONet {kb} kB");
+    }
+
+    #[test]
+    fn ops_reduction_factor_vs_temponet() {
+        // Abstract: "reducing the number of parameters and operations of 4.9×".
+        let bio = bioformer_descriptor(&BioformerConfig::bio1());
+        let tempo = temponet_descriptor();
+        let factor = tempo.macs() as f64 / bio.macs() as f64;
+        assert!(
+            (3.9..6.0).contains(&factor),
+            "ops reduction {factor} should be ≈4.9×"
+        );
+        let mem_factor = tempo.memory_bytes() as f64 / bio.memory_bytes() as f64;
+        assert!(
+            (3.9..6.0).contains(&mem_factor),
+            "memory reduction {mem_factor} should be ≈4.9×"
+        );
+    }
+
+    #[test]
+    fn params_equal_memory_order(){
+        // params ≈ memory_bytes (int8 weights dominate) for Bioformers.
+        let d = bioformer_descriptor(&BioformerConfig::bio1());
+        let ratio = d.memory_bytes() as f64 / d.params() as f64;
+        assert!((0.9..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn descriptor_layer_names_unique() {
+        let d = bioformer_descriptor(&BioformerConfig::bio2());
+        let mut names: Vec<&str> = d.layers.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate kernel names");
+    }
+
+    #[test]
+    fn peak_activation_reasonable() {
+        let d = bioformer_descriptor(&BioformerConfig::bio1());
+        // Largest activation: QKV output 31×256 = 7936 elems.
+        assert_eq!(d.peak_activation_elems(), 7936);
+    }
+}

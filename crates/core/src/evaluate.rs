@@ -1,0 +1,151 @@
+//! Evaluation utilities: per-session accuracy sweeps and confusion
+//! matrices over the synthetic DB6.
+
+use bioformer_nn::loss::ConfusionMatrix;
+use bioformer_nn::trainer::evaluate;
+use bioformer_nn::Model;
+use bioformer_semg::{Normalizer, NinaproDb6, SemgDataset};
+
+/// Accuracy on one test session (paper Fig. 2 plots these for sessions
+/// 6–10).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionAccuracy {
+    /// 0-based session index (the paper's session number minus one).
+    pub session: usize,
+    /// Classification accuracy on that session's windows.
+    pub accuracy: f32,
+}
+
+/// Evaluates a model on every test session of `subject`, normalising with
+/// the supplied (training-fitted) `normalizer`.
+pub fn per_session_accuracy<M: Model>(
+    model: &M,
+    db: &NinaproDb6,
+    subject: usize,
+    normalizer: &Normalizer,
+    batch_size: usize,
+) -> Vec<SessionAccuracy> {
+    db.spec()
+        .test_sessions()
+        .into_iter()
+        .map(|session| {
+            let data = normalizer.apply(&db.subject_session_dataset(subject, session));
+            let (_, accuracy) = evaluate(model, data.x(), data.labels(), batch_size);
+            SessionAccuracy { session, accuracy }
+        })
+        .collect()
+}
+
+/// Mean accuracy across a set of per-session results (the paper's
+/// "average across patients / sessions" aggregate).
+pub fn mean_accuracy(results: &[SessionAccuracy]) -> f32 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.accuracy).sum::<f32>() / results.len() as f32
+}
+
+/// Builds a confusion matrix of `model` over an (already normalised)
+/// dataset.
+pub fn confusion<M: Model>(model: &M, data: &SemgDataset, batch_size: usize) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::new(bioformer_semg::GESTURE_CLASSES);
+    let n = data.len();
+    let mut worker = model.clone();
+    worker.clear_cache();
+    let mut off = 0usize;
+    while off < n {
+        let end = (off + batch_size).min(n);
+        let indices: Vec<usize> = (off..end).collect();
+        let bx = bioformer_nn::trainer::gather_batch(data.x(), &indices);
+        let logits = worker.forward(&bx, false);
+        cm.record_batch(&logits, &data.labels()[off..end]);
+        off = end;
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioformer_nn::{Linear, Param};
+    use bioformer_semg::DatasetSpec;
+    use bioformer_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trivial linear model over flattened windows — enough to exercise the
+    /// evaluation plumbing without slow training.
+    #[derive(Clone)]
+    struct Flat {
+        lin: Linear,
+    }
+
+    impl Model for Flat {
+        fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+            let b = x.dims()[0];
+            let f = x.len() / b.max(1);
+            self.lin.forward(&x.reshape(&[b, f]), train)
+        }
+        fn backward(&mut self, d: &Tensor) {
+            let _ = self.lin.backward(d);
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            self.lin.visit_params(f);
+        }
+        fn clear_cache(&mut self) {
+            self.lin.clear_cache();
+        }
+    }
+
+    fn flat_model() -> Flat {
+        let mut rng = StdRng::seed_from_u64(0);
+        Flat {
+            lin: Linear::new(
+                "flat",
+                bioformer_semg::CHANNELS * bioformer_semg::WINDOW,
+                bioformer_semg::GESTURE_CLASSES,
+                &mut rng,
+            ),
+        }
+    }
+
+    #[test]
+    fn per_session_covers_test_sessions() {
+        let db = NinaproDb6::generate(&DatasetSpec::tiny());
+        let norm = Normalizer::fit(&db.train_dataset(0));
+        let model = flat_model();
+        let res = per_session_accuracy(&model, &db, 0, &norm, 64);
+        assert_eq!(res.len(), db.spec().test_sessions().len());
+        for r in &res {
+            assert!((0.0..=1.0).contains(&r.accuracy));
+        }
+    }
+
+    #[test]
+    fn mean_accuracy_averages() {
+        let rs = vec![
+            SessionAccuracy {
+                session: 0,
+                accuracy: 0.5,
+            },
+            SessionAccuracy {
+                session: 1,
+                accuracy: 0.7,
+            },
+        ];
+        assert!((mean_accuracy(&rs) - 0.6).abs() < 1e-6);
+        assert_eq!(mean_accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_total_matches_dataset() {
+        let db = NinaproDb6::generate(&DatasetSpec::tiny());
+        let data = db.subject_session_dataset(0, 0);
+        let cm = confusion(&flat_model(), &data, 32);
+        let total: u32 = (0..8)
+            .flat_map(|t| (0..8).map(move |p| (t, p)))
+            .map(|(t, p)| cm.count(t, p))
+            .sum();
+        assert_eq!(total as usize, data.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's primary contribution: the **Bioformer** tiny-transformer
+//! family for sEMG gesture recognition, with the TEMPONet TCN baseline, the
+//! two-step training protocol and complexity accounting.
+//!
+//! * [`config`] — architecture hyper-parameters and the paper's two
+//!   reference configs (Bio1 `h=8,d=1`, Bio2 `h=2,d=2`).
+//! * [`bioformer`] — the model: non-overlapping 1D-conv patch embedding →
+//!   class token → MHSA encoder block(s) → linear head.
+//! * [`temponet`] — a TEMPONet-like temporal convolutional baseline
+//!   (Zanghieri et al. 2019), ≈0.5 M params / ≈15 MMAC.
+//! * [`descriptor`] — a kernel-level description of each network, shared by
+//!   the complexity counters and the GAP8 deployment model.
+//! * [`complexity`] — analytic MAC/parameter counts (validated against the
+//!   paper's Table I in the test-suite).
+//! * [`protocol`] — standard subject-specific training and the paper's
+//!   inter-subject pre-training + fine-tuning (§III-B).
+//! * [`evaluate`] — per-session accuracy sweeps and confusion matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bioformer;
+pub mod complexity;
+pub mod config;
+pub mod descriptor;
+pub mod evaluate;
+pub mod protocol;
+pub mod temponet;
+
+pub use bioformer::Bioformer;
+pub use config::BioformerConfig;
+pub use descriptor::{LayerDesc, NetworkDescriptor};
+pub use temponet::TempoNet;

@@ -1,0 +1,141 @@
+//! GAP8 hardware constants and calibrated kernel-cost coefficients.
+
+/// Hardware description of the GAP8 in the paper's operating point
+/// (100 MHz @ 1 V, 8-core cluster active at 51 mW, fabric controller alone
+/// at 10 mW).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Gap8Spec {
+    /// Cluster core count.
+    pub cluster_cores: usize,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Power with the 8-core cluster busy (W).
+    pub cluster_power_w: f64,
+    /// Power with only the fabric controller awake (W).
+    pub fc_power_w: f64,
+    /// Shared L1 scratchpad size in bytes (64 kB).
+    pub l1_bytes: usize,
+    /// L2 memory size in bytes (512 kB).
+    pub l2_bytes: usize,
+}
+
+impl Default for Gap8Spec {
+    fn default() -> Self {
+        Gap8Spec {
+            cluster_cores: 8,
+            freq_hz: 100e6,
+            cluster_power_w: 0.051,
+            fc_power_w: 0.010,
+            l1_bytes: 64 * 1024,
+            l2_bytes: 512 * 1024,
+        }
+    }
+}
+
+impl Gap8Spec {
+    /// Seconds per cycle.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / self.freq_hz
+    }
+
+    /// A spec with a different clock (power is scaled linearly with
+    /// frequency — a first-order DVFS model at fixed voltage).
+    pub fn at_frequency(mut self, freq_hz: f64) -> Self {
+        let ratio = freq_hz / self.freq_hz;
+        self.freq_hz = freq_hz;
+        self.cluster_power_w *= ratio;
+        self
+    }
+
+    /// A spec with a different cluster core count (for the core-scaling
+    /// ablation bench).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cluster_cores = cores.max(1);
+        self
+    }
+}
+
+/// Calibrated per-kernel cost coefficients (cycles).
+///
+/// Calibration anchors (paper Table I, 100 MHz): Bio1 f∈{10,20,30} at
+/// 2.72/1.37/1.03 ms, Bio2 f∈{10,30} at 4.82/1.55 ms, TEMPONet at
+/// 21.82 ms. The defaults below land every row within ±15 % (pinned by the
+/// crate tests).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelCosts {
+    /// int8 MACs per SIMD instruction (4-way `SumDotp`).
+    pub simd_width: usize,
+    /// Fixed cycles per GEMM output element (loads, requant, store).
+    pub dot_overhead: f64,
+    /// Cycles per MAC for *scalar* (non-SIMD-lowerable) convolutions.
+    pub scalar_mac: f64,
+    /// Fixed cycles per scalar-conv output element.
+    pub scalar_overhead: f64,
+    /// Cycles per softmax element (i-exp + normalisation).
+    pub softmax_elem: f64,
+    /// Cycles per LayerNorm element.
+    pub ln_elem: f64,
+    /// Cycles per LayerNorm row (integer sqrt).
+    pub ln_row: f64,
+    /// Cycles per GELU element (i-erf polynomial).
+    pub gelu_elem: f64,
+    /// Cycles per ReLU element.
+    pub relu_elem: f64,
+    /// Cycles per residual-add / pooling element.
+    pub add_elem: f64,
+    /// L2→L1 DMA bandwidth in bytes per cycle.
+    pub dma_bytes_per_cycle: f64,
+    /// Cluster-offload / barrier cost per kernel launch.
+    pub kernel_setup: f64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        KernelCosts {
+            simd_width: 4,
+            dot_overhead: 10.0,
+            scalar_mac: 1.0,
+            scalar_overhead: 10.0,
+            softmax_elem: 25.0,
+            ln_elem: 12.0,
+            ln_row: 40.0,
+            gelu_elem: 12.0,
+            relu_elem: 2.0,
+            add_elem: 3.0,
+            dma_bytes_per_cycle: 4.0,
+            kernel_setup: 1200.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_operating_point() {
+        let s = Gap8Spec::default();
+        assert_eq!(s.cluster_cores, 8);
+        assert_eq!(s.freq_hz, 100e6);
+        assert!((s.cluster_power_w - 0.051).abs() < 1e-9);
+        assert_eq!(s.l1_bytes, 65_536);
+        assert_eq!(s.l2_bytes, 524_288);
+    }
+
+    #[test]
+    fn frequency_scaling_scales_power() {
+        let s = Gap8Spec::default().at_frequency(200e6);
+        assert_eq!(s.freq_hz, 200e6);
+        assert!((s.cluster_power_w - 0.102).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_time() {
+        assert!((Gap8Spec::default().cycle_time_s() - 1e-8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn core_override_floors_at_one() {
+        assert_eq!(Gap8Spec::default().with_cores(0).cluster_cores, 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! One-call deployment analysis: the paper's Table I row for a network.
+
+use crate::arch::{Gap8Spec, KernelCosts};
+use crate::latency::{network_latency, LatencyReport};
+use crate::memory::{audit, MemoryReport};
+use crate::power::{duty_cycled_power_w, inference_energy_j, paper_battery_life_hours};
+use bioformer_core::NetworkDescriptor;
+
+/// Everything Table I reports for one network (quantized accuracy comes
+/// from `bioformer-quant`, measured separately on the integer pipeline).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeploymentReport {
+    /// Network label.
+    pub network: String,
+    /// Weight memory in kB (Table I "Memory").
+    pub memory_kb: f64,
+    /// Millions of MACs per inference (Table I "MMAC").
+    pub mmac: f64,
+    /// Latency in ms (Table I "Lat.").
+    pub latency_ms: f64,
+    /// Energy per inference in mJ (Table I "E.").
+    pub energy_mj: f64,
+    /// Whether the network fits GAP8's memory hierarchy.
+    pub deployable: bool,
+    /// Average power (mW) when classifying every 15 ms (paper §IV-C).
+    pub duty_cycled_power_mw: f64,
+    /// Battery life in hours on the paper's 1000 mAh battery.
+    pub battery_hours: f64,
+    /// Detailed latency breakdown.
+    pub latency: LatencyReport,
+    /// Detailed memory audit.
+    pub memory: MemoryReport,
+}
+
+/// The paper's real-time classification period: a 150 ms window every
+/// 15 ms (dataset slide).
+pub const CLASSIFICATION_PERIOD_S: f64 = 15e-3;
+
+/// Analyzes a network's deployment on GAP8.
+pub fn analyze(net: &NetworkDescriptor, spec: &Gap8Spec, costs: &KernelCosts) -> DeploymentReport {
+    let latency = network_latency(net, spec, costs);
+    let memory = audit(net, spec);
+    let energy = inference_energy_j(latency.latency_s, spec);
+    let avg_power = duty_cycled_power_w(latency.latency_s, CLASSIFICATION_PERIOD_S, spec);
+    DeploymentReport {
+        network: net.name.clone(),
+        memory_kb: memory.memory_kb(),
+        mmac: net.macs() as f64 / 1e6,
+        latency_ms: latency.latency_ms(),
+        energy_mj: energy * 1e3,
+        deployable: memory.fits_l2 && memory.activations_fit_l1,
+        duty_cycled_power_mw: avg_power * 1e3,
+        battery_hours: paper_battery_life_hours(avg_power),
+        latency,
+        memory,
+    }
+}
+
+/// Analyzes with default spec and calibrated costs.
+pub fn analyze_default(net: &NetworkDescriptor) -> DeploymentReport {
+    analyze(net, &Gap8Spec::default(), &KernelCosts::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioformer_core::config::BioformerConfig;
+    use bioformer_core::descriptor::{bioformer_descriptor, temponet_descriptor};
+
+    #[test]
+    fn energy_reduction_factor_vs_temponet() {
+        // Abstract: "8.0× lower [energy] than the previous state-of-the-art".
+        let bio = analyze_default(&bioformer_descriptor(&BioformerConfig::bio1()));
+        let tempo = analyze_default(&temponet_descriptor());
+        let factor = tempo.energy_mj / bio.energy_mj;
+        assert!(
+            (6.0..11.0).contains(&factor),
+            "energy factor {factor} (paper: 8.0×)"
+        );
+    }
+
+    #[test]
+    fn battery_life_factor() {
+        // §IV-C: Bio1 f30 lasts ≈4.77× longer than TEMPONet on the same
+        // battery.
+        let bio = analyze_default(&bioformer_descriptor(
+            &BioformerConfig::bio1().with_filter(30),
+        ));
+        let tempo = analyze_default(&temponet_descriptor());
+        let factor = bio.battery_hours / tempo.battery_hours;
+        assert!(
+            (3.8..5.8).contains(&factor),
+            "battery factor {factor} (paper: 4.77×)"
+        );
+    }
+
+    #[test]
+    fn all_paper_networks_deployable() {
+        for net in [
+            bioformer_descriptor(&BioformerConfig::bio1()),
+            bioformer_descriptor(&BioformerConfig::bio2()),
+            temponet_descriptor(),
+        ] {
+            assert!(analyze_default(&net).deployable, "{} not deployable", net.name);
+        }
+    }
+
+    #[test]
+    fn report_consistency() {
+        let r = analyze_default(&bioformer_descriptor(&BioformerConfig::bio1()));
+        assert!((r.latency_ms - r.latency.latency_ms()).abs() < 1e-9);
+        assert!((r.memory_kb - r.memory.memory_kb()).abs() < 1e-9);
+        // E = P×t.
+        assert!((r.energy_mj - 0.051 * r.latency_ms).abs() < 1e-6);
+    }
+}

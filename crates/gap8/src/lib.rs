@@ -1,0 +1,36 @@
+//! Analytical GAP8 deployment model for the Bioformers reproduction.
+//!
+//! The paper deploys its int8 networks on the GreenWaves **GAP8** — a PULP
+//! MCU with one "fabric controller" RISC-V core plus an 8-core RISC-V
+//! cluster (64 kB shared L1 scratchpad, 512 kB L2), running here at
+//! 100 MHz / 1 V where the active cluster draws 51 mW and the idle SoC
+//! 10 mW (paper Table I and §IV-C).
+//!
+//! Real silicon being unavailable, this crate models the deployment
+//! analytically:
+//!
+//! * [`arch`] — hardware constants and calibrated kernel-cost coefficients.
+//! * [`latency`] — per-kernel cycle model: 4×int8 SIMD GEMM throughput with
+//!   per-output overheads, **head-limited parallelism** for attention
+//!   kernels (the MCU-Transformer library parallelises MHSA over heads,
+//!   which is why 2-head Bio2 is *slower* than 8-head Bio1 despite fewer
+//!   MACs), scalar-rate temporal convolutions (TEMPONet), and L2→L1 DMA.
+//! * [`memory`] — weight/activation placement audit against L1/L2.
+//! * [`power`] — energy per inference, duty-cycled average power and
+//!   battery life (the paper's 257 h vs 54 h comparison).
+//! * [`deploy`] — one-call Table-I row generation.
+//!
+//! The cost coefficients are calibrated against the six latency rows of
+//! the paper's Table I; the test-suite pins every row within ±15 %.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod deploy;
+pub mod latency;
+pub mod memory;
+pub mod power;
+
+pub use arch::Gap8Spec;
+pub use deploy::DeploymentReport;

@@ -1,0 +1,87 @@
+//! On-device memory placement audit.
+
+use crate::arch::Gap8Spec;
+use bioformer_core::NetworkDescriptor;
+
+/// Result of checking a network against GAP8's memory hierarchy.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemoryReport {
+    /// Network label.
+    pub network: String,
+    /// Total weight bytes (int8 weights + int32 biases/affine params).
+    pub weight_bytes: u64,
+    /// Peak single-activation size in bytes (int8 activations).
+    pub peak_activation_bytes: u64,
+    /// Working set that must co-reside in L1 for the largest kernel
+    /// (double-buffered input+output activations).
+    pub l1_working_set_bytes: u64,
+    /// Whether all weights fit in L2 alongside activations.
+    pub fits_l2: bool,
+    /// Whether the largest kernel's activations fit in L1 (weights are
+    /// streamed; if false the kernel needs activation tiling too).
+    pub activations_fit_l1: bool,
+}
+
+/// Audits a network against the memory hierarchy.
+pub fn audit(net: &NetworkDescriptor, spec: &Gap8Spec) -> MemoryReport {
+    let weight_bytes = net.memory_bytes();
+    let peak_activation_bytes = net.peak_activation_elems(); // int8: 1 B/elem
+    // Largest kernel needs its input and output in L1 simultaneously;
+    // conservatively bound input by the same peak.
+    let l1_working_set_bytes = 2 * peak_activation_bytes;
+    MemoryReport {
+        network: net.name.clone(),
+        weight_bytes,
+        peak_activation_bytes,
+        l1_working_set_bytes,
+        fits_l2: weight_bytes + 2 * peak_activation_bytes <= spec.l2_bytes as u64,
+        activations_fit_l1: l1_working_set_bytes <= spec.l1_bytes as u64,
+    }
+}
+
+impl MemoryReport {
+    /// Weight memory in kibibytes — the paper's "Memory" column.
+    pub fn memory_kb(&self) -> f64 {
+        self.weight_bytes as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioformer_core::config::BioformerConfig;
+    use bioformer_core::descriptor::{bioformer_descriptor, temponet_descriptor};
+
+    #[test]
+    fn bioformers_fit_gap8() {
+        for cfg in [BioformerConfig::bio1(), BioformerConfig::bio2()] {
+            let r = audit(&bioformer_descriptor(&cfg), &Gap8Spec::default());
+            assert!(r.fits_l2, "{}: weights must fit L2", r.network);
+            assert!(r.activations_fit_l1, "{}: activations must fit L1", r.network);
+        }
+    }
+
+    #[test]
+    fn temponet_fits_l2_but_is_big() {
+        let r = audit(&temponet_descriptor(), &Gap8Spec::default());
+        assert!(r.fits_l2, "TEMPONet deployed on GAP8 in the paper");
+        assert!(r.memory_kb() > 400.0, "TEMPONet ≈ 461 kB in the paper");
+    }
+
+    #[test]
+    fn bio1_f10_matches_table1_memory() {
+        let r = audit(
+            &bioformer_descriptor(&BioformerConfig::bio1()),
+            &Gap8Spec::default(),
+        );
+        assert!((r.memory_kb() - 94.2).abs() / 94.2 < 0.05, "{} kB", r.memory_kb());
+    }
+
+    #[test]
+    fn tiny_l2_fails_fit() {
+        let mut spec = Gap8Spec::default();
+        spec.l2_bytes = 10 * 1024;
+        let r = audit(&bioformer_descriptor(&BioformerConfig::bio1()), &spec);
+        assert!(!r.fits_l2);
+    }
+}

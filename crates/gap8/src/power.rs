@@ -1,0 +1,81 @@
+//! Energy, duty-cycled power and battery life.
+
+use crate::arch::Gap8Spec;
+
+/// Energy for one inference (cluster active for `latency_s`).
+pub fn inference_energy_j(latency_s: f64, spec: &Gap8Spec) -> f64 {
+    latency_s * spec.cluster_power_w
+}
+
+/// Average power when one inference of `latency_s` runs every `period_s`
+/// and the SoC otherwise idles on the fabric controller (the paper duty-
+/// cycles a 150 ms window classified every 15 ms, §IV-C).
+///
+/// If the inference cannot finish within the period, the cluster never
+/// idles and the average is the full cluster power.
+pub fn duty_cycled_power_w(latency_s: f64, period_s: f64, spec: &Gap8Spec) -> f64 {
+    if latency_s >= period_s {
+        spec.cluster_power_w
+    } else {
+        (latency_s * spec.cluster_power_w + (period_s - latency_s) * spec.fc_power_w) / period_s
+    }
+}
+
+/// Battery life in hours for a battery of `mah` mAh at `volts` nominal
+/// voltage under constant `power_w` draw.
+pub fn battery_life_hours(mah: f64, volts: f64, power_w: f64) -> f64 {
+    let energy_wh = mah / 1000.0 * volts;
+    energy_wh / power_w
+}
+
+/// The paper's battery scenario: 1000 mAh at the Li-Po nominal 3.3 V.
+pub fn paper_battery_life_hours(power_w: f64) -> f64 {
+    battery_life_hours(1000.0, 3.3, power_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_matches_paper_bio1_f10() {
+        // 2.72 ms × 51 mW = 0.139 mJ (Table I).
+        let e = inference_energy_j(2.72e-3, &Gap8Spec::default());
+        assert!((e - 0.139e-3).abs() / 0.139e-3 < 0.01, "{e}");
+    }
+
+    #[test]
+    fn duty_cycle_matches_paper_scenario() {
+        // §IV-C: 1.02 ms inference every 15 ms → 12.81 mW average.
+        let p = duty_cycled_power_w(1.02e-3, 15e-3, &Gap8Spec::default());
+        assert!((p - 12.81e-3).abs() / 12.81e-3 < 0.01, "{p}");
+    }
+
+    #[test]
+    fn battery_life_matches_paper() {
+        // ≈257 h for the duty-cycled Bioformer.
+        let p = duty_cycled_power_w(1.02e-3, 15e-3, &Gap8Spec::default());
+        let h = paper_battery_life_hours(p);
+        assert!((h - 257.0).abs() / 257.0 < 0.02, "{h} h");
+        // TEMPONet cannot meet the 15 ms period → full cluster power → ≈54 h.
+        let pt = duty_cycled_power_w(21.82e-3, 15e-3, &Gap8Spec::default());
+        let ht = paper_battery_life_hours(pt);
+        assert!((ht - 54.0).abs() / 54.0 < 0.25, "{ht} h (paper ≈54)");
+    }
+
+    #[test]
+    fn battery_life_inverse_in_power() {
+        let h1 = battery_life_hours(1000.0, 3.3, 0.010);
+        let h2 = battery_life_hours(1000.0, 3.3, 0.020);
+        assert!((h1 / h2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_saturates_at_cluster_power() {
+        let spec = Gap8Spec::default();
+        assert_eq!(
+            duty_cycled_power_w(20e-3, 15e-3, &spec),
+            spec.cluster_power_w
+        );
+    }
+}

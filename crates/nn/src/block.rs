@@ -1,0 +1,241 @@
+//! Pre-LN transformer encoder block.
+
+use crate::activation::Gelu;
+use crate::attention::MultiHeadSelfAttention;
+use crate::dropout::Dropout;
+use crate::layernorm::LayerNorm;
+use crate::linear::Linear;
+use crate::param::Param;
+use bioformer_tensor::Tensor;
+use rand::Rng;
+
+/// One transformer encoder block in the pre-LN arrangement used by ViT
+/// (which the Bioformer follows):
+///
+/// ```text
+/// x ─▶ LN₁ ─▶ MHSA ─▶ Dropout ─▶ (+x) ─▶ LN₂ ─▶ FC₁ ─▶ GELU ─▶ FC₂ ─▶ Dropout ─▶ (+)
+/// ```
+///
+/// The FFN hidden width is a free hyper-parameter (128 in the paper).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadSelfAttention,
+    drop_attn: Dropout,
+    ln2: LayerNorm,
+    fc1: Linear,
+    gelu: Gelu,
+    fc2: Linear,
+    drop_ffn: Dropout,
+    embed: usize,
+    #[serde(skip)]
+    fwd_shape: Option<(usize, usize)>,
+}
+
+impl TransformerBlock {
+    /// Creates a block with `heads` attention heads of width `head_dim` and
+    /// an FFN hidden width of `hidden`.
+    pub fn new(
+        name: &str,
+        embed: usize,
+        heads: usize,
+        head_dim: usize,
+        hidden: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let drop_seed = rng.gen::<u64>();
+        TransformerBlock {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), embed),
+            attn: MultiHeadSelfAttention::new(&format!("{name}.attn"), embed, heads, head_dim, rng),
+            drop_attn: Dropout::new(dropout, drop_seed),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), embed),
+            fc1: Linear::new(&format!("{name}.fc1"), embed, hidden, rng),
+            gelu: Gelu::new(),
+            fc2: Linear::new(&format!("{name}.fc2"), hidden, embed, rng),
+            drop_ffn: Dropout::new(dropout, drop_seed.wrapping_add(0x9E37)),
+            embed,
+            fwd_shape: None,
+        }
+    }
+
+    /// The attention sub-layer.
+    pub fn attention(&self) -> &MultiHeadSelfAttention {
+        &self.attn
+    }
+
+    /// FFN hidden width.
+    pub fn hidden(&self) -> usize {
+        self.fc1.out_features()
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.ln1.num_params()
+            + self.attn.num_params()
+            + self.ln2.num_params()
+            + self.fc1.num_params()
+            + self.fc2.num_params()
+    }
+
+    /// Forward pass over `[batch, seq, embed]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on embedding-width mismatch.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (batch, seq, embed) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        assert_eq!(embed, self.embed, "TransformerBlock: width mismatch");
+        let rows = batch * seq;
+        let x2 = x.reshape(&[rows, embed]);
+
+        // Attention branch.
+        let a = self.ln1.forward(&x2, train);
+        let a3 = a.reshape(&[batch, seq, embed]);
+        let at = self.attn.forward(&a3, train);
+        let at2 = at.reshape(&[rows, embed]);
+        let at2 = self.drop_attn.forward(&at2, train);
+        let r1 = x2.add(&at2);
+
+        // FFN branch.
+        let f = self.ln2.forward(&r1, train);
+        let f = self.fc1.forward(&f, train);
+        let f = self.gelu.forward(&f, train);
+        let f = self.fc2.forward(&f, train);
+        let f = self.drop_ffn.forward(&f, train);
+        let out = r1.add(&f);
+
+        if train {
+            self.fwd_shape = Some((batch, seq));
+        }
+        out.reshape(&[batch, seq, embed])
+    }
+
+    /// Backward pass; returns `dx` of shape `[batch, seq, embed]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (batch, seq) = self
+            .fwd_shape
+            .expect("TransformerBlock: backward before forward");
+        let rows = batch * seq;
+        let d = dy.reshape(&[rows, self.embed]);
+
+        // FFN branch (residual: gradient flows both through the branch and
+        // directly to r1).
+        let df = self.drop_ffn.backward(&d);
+        let df = self.fc2.backward(&df);
+        let df = self.gelu.backward(&df);
+        let df = self.fc1.backward(&df);
+        let df = self.ln2.backward(&df);
+        let mut dr1 = d.clone();
+        dr1.add_assign(&df);
+
+        // Attention branch.
+        let dat = self.drop_attn.backward(&dr1);
+        let dat3 = dat.reshape(&[batch, seq, self.embed]);
+        let da3 = self.attn.backward(&dat3);
+        let da2 = da3.reshape(&[rows, self.embed]);
+        let da2 = self.ln1.backward(&da2);
+        let mut dx = dr1;
+        dx.add_assign(&da2);
+        dx.reshape(&[batch, seq, self.embed])
+    }
+
+    /// Visits all parameters in deterministic order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_params(f);
+        self.attn.visit_params(f);
+        self.ln2.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+
+    /// Drops all forward caches.
+    pub fn clear_cache(&mut self) {
+        self.ln1.clear_cache();
+        self.attn.clear_cache();
+        self.drop_attn.clear_cache();
+        self.ln2.clear_cache();
+        self.fc1.clear_cache();
+        self.gelu.clear_cache();
+        self.fc2.clear_cache();
+        self.drop_ffn.clear_cache();
+        self.fwd_shape = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut blk = TransformerBlock::new("b", 16, 2, 8, 32, 0.0, &mut rng);
+        let x = filled(&[2, 5, 16], 1);
+        let y = blk.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 5, 16]);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn paper_block_param_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Bio1 block: C=64, H=8, P=32, hidden=128.
+        let blk = TransformerBlock::new("b", 64, 8, 32, 128, 0.0, &mut rng);
+        // ln: 2·128 = 256; attn: 66368; ffn: 64·128+128 + 128·64+64 = 16576
+        assert_eq!(blk.num_params(), 256 + 66_368 + 16_576);
+    }
+
+    #[test]
+    fn gradcheck_through_block() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut blk = TransformerBlock::new("b", 6, 2, 3, 10, 0.0, &mut rng);
+        let x = filled(&[2, 3, 6], 3);
+        let y = blk.forward(&x, true);
+        let dy = filled(y.dims(), 4);
+        let dx = blk.backward(&dy);
+
+        let eps = 1e-3;
+        for idx in (0..x.len()).step_by(3) {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp = blk.forward(&xp, false).mul(&dy).sum();
+            let fm = blk.forward(&xm, false).mul(&dy).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 3e-2,
+                "dx[{idx}] fd={num} got={}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn residual_identity_at_zero_weights() {
+        // If attention output proj and fc2 weights are zero, the block is an
+        // identity (residual connections only).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut blk = TransformerBlock::new("b", 8, 2, 4, 16, 0.0, &mut rng);
+        blk.visit_params(&mut |p| {
+            if p.name.contains("wo") || p.name.contains("fc2") {
+                p.value.data_mut().fill(0.0);
+            }
+        });
+        let x = filled(&[1, 4, 8], 6);
+        let y = blk.forward(&x, false);
+        assert!(y.allclose(&x, 1e-5));
+    }
+}

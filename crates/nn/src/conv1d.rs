@@ -1,0 +1,273 @@
+//! Batched 1-D convolution layer.
+
+use crate::init;
+use crate::param::Param;
+use bioformer_tensor::conv::{
+    conv1d_backward_input, conv1d_backward_params_cols, conv1d_forward_cols, im2col, Conv1dSpec,
+};
+use bioformer_tensor::Tensor;
+use rand::Rng;
+
+/// A batched 1-D convolution over `[batch, in_channels, length]` tensors.
+///
+/// The Bioformer front-end uses this with `stride == kernel` (non-overlapping
+/// patch embedding, paper §III-A); TEMPONet uses dilated variants.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Conv1d {
+    weight: Param,
+    bias: Param,
+    spec: Conv1dSpec,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    /// Per-sample im2col matrices cached during a training forward pass
+    /// (reused for both weight and input gradients) plus the input length.
+    #[serde(skip)]
+    cached_cols: Option<(Vec<Tensor>, usize)>,
+}
+
+impl Conv1d {
+    /// Creates a Kaiming-initialised convolution.
+    pub fn new(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv1dSpec,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel;
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::kaiming_uniform(rng, &[out_channels, in_channels, kernel], fan_in),
+        );
+        let bias = Param::new(format!("{name}.bias"), Tensor::zeros(&[out_channels]));
+        Conv1d {
+            weight,
+            bias,
+            spec,
+            in_channels,
+            out_channels,
+            kernel,
+            cached_cols: None,
+        }
+    }
+
+    /// The convolution hyper-parameters.
+    pub fn spec(&self) -> Conv1dSpec {
+        self.spec
+    }
+
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Immutable access to the weight parameter (`[out, in, kernel]`).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Immutable access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Output length for an input of `len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is shorter than the dilated kernel extent.
+    pub fn out_len(&self, len: usize) -> usize {
+        self.spec
+            .out_len(len, self.kernel)
+            .unwrap_or_else(|| panic!("Conv1d: input length {len} too short"))
+    }
+
+    /// Forward pass over `[batch, in_channels, length]`, returning
+    /// `[batch, out_channels, out_length]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 3, "Conv1d: input must be [B, C, L]");
+        let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        assert_eq!(c, self.in_channels, "Conv1d: channel mismatch");
+        let out_len = self.out_len(len);
+        let mut y = Tensor::zeros(&[b, self.out_channels, out_len]);
+        let sample = c * len;
+        let out_sample = self.out_channels * out_len;
+        let mut cols_cache = Vec::with_capacity(if train { b } else { 0 });
+        for i in 0..b {
+            let xi = Tensor::from_vec(x.data()[i * sample..(i + 1) * sample].to_vec(), &[c, len]);
+            let cols = im2col(&xi, self.kernel, self.spec);
+            let yi = conv1d_forward_cols(&cols, &self.weight.value, &self.bias.value);
+            y.data_mut()[i * out_sample..(i + 1) * out_sample].copy_from_slice(yi.data());
+            if train {
+                cols_cache.push(cols);
+            }
+        }
+        if train {
+            self.cached_cols = Some((cols_cache, len));
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients, returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (cols_cache, len) = self
+            .cached_cols
+            .as_ref()
+            .unwrap_or_else(|| panic!("Conv1d {}: backward before forward", self.weight.name));
+        let len = *len;
+        let b = cols_cache.len();
+        let c = self.in_channels;
+        let (out_c, out_len) = (dy.dims()[1], dy.dims()[2]);
+        assert_eq!(dy.dims()[0], b, "Conv1d backward: batch mismatch");
+        assert_eq!(out_c, self.out_channels, "Conv1d backward: channel mismatch");
+        let mut dx = Tensor::zeros(&[b, c, len]);
+        let sample = c * len;
+        let out_sample = out_c * out_len;
+        for (i, cols) in cols_cache.iter().enumerate() {
+            let dyi = Tensor::from_vec(
+                dy.data()[i * out_sample..(i + 1) * out_sample].to_vec(),
+                &[out_c, out_len],
+            );
+            let dxi = conv1d_backward_input(&dyi, &self.weight.value, self.spec, len);
+            let (dw, db) = conv1d_backward_params_cols(&dyi, cols, c, self.kernel);
+            self.weight.accumulate(&dw);
+            self.bias.accumulate(&db);
+            dx.data_mut()[i * sample..(i + 1) * sample].copy_from_slice(dxi.data());
+        }
+        dx
+    }
+
+    /// Visits the layer's parameters in deterministic order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    /// Drops the forward cache.
+    pub fn clear_cache(&mut self) {
+        self.cached_cols = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn forward_patch_embedding_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Paper config: 14 channels, 300 samples, filter 10 → 30 tokens of 64.
+        let mut conv = Conv1d::new("patch", 14, 64, 10, Conv1dSpec::patch(10), &mut rng);
+        let x = filled(&[2, 14, 300], 1);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 64, 30]);
+    }
+
+    #[test]
+    fn batch_samples_independent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv1d::new("c", 2, 3, 2, Conv1dSpec::patch(2), &mut rng);
+        let a = filled(&[1, 2, 6], 3);
+        let b = filled(&[1, 2, 6], 4);
+        let mut both = Tensor::zeros(&[2, 2, 6]);
+        both.data_mut()[..12].copy_from_slice(a.data());
+        both.data_mut()[12..].copy_from_slice(b.data());
+        let ya = conv.forward(&a, false);
+        let yb = conv.forward(&b, false);
+        let yboth = conv.forward(&both, false);
+        assert_eq!(&yboth.data()[..ya.len()], ya.data());
+        assert_eq!(&yboth.data()[ya.len()..], yb.data());
+    }
+
+    #[test]
+    fn gradcheck_batched() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv1d::new(
+            "c",
+            2,
+            3,
+            3,
+            Conv1dSpec {
+                stride: 2,
+                padding: 1,
+                dilation: 1,
+            },
+            &mut rng,
+        );
+        let x = filled(&[2, 2, 8], 6);
+        let y = conv.forward(&x, true);
+        let dy = filled(y.dims(), 7);
+        let dx = conv.backward(&dy);
+        let dw = conv.weight.grad.clone();
+
+        let objective =
+            |conv: &mut Conv1d, x: &Tensor| -> f32 { conv.forward(x, false).mul(&dy).sum() };
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (objective(&mut conv, &xp) - objective(&mut conv, &xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 1e-2,
+                "dx[{idx}] fd={num} got={}",
+                dx.data()[idx]
+            );
+        }
+        for idx in 0..dw.len() {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let fp = objective(&mut conv, &x);
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let fm = objective(&mut conv, &x);
+            conv.weight.value.data_mut()[idx] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dw.data()[idx]).abs() < 1e-2,
+                "dW[{idx}] fd={num} got={}",
+                dw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_matches_paper_patch_layer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // filter=10: 14·10·64 + 64 = 9024 params (paper's front-end)
+        let conv = Conv1d::new("patch", 14, 64, 10, Conv1dSpec::patch(10), &mut rng);
+        assert_eq!(conv.num_params(), 9024);
+    }
+}

@@ -1,0 +1,122 @@
+//! Inverted dropout with a deterministic per-layer RNG stream.
+
+use bioformer_tensor::Tensor;
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `p` and the survivors are scaled by `1/(1−p)`; inference is the identity.
+///
+/// The mask RNG is an internal `xorshift64*` stream seeded at construction,
+/// so training runs are bit-reproducible regardless of the platform RNG.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Dropout {
+    p: f32,
+    state: u64,
+    #[serde(skip)]
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        Dropout {
+            p,
+            state: seed | 1,
+            cached_mask: None,
+        }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        ((self.state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32) / (1u64 << 24) as f32
+    }
+
+    /// Forward pass. In inference mode (`train == false`) or with `p == 0`
+    /// this is the identity.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.cached_mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(x.dims());
+        for m in mask.data_mut() {
+            *m = if self.next_f32() < keep { scale } else { 0.0 };
+        }
+        let y = x.mul(&mask);
+        self.cached_mask = Some(mask);
+        y
+    }
+
+    /// Backward pass; applies the cached mask (identity if the forward pass
+    /// ran in inference mode).
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            Some(mask) => dy.mul(mask),
+            None => dy.clone(),
+        }
+    }
+
+    /// Drops the cached mask.
+    pub fn clear_cache(&mut self) {
+        self.cached_mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(&[4, 4]);
+        assert!(d.forward(&x, false).allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn zero_p_is_identity_in_training() {
+        let mut d = Dropout::new(0.0, 1);
+        let x = Tensor::ones(&[4, 4]);
+        assert!(d.forward(&x, true).allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn keeps_expectation() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, true);
+        // E[y] = 1; empirical mean should be close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[8, 8]);
+        let y = d.forward(&x, true);
+        let dx = d.backward(&Tensor::ones(&[8, 8]));
+        // Gradient flows exactly where activations survived.
+        for i in 0..64 {
+            assert_eq!(y.data()[i] == 0.0, dx.data()[i] == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn rejects_bad_probability() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Weight initialisation schemes.
+//!
+//! All initialisers draw from a caller-provided [`rand::Rng`] so that every
+//! model build in this repository is reproducible from a single seed.
+
+use bioformer_tensor::Tensor;
+use rand::Rng;
+
+/// Uniform Xavier/Glorot initialisation over `±√(6/(fan_in+fan_out))` —
+/// the default for attention projections and classifier heads.
+pub fn xavier_uniform(rng: &mut impl Rng, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.gen_range(-bound..bound))
+}
+
+/// Kaiming/He uniform initialisation over `±√(6/fan_in)` — used ahead of
+/// ReLU non-linearities (TEMPONet's convolutional trunk).
+pub fn kaiming_uniform(rng: &mut impl Rng, dims: &[usize], fan_in: usize) -> Tensor {
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.gen_range(-bound..bound))
+}
+
+/// Zero-mean Gaussian with the given standard deviation — used for the class
+/// token (ViT initialises it from `N(0, 0.02)`).
+pub fn normal(rng: &mut impl Rng, dims: &[usize], std: f32) -> Tensor {
+    // Box-Muller transform; two uniforms per normal sample.
+    Tensor::from_fn(dims, |_| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(&mut rng, &[64, 64], 64, 64);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        // Not degenerate
+        assert!(t.abs_max() > bound * 0.5);
+    }
+
+    #[test]
+    fn kaiming_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_uniform(&mut rng, &[32, 16], 16);
+        let bound = (6.0f32 / 16.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn normal_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&mut rng, &[10_000], 0.02);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(7), &[8, 8], 8, 8);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(7), &[8, 8], 8, 8);
+        assert!(a.allclose(&b, 0.0));
+    }
+}

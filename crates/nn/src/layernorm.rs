@@ -1,0 +1,167 @@
+//! LayerNorm layer with trainable affine parameters.
+
+use crate::param::Param;
+use bioformer_tensor::ops::{layernorm_backward, layernorm_forward, LayerNormCache};
+use bioformer_tensor::Tensor;
+
+/// Row-wise layer normalisation `y = γ ⊙ x̂ + β` over `[rows, features]`.
+///
+/// `γ` initialises to ones and `β` to zeros. Inputs of shape
+/// `[batch, seq, features]` are flattened to rows by the caller.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    features: usize,
+    #[serde(skip)]
+    cache: Option<LayerNormCache>,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over `features`-wide rows.
+    pub fn new(name: &str, features: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[features])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[features])),
+            features,
+            cache: None,
+        }
+    }
+
+    /// Feature width.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Immutable access to `γ`.
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// Immutable access to `β`.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        2 * self.features
+    }
+
+    /// Forward pass over `[rows, features]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from `features`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.features,
+            "LayerNorm {}: width mismatch",
+            self.gamma.name
+        );
+        let (y, cache) = layernorm_forward(x, &self.gamma.value, &self.beta.value);
+        if train {
+            self.cache = Some(cache);
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ`, returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .unwrap_or_else(|| panic!("LayerNorm {}: backward before forward", self.gamma.name));
+        let (dx, dgamma, dbeta) = layernorm_backward(dy, &self.gamma.value, cache);
+        self.gamma.accumulate(&dgamma);
+        self.beta.accumulate(&dbeta);
+        dx
+    }
+
+    /// Visits the layer's parameters in deterministic order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    /// Drops the forward cache.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn identity_initialisation_normalises() {
+        let mut ln = LayerNorm::new("ln", 8);
+        let x = filled(&[4, 8], 0).scale(10.0);
+        let y = ln.forward(&x, false);
+        for r in 0..4 {
+            let m: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            assert!(m.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradcheck_through_layer() {
+        let mut ln = LayerNorm::new("ln", 6);
+        // Perturb affine params away from identity for a stronger check.
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in ln.gamma.value.data_mut() {
+            *v = rng.gen_range(0.5..1.5);
+        }
+        for v in ln.beta.value.data_mut() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+
+        let x = filled(&[3, 6], 2);
+        let _y = ln.forward(&x, true);
+        let dy = filled(&[3, 6], 3);
+        let dx = ln.backward(&dy);
+        let dg = ln.gamma.grad.clone();
+
+        let objective = |ln: &mut LayerNorm, x: &Tensor| -> f32 { ln.forward(x, false).mul(&dy).sum() };
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (objective(&mut ln, &xp) - objective(&mut ln, &xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 2e-2,
+                "dx[{idx}] fd={num} got={}",
+                dx.data()[idx]
+            );
+        }
+        for idx in 0..dg.len() {
+            let orig = ln.gamma.value.data()[idx];
+            ln.gamma.value.data_mut()[idx] = orig + eps;
+            let fp = objective(&mut ln, &x);
+            ln.gamma.value.data_mut()[idx] = orig - eps;
+            let fm = objective(&mut ln, &x);
+            ln.gamma.value.data_mut()[idx] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dg.data()[idx]).abs() < 1e-2,
+                "dγ[{idx}] fd={num} got={}",
+                dg.data()[idx]
+            );
+        }
+    }
+}

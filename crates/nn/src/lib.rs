@@ -1,0 +1,59 @@
+//! Neural-network layers, optimizers and a training loop for the Bioformers
+//! reproduction.
+//!
+//! Every layer owns its parameters ([`Param`]) and forward caches, and
+//! implements an explicit backward pass (manual backprop — no tape). The
+//! correctness of each backward pass is pinned by finite-difference gradient
+//! checks in the test-suites.
+//!
+//! # Layer inventory
+//!
+//! * [`Linear`] — affine map with PyTorch `[out, in]` weight layout.
+//! * [`Conv1d`] — batched 1-D convolution (stride/dilation/padding).
+//! * [`LayerNorm`] — row-wise layer normalisation.
+//! * [`Gelu`], [`Relu`], [`Dropout`] — activations and regularisation.
+//! * [`MultiHeadSelfAttention`] — the paper's MHSA block (`H` heads of
+//!   dimension `P`, `H·P` may differ from the embedding width).
+//! * [`TransformerBlock`] — pre-LN block: `x + MHSA(LN(x))`,
+//!   `x + FFN(LN(x))` with a GELU MLP.
+//!
+//! # Training
+//!
+//! [`optim::Adam`] / [`optim::Sgd`] update any [`Model`] through its
+//! parameter visitor; [`trainer::Trainer`] runs mini-batch epochs with
+//! deterministic shuffling and data-parallel gradient computation across
+//! batch shards.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod attention;
+pub mod block;
+pub mod conv1d;
+pub mod dropout;
+pub mod init;
+pub mod layernorm;
+pub mod linear;
+pub mod loss;
+pub mod model;
+pub mod norm;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod schedule;
+pub mod serialize;
+pub mod trainer;
+
+pub use activation::{Gelu, Relu};
+pub use attention::MultiHeadSelfAttention;
+pub use block::TransformerBlock;
+pub use conv1d::Conv1d;
+pub use dropout::Dropout;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use loss::cross_entropy;
+pub use model::Model;
+pub use norm::GroupNorm1d;
+pub use param::Param;
+pub use pool::AvgPool1d;

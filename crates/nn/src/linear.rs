@@ -1,0 +1,244 @@
+//! Fully-connected (affine) layer.
+
+use crate::init;
+use crate::param::Param;
+use bioformer_tensor::Tensor;
+use rand::Rng;
+
+/// An affine layer `y = x · Wᵀ + b` with weight layout `[out, in]`
+/// (PyTorch convention, so int8 export in `bioformer-quant` maps 1:1).
+///
+/// Inputs are 2-D `[rows, in_features]`; the layer is shape-agnostic in the
+/// row count, so callers flatten `[batch, seq, features]` to
+/// `[batch·seq, features]` before applying it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialised linear layer.
+    pub fn new(name: &str, in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::xavier_uniform(rng, &[out_features, in_features], in_features, out_features),
+        );
+        let bias = Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features]));
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Immutable access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass. When `train` is set, the input is cached for
+    /// [`Linear::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[rows, in_features]`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.in_features,
+            "Linear {}: input width {} != {}",
+            self.weight.name,
+            x.dims()[1],
+            self.in_features
+        );
+        let mut y = x.matmul_nt(&self.weight.value);
+        let rows = y.dims()[0];
+        let cols = self.out_features;
+        for r in 0..rows {
+            let row = &mut y.data_mut()[r * cols..(r + 1) * cols];
+            for (v, b) in row.iter_mut().zip(self.bias.value.data().iter()) {
+                *v += b;
+            }
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .unwrap_or_else(|| panic!("Linear {}: backward before forward", self.weight.name));
+        // dW[out,in] = dyᵀ[out,rows]·x[rows,in]
+        let dw = dy.matmul_tn(x);
+        self.weight.accumulate(&dw);
+        // db = column sums of dy
+        let (rows, cols) = (dy.dims()[0], dy.dims()[1]);
+        let mut db = Tensor::zeros(&[cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                db.data_mut()[c] += dy.data()[r * cols + c];
+            }
+        }
+        self.bias.accumulate(&db);
+        // dx = dy · W
+        dy.matmul(&self.weight.value)
+    }
+
+    /// Visits the layer's parameters in deterministic order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    /// Drops the forward cache (used when cloning models for inference).
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new("l", 4, 3, &mut rng);
+        let x = Tensor::zeros(&[5, 4]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.dims(), &[5, 3]);
+        // zero input → output equals bias (zero-initialised here)
+        assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new("l", 6, 4, &mut rng);
+        let x = filled(&[3, 6], 2);
+        let dy = filled(&[3, 4], 3);
+
+        let _ = l.forward(&x, true);
+        let dx = l.backward(&dy);
+
+        let objective = |l: &mut Linear, x: &Tensor| -> f32 { l.forward(x, false).mul(&dy).sum() };
+
+        let eps = 1e-3;
+        // dx check
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (objective(&mut l, &xp) - objective(&mut l, &xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 1e-2,
+                "dx[{idx}] fd={num} got={}",
+                dx.data()[idx]
+            );
+        }
+        // dW check
+        let dw = l.weight.grad.clone();
+        for idx in 0..dw.len() {
+            let orig = l.weight.value.data()[idx];
+            l.weight.value.data_mut()[idx] = orig + eps;
+            let fp = objective(&mut l, &x);
+            l.weight.value.data_mut()[idx] = orig - eps;
+            let fm = objective(&mut l, &x);
+            l.weight.value.data_mut()[idx] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dw.data()[idx]).abs() < 1e-2,
+                "dW[{idx}] fd={num} got={}",
+                dw.data()[idx]
+            );
+        }
+        // db check
+        let db = l.bias.grad.clone();
+        for idx in 0..db.len() {
+            let orig = l.bias.value.data()[idx];
+            l.bias.value.data_mut()[idx] = orig + eps;
+            let fp = objective(&mut l, &x);
+            l.bias.value.data_mut()[idx] = orig - eps;
+            let fm = objective(&mut l, &x);
+            l.bias.value.data_mut()[idx] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - db.data()[idx]).abs() < 1e-2,
+                "db[{idx}] fd={num} got={}",
+                db.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_across_batches() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new("l", 2, 2, &mut rng);
+        let x = filled(&[2, 2], 5);
+        let dy = filled(&[2, 2], 6);
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&dy);
+        let g1 = l.weight.grad.clone();
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&dy);
+        assert!(l.weight.grad.allclose(&g1.scale(2.0), 1e-5));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = Linear::new("l", 64, 256, &mut rng);
+        assert_eq!(l.num_params(), 64 * 256 + 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut l = Linear::new("l", 2, 2, &mut rng);
+        l.backward(&Tensor::zeros(&[1, 2]));
+    }
+}

@@ -1,0 +1,197 @@
+//! Classification losses and metrics.
+
+use bioformer_tensor::ops::log_softmax_rows;
+use bioformer_tensor::Tensor;
+
+/// Mean cross-entropy between `logits` (`[batch, classes]`) and integer
+/// `labels`, returning the loss value and its gradient w.r.t. the logits.
+///
+/// The gradient is the familiar `(softmax − one_hot)/batch`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), batch, "cross_entropy: label count mismatch");
+    let logp = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut dlogits = Tensor::zeros(&[batch, classes]);
+    let inv_b = 1.0 / batch as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(
+            label < classes,
+            "cross_entropy: label {label} out of range for {classes} classes"
+        );
+        loss -= logp.data()[r * classes + label];
+        for c in 0..classes {
+            let p = logp.data()[r * classes + c].exp();
+            let onehot = if c == label { 1.0 } else { 0.0 };
+            dlogits.data_mut()[r * classes + c] = (p - onehot) * inv_b;
+        }
+    }
+    (loss * inv_b, dlogits)
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(labels.len(), preds.len(), "accuracy: label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// A `classes × classes` confusion matrix; `matrix[true][pred]` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u32>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(true, predicted)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.classes && pred < self.classes);
+        self.counts[truth * self.classes + pred] += 1;
+    }
+
+    /// Records a batch of predictions.
+    pub fn record_batch(&mut self, logits: &Tensor, labels: &[usize]) {
+        for (p, &t) in logits.argmax_rows().iter().zip(labels.iter()) {
+            self.record(t, *p);
+        }
+    }
+
+    /// Count at `(true, predicted)`.
+    pub fn count(&self, truth: usize, pred: usize) -> u32 {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Overall accuracy (0.0 when empty).
+    pub fn accuracy(&self) -> f32 {
+        let total: u32 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u32 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Per-class recall (diagonal / row sum), `None` for unseen classes.
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row: u32 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / row as f32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_k() {
+        let logits = Tensor::zeros(&[4, 8]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_fd() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.5, -0.2], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, d) = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (cross_entropy(&lp, &labels).0 - cross_entropy(&lm, &labels).0) / (2.0 * eps);
+            assert!(
+                (num - d.data()[idx]).abs() < 1e-3,
+                "d[{idx}] fd={num} got={}",
+                d.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.5, 1.5, -0.5, 0.0, 2.0, 1.0], &[2, 3]);
+        let (_, d) = cross_entropy(&logits, &[1, 2]);
+        for r in 0..2 {
+            let s: f32 = d.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confusion_matrix_bookkeeping() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((cm.recall(0).unwrap() - 0.5).abs() < 1e-6);
+        assert_eq!(cm.recall(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn label_count_mismatch_panics() {
+        cross_entropy(&Tensor::zeros(&[2, 2]), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,65 @@
+//! The [`Model`] abstraction shared by trainers, optimizers and protocols.
+
+use crate::param::Param;
+use bioformer_tensor::Tensor;
+
+/// A trainable classifier over sEMG windows.
+///
+/// Models map a batch of windows `[batch, channels, samples]` to logits
+/// `[batch, classes]`, own their parameters, and implement explicit
+/// backward passes. `Clone + Send` enables the trainer's data-parallel
+/// gradient computation (each shard runs on a deep copy; gradients are
+/// summed back into the primary instance).
+pub trait Model: Send + Clone {
+    /// Forward pass: `[batch, channels, samples] → [batch, classes]`.
+    /// With `train == true` the model caches activations for
+    /// [`Model::backward`].
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass from the loss gradient w.r.t. the logits; accumulates
+    /// parameter gradients.
+    fn backward(&mut self, dlogits: &Tensor);
+
+    /// Visits every parameter exactly once, in an order that is stable
+    /// across clones of the same architecture (the optimizer and the
+    /// gradient-merge step rely on this).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Drops forward caches (reduces clone cost; optional).
+    fn clear_cache(&mut self) {}
+
+    /// Number of trainable scalars.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zeroes all accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Extracts a snapshot of all gradients, in visit order.
+    fn grads(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.grad.clone()));
+        out
+    }
+
+    /// Accumulates externally computed gradients (in visit order) into this
+    /// model's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not match the parameter count or shapes.
+    fn accumulate_grads(&mut self, grads: &[Tensor]) {
+        let mut i = 0;
+        self.visit_params(&mut |p| {
+            assert!(i < grads.len(), "gradient list too short");
+            p.accumulate(&grads[i]);
+            i += 1;
+        });
+        assert_eq!(i, grads.len(), "gradient list too long");
+    }
+}

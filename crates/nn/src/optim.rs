@@ -1,0 +1,267 @@
+//! First-order optimizers.
+//!
+//! Both optimizers treat a [`Model`] as an ordered parameter list (via
+//! [`Model::visit_params`]) and keep per-parameter state vectors indexed by
+//! that order, so the same optimizer instance must always be used with the
+//! same model architecture.
+
+use crate::model::Model;
+use bioformer_tensor::Tensor;
+
+/// Adam optimizer (Kingma & Ba), optionally with decoupled weight decay.
+///
+/// The paper uses Adam for both the inter-subject pre-training and the
+/// subject-specific fine-tuning (§III-B), with the learning rate driven by a
+/// [`crate::schedule::LrSchedule`] and passed per step.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam::new(0.9, 0.999, 1e-8, 0.0)
+    }
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given moment coefficients,
+    /// epsilon and decoupled weight decay.
+    pub fn new(beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        Adam {
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update with learning rate `lr` using the gradients
+    /// accumulated in the model, then leaves gradients untouched (callers
+    /// zero them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameter shapes change between steps.
+    pub fn step<M: Model>(&mut self, model: &mut M, lr: f32) {
+        self.t += 1;
+        let t = self.t as i32;
+        let bias1 = 1.0 - self.beta1.powi(t);
+        let bias2 = 1.0 - self.beta2.powi(t);
+        let (beta1, beta2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (m_state, v_state) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if m_state.len() == idx {
+                m_state.push(Tensor::zeros(p.value.dims()));
+                v_state.push(Tensor::zeros(p.value.dims()));
+            }
+            let m = &mut m_state[idx];
+            let v = &mut v_state[idx];
+            assert_eq!(
+                m.dims(),
+                p.value.dims(),
+                "Adam: parameter {} changed shape",
+                p.name
+            );
+            let g = p.grad.data();
+            let mv = m.data_mut();
+            let vv = v.data_mut();
+            let pv = p.value.data_mut();
+            for i in 0..g.len() {
+                mv[i] = beta1 * mv[i] + (1.0 - beta1) * g[i];
+                vv[i] = beta2 * vv[i] + (1.0 - beta2) * g[i] * g[i];
+                let mhat = mv[i] / bias1;
+                let vhat = vv[i] / bias2;
+                pv[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * pv[i]);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Plain SGD with optional momentum — kept as a simple baseline optimizer
+/// and for the ablation benches.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Sgd::new(0.0)
+    }
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given momentum coefficient.
+    pub fn new(momentum: f32) -> Self {
+        Sgd {
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameter shapes change between steps.
+    pub fn step<M: Model>(&mut self, model: &mut M, lr: f32) {
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if velocity.len() == idx {
+                velocity.push(Tensor::zeros(p.value.dims()));
+            }
+            let vel = &mut velocity[idx];
+            assert_eq!(
+                vel.dims(),
+                p.value.dims(),
+                "Sgd: parameter {} changed shape",
+                p.name
+            );
+            let g = p.grad.data();
+            let vv = vel.data_mut();
+            let pv = p.value.data_mut();
+            for i in 0..g.len() {
+                vv[i] = momentum * vv[i] + g[i];
+                pv[i] -= lr * vv[i];
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::loss::cross_entropy;
+    use crate::param::Param;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Minimal model: a single linear layer classifier over flattened input.
+    #[derive(Clone)]
+    struct Toy {
+        lin: Linear,
+    }
+
+    impl Model for Toy {
+        fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+            let b = x.dims()[0];
+            let features: usize = x.len() / b;
+            self.lin.forward(&x.reshape(&[b, features]), train)
+        }
+        fn backward(&mut self, d: &Tensor) {
+            let _ = self.lin.backward(d);
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            self.lin.visit_params(f);
+        }
+    }
+
+    fn toy_problem() -> (Toy, Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Toy {
+            lin: Linear::new("toy", 4, 3, &mut rng),
+        };
+        // Linearly separable 3-class data.
+        let n = 60;
+        let mut x = Tensor::zeros(&[n, 1, 4]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 3;
+            labels.push(class);
+            for j in 0..4 {
+                let base = if j == class { 2.0 } else { 0.0 };
+                x.data_mut()[i * 4 + j] = base + rng.gen_range(-0.3..0.3);
+            }
+        }
+        (model, x, labels)
+    }
+
+    fn train_loss<O: FnMut(&mut Toy)>(mut step: O, model: &mut Toy, x: &Tensor, labels: &[usize]) -> f32 {
+        let mut last = f32::INFINITY;
+        for _ in 0..60 {
+            let logits = model.forward(x, true);
+            let (loss, d) = cross_entropy(&logits, labels);
+            model.zero_grad();
+            model.backward(&d);
+            step(model);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let (mut model, x, labels) = toy_problem();
+        let initial = {
+            let logits = model.forward(&x, false);
+            cross_entropy(&logits, &labels).0
+        };
+        let mut adam = Adam::default();
+        let final_loss = train_loss(|m| adam.step(m, 0.05), &mut model, &x, &labels);
+        assert!(
+            final_loss < initial * 0.2,
+            "loss {initial} → {final_loss} did not drop enough"
+        );
+    }
+
+    #[test]
+    fn sgd_with_momentum_reduces_loss() {
+        let (mut model, x, labels) = toy_problem();
+        let initial = {
+            let logits = model.forward(&x, false);
+            cross_entropy(&logits, &labels).0
+        };
+        let mut sgd = Sgd::new(0.9);
+        let final_loss = train_loss(|m| sgd.step(m, 0.05), &mut model, &x, &labels);
+        assert!(final_loss < initial * 0.5, "loss {initial} → {final_loss}");
+    }
+
+    #[test]
+    fn adam_weight_decay_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = Toy {
+            lin: Linear::new("toy", 4, 3, &mut rng),
+        };
+        let norm_before: f32 = model.lin.weight().value.norm_sq();
+        let mut adam = Adam::new(0.9, 0.999, 1e-8, 0.1);
+        // Zero gradients: only weight decay acts.
+        model.zero_grad();
+        for _ in 0..20 {
+            adam.step(&mut model, 0.01);
+        }
+        let norm_after: f32 = model.lin.weight().value.norm_sq();
+        assert!(norm_after < norm_before, "{norm_before} → {norm_after}");
+    }
+
+    #[test]
+    fn step_counter_increments() {
+        let (mut model, _, _) = toy_problem();
+        let mut adam = Adam::default();
+        model.zero_grad();
+        adam.step(&mut model, 0.1);
+        adam.step(&mut model, 0.1);
+        assert_eq!(adam.steps(), 2);
+    }
+}

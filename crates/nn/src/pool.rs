@@ -1,0 +1,129 @@
+//! Average-pooling layer over the time axis.
+
+use bioformer_tensor::conv::{avg_pool1d, avg_pool1d_backward};
+use bioformer_tensor::Tensor;
+
+/// Batched 1-D average pooling over `[batch, channels, len]`, used by the
+/// TEMPONet baseline ahead of its classifier.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AvgPool1d {
+    kernel: usize,
+    stride: usize,
+    #[serde(skip)]
+    cached_len: Option<usize>,
+}
+
+impl AvgPool1d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "AvgPool1d: kernel/stride must be positive");
+        AvgPool1d {
+            kernel,
+            stride,
+            cached_len: None,
+        }
+    }
+
+    /// Pooling window width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Output length for an input of `len` samples.
+    pub fn out_len(&self, len: usize) -> usize {
+        (len - self.kernel) / self.stride + 1
+    }
+
+    /// Forward over `[batch, channels, len]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is shorter than the kernel.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let out_len = self.out_len(len);
+        let mut y = Tensor::zeros(&[b, c, out_len]);
+        let sample = c * len;
+        let out_sample = c * out_len;
+        for i in 0..b {
+            let xi = Tensor::from_vec(x.data()[i * sample..(i + 1) * sample].to_vec(), &[c, len]);
+            let yi = avg_pool1d(&xi, self.kernel, self.stride);
+            y.data_mut()[i * out_sample..(i + 1) * out_sample].copy_from_slice(yi.data());
+        }
+        if train {
+            self.cached_len = Some(len);
+        }
+        y
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let len = self.cached_len.expect("AvgPool1d: backward before forward");
+        let (b, c, out_len) = (dy.dims()[0], dy.dims()[1], dy.dims()[2]);
+        let mut dx = Tensor::zeros(&[b, c, len]);
+        let sample = c * len;
+        let out_sample = c * out_len;
+        for i in 0..b {
+            let dyi = Tensor::from_vec(
+                dy.data()[i * out_sample..(i + 1) * out_sample].to_vec(),
+                &[c, out_len],
+            );
+            let dxi = avg_pool1d_backward(&dyi, self.kernel, self.stride, len);
+            dx.data_mut()[i * sample..(i + 1) * sample].copy_from_slice(dxi.data());
+        }
+        dx
+    }
+
+    /// Drops the forward cache.
+    pub fn clear_cache(&mut self) {
+        self.cached_len = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_averages() {
+        let mut p = AvgPool1d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 4.0, 6.0, 8.0], &[1, 2, 4]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[2.0, 6.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn gradcheck() {
+        let mut p = AvgPool1d::new(2, 2);
+        let x = Tensor::from_fn(&[2, 2, 6], |i| (i as f32).sin());
+        let y = p.forward(&x, true);
+        let dy = Tensor::from_fn(y.dims(), |i| (i as f32 * 0.7).cos());
+        let dx = p.backward(&dy);
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp = p.forward(&xp, false).mul(&dy).sum();
+            let fm = p.forward(&xm, false).mul(&dy).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dx.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_kernel_rejected() {
+        AvgPool1d::new(0, 1);
+    }
+}

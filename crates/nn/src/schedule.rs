@@ -1,0 +1,134 @@
+//! Learning-rate schedules used by the paper's two training phases.
+
+/// A learning-rate schedule evaluated per optimizer step.
+///
+/// The paper (§III-B) uses:
+/// * pre-training — Adam with a **linear warm-up** from `1e-7` to `5e-4`;
+/// * fine-tuning — a fixed `1e-4`, **reduced 10×** after 10 epochs.
+///
+/// Both are expressible here; [`LrSchedule::paper_pretrain`] and
+/// [`LrSchedule::paper_finetune`] build them with the paper's constants.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LrSchedule {
+    /// A constant learning rate.
+    Constant(f32),
+    /// Linear ramp from `start` to `peak` over `warmup_steps` optimizer
+    /// steps, constant at `peak` afterwards.
+    LinearWarmup {
+        /// Initial learning rate (paper: `1e-7`).
+        start: f32,
+        /// Rate reached at the end of the warm-up (paper: `5e-4`).
+        peak: f32,
+        /// Number of steps over which to ramp.
+        warmup_steps: usize,
+    },
+    /// Multiply `initial` by `factor` once `epoch >= at_epoch`.
+    StepDecay {
+        /// Rate for the first `at_epoch` epochs (paper: `1e-4`).
+        initial: f32,
+        /// Multiplier applied afterwards (paper: `0.1`).
+        factor: f32,
+        /// Epoch index at which the decay kicks in (paper: `10`).
+        at_epoch: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's pre-training schedule: linear warm-up `1e-7 → 5e-4`.
+    pub fn paper_pretrain(warmup_steps: usize) -> Self {
+        LrSchedule::LinearWarmup {
+            start: 1e-7,
+            peak: 5e-4,
+            warmup_steps,
+        }
+    }
+
+    /// The paper's fine-tuning schedule: `1e-4`, ×0.1 after 10 epochs.
+    pub fn paper_finetune() -> Self {
+        LrSchedule::StepDecay {
+            initial: 1e-4,
+            factor: 0.1,
+            at_epoch: 10,
+        }
+    }
+
+    /// Learning rate at optimizer `step` (0-based, global across epochs)
+    /// and `epoch` (0-based).
+    pub fn lr(&self, step: usize, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::LinearWarmup {
+                start,
+                peak,
+                warmup_steps,
+            } => {
+                if warmup_steps == 0 || step >= warmup_steps {
+                    peak
+                } else {
+                    start + (peak - start) * (step as f32 / warmup_steps as f32)
+                }
+            }
+            LrSchedule::StepDecay {
+                initial,
+                factor,
+                at_epoch,
+            } => {
+                if epoch >= at_epoch {
+                    initial * factor
+                } else {
+                    initial
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.01);
+        assert_eq!(s.lr(0, 0), 0.01);
+        assert_eq!(s.lr(1000, 99), 0.01);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::paper_pretrain(100);
+        assert!((s.lr(0, 0) - 1e-7).abs() < 1e-9);
+        let mid = s.lr(50, 0);
+        assert!(mid > 1e-7 && mid < 5e-4);
+        assert_eq!(s.lr(100, 1), 5e-4);
+        assert_eq!(s.lr(10_000, 50), 5e-4);
+    }
+
+    #[test]
+    fn warmup_is_monotonic() {
+        let s = LrSchedule::paper_pretrain(10);
+        let mut prev = 0.0;
+        for step in 0..20 {
+            let lr = s.lr(step, 0);
+            assert!(lr >= prev, "lr not monotonic at step {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn step_decay_drops_at_epoch() {
+        let s = LrSchedule::paper_finetune();
+        assert!((s.lr(0, 9) - 1e-4).abs() < 1e-9);
+        assert!((s.lr(0, 10) - 1e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_warmup_steps_is_peak_immediately() {
+        let s = LrSchedule::LinearWarmup {
+            start: 0.0,
+            peak: 1.0,
+            warmup_steps: 0,
+        };
+        assert_eq!(s.lr(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Saving and loading model weights ("state dicts").
+
+use crate::model::Model;
+use bioformer_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A named snapshot of every parameter tensor of a model, ordered by the
+/// model's visit order. Serialises to JSON.
+pub type StateDict = Vec<(String, Tensor)>;
+
+/// Error returned by [`load_state_dict`] and the file helpers.
+#[derive(Debug)]
+pub enum LoadStateError {
+    /// A parameter present in the model is missing from the dict.
+    Missing(String),
+    /// Shape mismatch between model parameter and stored tensor.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape expected by the model.
+        expected: Vec<usize>,
+        /// Shape found in the state dict.
+        found: Vec<usize>,
+    },
+    /// I/O failure while reading or writing a file.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for LoadStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadStateError::Missing(name) => write!(f, "parameter {name} missing from state dict"),
+            LoadStateError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter {name} has shape {found:?}, model expects {expected:?}"
+            ),
+            LoadStateError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadStateError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadStateError {}
+
+impl From<std::io::Error> for LoadStateError {
+    fn from(e: std::io::Error) -> Self {
+        LoadStateError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LoadStateError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadStateError::Json(e)
+    }
+}
+
+/// Extracts a snapshot of all parameters.
+pub fn state_dict<M: Model>(model: &mut M) -> StateDict {
+    let mut out = Vec::new();
+    model.visit_params(&mut |p| out.push((p.name.clone(), p.value.clone())));
+    out
+}
+
+/// Loads parameter values by name.
+///
+/// Extra entries in `dict` are ignored; this permits loading a pre-trained
+/// backbone into a model whose classifier head was re-initialised (the
+/// paper's fine-tuning step does the opposite — it keeps all weights — but
+/// the protocol code also uses partial loads for ablations).
+///
+/// # Errors
+///
+/// Returns an error if a model parameter is missing from the dict or the
+/// shapes disagree.
+pub fn load_state_dict<M: Model>(model: &mut M, dict: &StateDict) -> Result<(), LoadStateError> {
+    let map: BTreeMap<&str, &Tensor> = dict.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    let mut err: Option<LoadStateError> = None;
+    model.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        match map.get(p.name.as_str()) {
+            None => err = Some(LoadStateError::Missing(p.name.clone())),
+            Some(t) => {
+                if t.dims() != p.value.dims() {
+                    err = Some(LoadStateError::ShapeMismatch {
+                        name: p.name.clone(),
+                        expected: p.value.dims().to_vec(),
+                        found: t.dims().to_vec(),
+                    });
+                } else {
+                    p.value = (*t).clone();
+                }
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Serialises a state dict to a JSON file.
+///
+/// # Errors
+///
+/// Returns an error on I/O or serialisation failure.
+pub fn save_json(dict: &StateDict, path: impl AsRef<Path>) -> Result<(), LoadStateError> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer(std::io::BufWriter::new(file), dict)?;
+    Ok(())
+}
+
+/// Reads a state dict from a JSON file.
+///
+/// # Errors
+///
+/// Returns an error on I/O or deserialisation failure.
+pub fn read_json(path: impl AsRef<Path>) -> Result<StateDict, LoadStateError> {
+    let file = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(std::io::BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::param::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Clone)]
+    struct Toy {
+        a: Linear,
+        b: Linear,
+    }
+
+    impl Model for Toy {
+        fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+            let h = self.a.forward(x, train);
+            self.b.forward(&h, train)
+        }
+        fn backward(&mut self, d: &Tensor) {
+            let d = self.b.backward(d);
+            let _ = self.a.backward(&d);
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            self.a.visit_params(f);
+            self.b.visit_params(f);
+        }
+    }
+
+    fn toy(seed: u64) -> Toy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Toy {
+            a: Linear::new("a", 3, 4, &mut rng),
+            b: Linear::new("b", 4, 2, &mut rng),
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_weights() {
+        let mut src = toy(1);
+        let mut dst = toy(2);
+        let x = Tensor::ones(&[2, 3]);
+        let before_src = src.forward(&x, false);
+        let before_dst = dst.forward(&x, false);
+        assert!(!before_src.allclose(&before_dst, 1e-6));
+
+        let dict = state_dict(&mut src);
+        load_state_dict(&mut dst, &dict).unwrap();
+        let after_dst = dst.forward(&x, false);
+        assert!(after_dst.allclose(&before_src, 1e-6));
+    }
+
+    #[test]
+    fn missing_param_is_error() {
+        let mut m = toy(3);
+        let mut dict = state_dict(&mut m);
+        dict.retain(|(n, _)| !n.starts_with("b"));
+        let err = load_state_dict(&mut m, &dict).unwrap_err();
+        assert!(matches!(err, LoadStateError::Missing(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let mut m = toy(4);
+        let mut dict = state_dict(&mut m);
+        dict[0].1 = Tensor::zeros(&[1, 1]);
+        let err = load_state_dict(&mut m, &dict).unwrap_err();
+        assert!(matches!(err, LoadStateError::ShapeMismatch { .. }));
+        assert!(err.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bioformer_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.json");
+        let mut m = toy(5);
+        let dict = state_dict(&mut m);
+        save_json(&dict, &path).unwrap();
+        let loaded = read_json(&path).unwrap();
+        assert_eq!(loaded.len(), dict.len());
+        for ((n1, t1), (n2, t2)) in dict.iter().zip(loaded.iter()) {
+            assert_eq!(n1, n2);
+            assert!(t1.allclose(t2, 0.0));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,409 @@
+//! Integer-only nonlinear operators after I-BERT (Kim et al., ICML 2021).
+//!
+//! The paper quantizes its MHSA blocks "following the steps described in
+//! I-BERT": softmax, GELU and LayerNorm are evaluated with **integer
+//! arithmetic only**, using second-order polynomial approximations
+//! (`i-exp`, `i-erf`) and an integer Newton square root (`i-sqrt`). All
+//! constants involving the input scale are computed **once at conversion
+//! time**; the per-inference path is pure i32/i64 arithmetic, mirroring
+//! what executes on the MCU.
+
+use crate::qtensor::QParams;
+use crate::requant::FixedMultiplier;
+
+/// Integer square root: `⌊√n⌋` via Newton iteration (I-BERT Alg. 4).
+///
+/// # Panics
+///
+/// Panics if `n < 0`.
+pub fn i_sqrt(n: i64) -> i64 {
+    assert!(n >= 0, "i_sqrt of negative value");
+    if n < 2 {
+        return n;
+    }
+    // Initial guess: 2^ceil(bits/2).
+    let bits = 64 - n.leading_zeros() as i64;
+    let mut x = 1i64 << ((bits + 1) / 2);
+    loop {
+        let next = (x + n / x) / 2;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Second-order integer polynomial `a(x+b)² + c` (I-BERT I-POLY).
+///
+/// Returns the quantized output and its (possibly negative) scale `a·s²`.
+fn i_poly(q: i64, s: f64, a: f64, b: f64, c: f64) -> (i64, f64) {
+    let q_b = (b / s).floor() as i64;
+    let q_c = (c / (a * s * s)).floor() as i64;
+    let out = (q + q_b) * (q + q_b) + q_c;
+    (out, a * s * s)
+}
+
+/// Integer exponential for non-positive arguments (I-BERT I-EXP).
+///
+/// Decomposes `x = −z·ln2 + p` with `p ∈ (−ln2, 0]`, evaluates a
+/// polynomial approximation of `exp(p)` and shifts by `z`.
+#[derive(Debug, Clone, Copy)]
+pub struct IExp {
+    q_ln2: i64,
+    s_in: f64,
+    /// Scale of the returned integer (`a·s²` of the exp polynomial).
+    pub s_out: f64,
+}
+
+const EXP_A: f64 = 0.3585;
+const EXP_B: f64 = 1.353;
+const EXP_C: f64 = 0.344;
+
+impl IExp {
+    /// Prepares constants for inputs at scale `s_in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s_in` is not positive.
+    pub fn new(s_in: f64) -> Self {
+        assert!(s_in > 0.0, "IExp scale must be positive");
+        let q_ln2 = (std::f64::consts::LN_2 / s_in).floor() as i64;
+        let s_out = EXP_A * s_in * s_in;
+        IExp {
+            q_ln2: q_ln2.max(1),
+            s_in,
+            s_out,
+        }
+    }
+
+    /// `exp(q·s_in)` for `q ≤ 0`, as an integer at scale [`IExp::s_out`].
+    pub fn apply(&self, q: i64) -> i64 {
+        debug_assert!(q <= 0, "IExp argument must be non-positive");
+        let z = ((-q) / self.q_ln2).min(62);
+        let p = q + z * self.q_ln2; // in (-ln2/s, 0]
+        let (l, _) = i_poly(p, self.s_in, EXP_A, EXP_B, EXP_C);
+        (l.max(0)) >> z
+    }
+}
+
+/// Integer softmax over attention-score rows (I-BERT §3.2).
+///
+/// Input: raw i32 GEMM accumulators at scale `s_in` (the `1/√P`
+/// normalisation of Eq. 2 is folded into `s_in`, so no integer division by
+/// `√P` happens at runtime). Output: int8 probabilities with parameters
+/// `scale = 1/127, zero_point = 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct ISoftmax {
+    exp: IExp,
+}
+
+impl ISoftmax {
+    /// Output quantization parameters of the probabilities.
+    pub const OUT_PARAMS: QParams = QParams {
+        scale: 1.0 / 127.0,
+        zero_point: 0,
+    };
+
+    /// Prepares constants for score accumulators at scale `s_in`.
+    pub fn new(s_in: f64) -> Self {
+        ISoftmax {
+            exp: IExp::new(s_in),
+        }
+    }
+
+    /// Applies softmax to one row of score accumulators.
+    pub fn apply_row(&self, scores: &[i32], out: &mut [i8]) {
+        debug_assert_eq!(scores.len(), out.len());
+        let max = scores.iter().copied().max().unwrap_or(0) as i64;
+        let mut exps = vec![0i64; scores.len()];
+        let mut sum = 0i64;
+        for (i, &s) in scores.iter().enumerate() {
+            let e = self.exp.apply(s as i64 - max);
+            exps[i] = e;
+            sum += e;
+        }
+        if sum <= 0 {
+            // Degenerate row: fall back to uniform.
+            let u = (127 / scores.len().max(1)) as i8;
+            out.fill(u);
+            return;
+        }
+        for (o, &e) in out.iter_mut().zip(exps.iter()) {
+            *o = ((e * 127) / sum).clamp(0, 127) as i8;
+        }
+    }
+}
+
+const ERF_A: f64 = -0.2888;
+const ERF_B: f64 = -1.769;
+const ERF_C: f64 = 1.0;
+
+/// Integer GELU via the i-erf polynomial (I-BERT §3.3):
+/// `GELU(x) ≈ x · ½(1 + erf(x/√2))`.
+///
+/// Input int8 at `s_in`; output int8 at caller-chosen parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IGelu {
+    /// Clip bound for |q| in erf-argument units.
+    q_clip: i64,
+    /// `b` in erf-argument units.
+    q_b: i64,
+    /// `c` term of the polynomial.
+    q_c: i64,
+    /// `⌊1/|s_erf|⌋` — the integer representing 1.0 at the erf output scale.
+    q_one: i64,
+    /// Final requantization to the output activation grid.
+    mult: FixedMultiplier,
+    out_zp: i32,
+}
+
+impl IGelu {
+    /// Prepares constants for int8 inputs at scale `s_in`, producing int8
+    /// outputs at `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scales are not positive.
+    pub fn new(s_in: f64, out: QParams) -> Self {
+        assert!(s_in > 0.0 && out.scale > 0.0, "IGelu scales must be positive");
+        // erf argument x/√2 shares the integer value of x at scale s_in/√2.
+        let s_erf_in = s_in / std::f64::consts::SQRT_2;
+        let q_b = (ERF_B / s_erf_in).floor() as i64; // negative
+        let q_c = (ERF_C / (ERF_A * s_erf_in * s_erf_in)).floor() as i64; // negative
+        let s_l = ERF_A * s_erf_in * s_erf_in; // negative
+        let q_one = (1.0 / s_l.abs()).floor() as i64;
+        // gelu = x·(erf'+1)/2 at scale s_in·|s_l|/2 (erf' sign-normalised).
+        let s_gelu = s_in * s_l.abs() / 2.0;
+        IGelu {
+            q_clip: (-q_b).max(1),
+            q_b,
+            q_c,
+            q_one,
+            mult: FixedMultiplier::encode(s_gelu / out.scale as f64),
+            out_zp: out.zero_point,
+        }
+    }
+
+    /// Integer erf at the prepared scale; returns a **sign-normalised**
+    /// value `q'` such that `erf ≈ q' · |s_l|`.
+    fn i_erf(&self, q: i64) -> i64 {
+        let sign = if q < 0 { -1 } else { 1 };
+        let qa = q.abs().min(self.q_clip);
+        let l = (qa + self.q_b) * (qa + self.q_b) + self.q_c; // ≤ 0
+        // erf = sign · l · s_l; with s_l < 0: erf = sign · (−l) · |s_l|.
+        sign * (-l)
+    }
+
+    /// GELU of one int8 value.
+    pub fn apply(&self, q: i8) -> i8 {
+        let q = q as i64;
+        let erf = self.i_erf(q);
+        // acc = q·(1 + erf) in integer units: scale s_in·|s_l|, i.e. 2×s_gelu.
+        // The ÷2 of the GELU formula is folded into `mult` via s_gelu.
+        let acc = q * (erf + self.q_one);
+        let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        ((self.mult.apply(acc32) + self.out_zp).clamp(-128, 127)) as i8
+    }
+}
+
+/// Integer LayerNorm (I-BERT §3.4): per-row mean/variance in integers,
+/// `i_sqrt` for the standard deviation, fixed-point normalisation, then an
+/// affine `γ, β` and requantization.
+#[derive(Debug, Clone)]
+pub struct ILayerNorm {
+    /// Per-feature γ quantized symmetrically.
+    q_gamma: Vec<i32>,
+    /// Per-feature β at scale `s_γ / 2^FBITS`.
+    q_beta: Vec<i64>,
+    /// Requantization from `s_γ/2^FBITS` to the output grid.
+    mult: FixedMultiplier,
+    out_zp: i32,
+}
+
+/// Fraction bits of the normalised activation `x̂`.
+const FBITS: u32 = 10;
+
+impl ILayerNorm {
+    /// Prepares an integer LayerNorm from fp32 affine parameters and the
+    /// desired output quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma`/`beta` lengths differ.
+    pub fn new(gamma: &[f32], beta: &[f32], out: QParams) -> Self {
+        assert_eq!(gamma.len(), beta.len(), "gamma/beta length mismatch");
+        let absmax = gamma.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-8);
+        let s_gamma = (absmax / 127.0) as f64;
+        let q_gamma = gamma
+            .iter()
+            .map(|&g| ((g as f64 / s_gamma).round() as i32).clamp(-127, 127))
+            .collect();
+        let s_acc = s_gamma / (1u64 << FBITS) as f64;
+        let q_beta = beta.iter().map(|&b| (b as f64 / s_acc).round() as i64).collect();
+        ILayerNorm {
+            q_gamma,
+            q_beta,
+            mult: FixedMultiplier::encode(s_acc / out.scale as f64),
+            out_zp: out.zero_point,
+        }
+    }
+
+    /// Feature width.
+    pub fn width(&self) -> usize {
+        self.q_gamma.len()
+    }
+
+    /// Normalises one row of int8 activations (the input zero-point and
+    /// scale cancel inside the normalisation, so only raw codes are
+    /// needed).
+    pub fn apply_row(&self, row: &[i8], out: &mut [i8]) {
+        let n = row.len() as i64;
+        debug_assert_eq!(row.len(), self.q_gamma.len());
+        let sum: i64 = row.iter().map(|&v| v as i64).sum();
+        // Round-to-nearest mean keeps the centering unbiased.
+        let mean = (2 * sum + n) / (2 * n);
+        let mut var: i64 = 0;
+        for &v in row {
+            let c = v as i64 - mean;
+            var += c * c;
+        }
+        var /= n;
+        let std = i_sqrt(var).max(1);
+        for (i, (&v, o)) in row.iter().zip(out.iter_mut()).enumerate() {
+            let c = v as i64 - mean;
+            let xhat = (c << FBITS) / std; // scale 2^-FBITS, dimensionless
+            let acc = self.q_gamma[i] as i64 * xhat + self.q_beta[i];
+            let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+            *o = ((self.mult.apply(acc32) + self.out_zp).clamp(-128, 127)) as i8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i_sqrt_exact_squares_and_floors() {
+        for n in 0..2000i64 {
+            let r = i_sqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "i_sqrt({n}) = {r}");
+        }
+        assert_eq!(i_sqrt(1 << 40), 1 << 20);
+    }
+
+    #[test]
+    fn i_exp_tracks_float_exp() {
+        let s = 1e-3f64;
+        let exp = IExp::new(s);
+        for q in [-5000i64, -2000, -800, -100, -10, 0] {
+            let x = q as f64 * s;
+            let got = exp.apply(q) as f64 * exp.s_out;
+            let want = x.exp();
+            assert!(
+                (got - want).abs() < 0.02,
+                "exp({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn i_softmax_close_to_float() {
+        let s = 2e-3f64;
+        let sm = ISoftmax::new(s);
+        let scores_f = [1.2f64, 0.3, -0.5, 0.9, -2.0];
+        let scores_q: Vec<i32> = scores_f.iter().map(|&x| (x / s).round() as i32).collect();
+        let mut out = vec![0i8; 5];
+        sm.apply_row(&scores_q, &mut out);
+        // Float softmax reference.
+        let max = scores_f.iter().cloned().fold(f64::MIN, f64::max);
+        let exps: Vec<f64> = scores_f.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        for i in 0..5 {
+            let got = out[i] as f64 / 127.0;
+            let want = exps[i] / sum;
+            assert!(
+                (got - want).abs() < 0.03,
+                "softmax[{i}]: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn i_softmax_rows_sum_near_one() {
+        let sm = ISoftmax::new(1e-3);
+        let scores: Vec<i32> = vec![100, -500, 700, 0, 350, -2000, 120, 80];
+        let mut out = vec![0i8; scores.len()];
+        sm.apply_row(&scores, &mut out);
+        let total: i32 = out.iter().map(|&v| v as i32).sum();
+        assert!(
+            (110..=130).contains(&total),
+            "softmax row sums to {total}/127"
+        );
+    }
+
+    #[test]
+    fn i_softmax_degenerate_row_uniform() {
+        let sm = ISoftmax::new(1e-3);
+        // Extremely negative scores underflow to 0 exp; ensure no panic.
+        let scores = vec![i32::MIN / 4; 4];
+        let mut out = vec![0i8; 4];
+        sm.apply_row(&scores, &mut out);
+        assert!(out.iter().all(|&v| v >= 0));
+    }
+
+    #[test]
+    fn i_gelu_tracks_float_gelu() {
+        let s_in = 4.0 / 127.0; // int8 covering ±4
+        let out = QParams::symmetric(4.0);
+        let g = IGelu::new(s_in as f64, out);
+        for q in (-127..=127).step_by(3) {
+            let x = q as f32 * s_in;
+            let got = out.dequantize(g.apply(q as i8));
+            let want = bioformer_tensor::ops::gelu(x);
+            assert!(
+                (got - want).abs() < 0.08,
+                "gelu({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn i_layernorm_tracks_float_layernorm() {
+        let width = 16;
+        let gamma: Vec<f32> = (0..width).map(|i| 0.8 + 0.03 * i as f32).collect();
+        let beta: Vec<f32> = (0..width).map(|i| -0.2 + 0.02 * i as f32).collect();
+        let out = QParams::symmetric(4.0);
+        let ln = ILayerNorm::new(&gamma, &beta, out);
+
+        // Random-ish int8 row.
+        let row: Vec<i8> = (0..width).map(|i| ((i * 37 + 11) % 256) as i32 as u8 as i8).collect();
+        let mut qout = vec![0i8; width];
+        ln.apply_row(&row, &mut qout);
+
+        // Float reference on the dequantized row (scale arbitrary: LN is
+        // scale-invariant, so use raw codes directly).
+        let vals: Vec<f32> = row.iter().map(|&v| v as f32).collect();
+        let mean: f32 = vals.iter().sum::<f32>() / width as f32;
+        let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / width as f32;
+        let std = var.sqrt().max(1e-6);
+        for i in 0..width {
+            let want = gamma[i] * (vals[i] - mean) / std + beta[i];
+            let got = out.dequantize(qout[i]);
+            assert!(
+                (got - want).abs() < 0.12,
+                "ln[{i}]: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn i_layernorm_constant_row_is_finite() {
+        let ln = ILayerNorm::new(&[1.0; 8], &[0.0; 8], QParams::symmetric(2.0));
+        let row = [42i8; 8];
+        let mut out = [0i8; 8];
+        ln.apply_row(&row, &mut out);
+        // x̂ = 0 everywhere → output ≈ β = 0.
+        assert!(out.iter().all(|&v| v.abs() <= 1), "{out:?}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Integer GEMM and convolution kernels (i8 operands, i32 accumulation).
+//!
+//! All activations in the converted Bioformer use **symmetric** int8
+//! quantization (zero-point 0), so the kernels are plain dot products with
+//! no offset-correction terms — matching the PULP-NN/`MCU-Transformer`
+//! kernels of the paper's deployment flow ([25]).
+
+use crate::qtensor::{QParams, QTensor};
+use crate::requant::FixedMultiplier;
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ (+ bias)`, returning raw i32 accumulators.
+///
+/// `B` is row-major `[n, k]` — the natural layout both for linear-layer
+/// weights (`[out, in]`) and for attention keys.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+pub fn qgemm_i32(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "qgemm: A size");
+    assert_eq!(b.len(), n * k, "qgemm: B size");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "qgemm: bias size");
+    }
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = match bias {
+                Some(bias) => bias[j],
+                None => 0,
+            };
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x as i32 * y as i32;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Requantizes a vector of i32 accumulators to int8.
+pub fn requantize_vec(acc: &[i32], mult: FixedMultiplier, zero_point: i32) -> Vec<i8> {
+    acc.iter()
+        .map(|&v| mult.requantize_to_i8(v, zero_point))
+        .collect()
+}
+
+/// Full int8 GEMM: accumulate then requantize to the output grid.
+pub fn qgemm(
+    a: &QTensor,
+    b: &QTensor,
+    bias: Option<&[i32]>,
+    mult: FixedMultiplier,
+    out_params: QParams,
+) -> QTensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[0];
+    assert_eq!(b.dims()[1], k, "qgemm: inner dimension mismatch");
+    let acc = qgemm_i32(a.data(), b.data(), bias, m, k, n);
+    QTensor::from_raw(
+        requantize_vec(&acc, mult, out_params.zero_point),
+        &[m, n],
+        out_params,
+    )
+}
+
+/// int8 1-D convolution over `[in_ch, len]` with i32 accumulation.
+/// Out-of-range (padding) taps contribute zero, consistent with symmetric
+/// activation quantization where real 0 ↦ code 0.
+///
+/// Returns `[out_ch, out_len]` accumulators.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv1d_i32(
+    x: &[i8],
+    w: &[i8],
+    bias: &[i32],
+    in_ch: usize,
+    len: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+) -> Vec<i32> {
+    assert_eq!(x.len(), in_ch * len, "qconv: input size");
+    assert_eq!(w.len(), out_ch * in_ch * kernel, "qconv: weight size");
+    assert_eq!(bias.len(), out_ch, "qconv: bias size");
+    assert!(len >= kernel, "qconv: input shorter than kernel");
+    let out_len = (len - kernel) / stride + 1;
+    let mut y = vec![0i32; out_ch * out_len];
+    for oc in 0..out_ch {
+        for ot in 0..out_len {
+            let start = ot * stride;
+            let mut acc = bias[oc];
+            for ic in 0..in_ch {
+                let x_row = &x[ic * len + start..ic * len + start + kernel];
+                let w_row = &w[(oc * in_ch + ic) * kernel..(oc * in_ch + ic + 1) * kernel];
+                for (&xv, &wv) in x_row.iter().zip(w_row.iter()) {
+                    acc += xv as i32 * wv as i32;
+                }
+            }
+            y[oc * out_len + ot] = acc;
+        }
+    }
+    y
+}
+
+/// Requantizes two int8 tensors onto a common output grid and adds them
+/// with saturation — the integer residual connection.
+pub fn qadd(a: &QTensor, b: &QTensor, out_params: QParams) -> QTensor {
+    assert_eq!(a.dims(), b.dims(), "qadd: shape mismatch");
+    let ma = FixedMultiplier::encode(a.params().scale as f64 / out_params.scale as f64);
+    let mb = FixedMultiplier::encode(b.params().scale as f64 / out_params.scale as f64);
+    let (za, zb, zo) = (
+        a.params().zero_point,
+        b.params().zero_point,
+        out_params.zero_point,
+    );
+    let data: Vec<i8> = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&qa, &qb)| {
+            let ra = ma.apply(qa as i32 - za);
+            let rb = mb.apply(qb as i32 - zb);
+            (ra + rb + zo).clamp(-128, 127) as i8
+        })
+        .collect();
+    QTensor::from_raw(data, a.dims(), out_params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioformer_tensor::Tensor;
+
+    #[test]
+    fn qgemm_i32_matches_integer_reference() {
+        // 2x3 · (2x3)ᵀ
+        let a: Vec<i8> = vec![1, 2, 3, -1, 0, 2];
+        let b: Vec<i8> = vec![2, 0, 1, -3, 1, 1];
+        let acc = qgemm_i32(&a, &b, None, 2, 3, 2);
+        // row0·b0 = 2+0+3 = 5 ; row0·b1 = -3+2+3 = 2
+        // row1·b0 = -2+0+2 = 0 ; row1·b1 = 3+0+2 = 5
+        assert_eq!(acc, vec![5, 2, 0, 5]);
+    }
+
+    #[test]
+    fn qgemm_bias_is_added() {
+        let a: Vec<i8> = vec![1, 1];
+        let b: Vec<i8> = vec![1, 1];
+        let acc = qgemm_i32(&a, &b, Some(&[10]), 1, 2, 1);
+        assert_eq!(acc, vec![12]);
+    }
+
+    #[test]
+    fn qgemm_approximates_float_gemm() {
+        // Quantize a small float GEMM and compare.
+        let af = Tensor::from_vec(vec![0.5, -0.25, 0.75, 0.1, -0.6, 0.3], &[2, 3]);
+        let bf = Tensor::from_vec(vec![0.2, 0.4, -0.1, -0.3, 0.8, 0.05], &[2, 3]);
+        let pa = QParams::symmetric(1.0);
+        let pb = QParams::symmetric(1.0);
+        let qa = QTensor::quantize(&af, pa);
+        let qb = QTensor::quantize(&bf, pb);
+        let want = af.matmul_nt(&bf);
+        let out_params = QParams::symmetric(1.0);
+        let mult = FixedMultiplier::encode(
+            pa.scale as f64 * pb.scale as f64 / out_params.scale as f64,
+        );
+        let got = qgemm(&qa, &qb, None, mult, out_params).dequantize();
+        for i in 0..4 {
+            assert!(
+                (got.data()[i] - want.data()[i]).abs() < 0.03,
+                "elem {i}: {} vs {}",
+                got.data()[i],
+                want.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn qconv_matches_manual() {
+        // 1 channel, len 4, kernel 2, stride 2.
+        let x: Vec<i8> = vec![1, 2, 3, 4];
+        let w: Vec<i8> = vec![1, -1];
+        let y = qconv1d_i32(&x, &w, &[5], 1, 4, 1, 2, 2);
+        // windows [1,2] → 1-2+5=4 ; [3,4] → 3-4+5=4
+        assert_eq!(y, vec![4, 4]);
+    }
+
+    #[test]
+    fn qadd_requantizes_to_common_grid() {
+        let a = QTensor::from_raw(vec![64], &[1], QParams::symmetric(1.0)); // ≈0.504
+        let b = QTensor::from_raw(vec![32], &[1], QParams::symmetric(2.0)); // ≈0.504
+        let out = qadd(&a, &b, QParams::symmetric(2.0));
+        let got = out.dequantize().data()[0];
+        assert!((got - 1.008).abs() < 0.04, "got {got}");
+    }
+
+    #[test]
+    fn qadd_saturates() {
+        let a = QTensor::from_raw(vec![127], &[1], QParams::symmetric(1.0));
+        let b = QTensor::from_raw(vec![127], &[1], QParams::symmetric(1.0));
+        let out = qadd(&a, &b, QParams::symmetric(1.0));
+        assert_eq!(out.data()[0], 127);
+    }
+}

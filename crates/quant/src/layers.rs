@@ -1,0 +1,250 @@
+//! Quantized layer building blocks (Linear, Conv1d).
+
+use crate::kernels::{qconv1d_i32, qgemm_i32, requantize_vec};
+use crate::qtensor::{QParams, QTensor};
+use crate::requant::FixedMultiplier;
+use bioformer_tensor::Tensor;
+
+/// An int8 affine layer: symmetric int8 weights `[out, in]`, i32 bias at
+/// the accumulator scale, fixed-point requantization to the output grid.
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    weight: QTensor,
+    bias: Vec<i32>,
+    mult: FixedMultiplier,
+    out_params: QParams,
+    /// Accumulator scale `s_in · s_w` (kept for layers that consume raw
+    /// accumulators, e.g. the classifier head).
+    acc_scale: f64,
+}
+
+impl QLinear {
+    /// Quantizes an fp32 linear layer given calibrated input/output
+    /// activation parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent weight/bias shapes.
+    pub fn from_float(w: &Tensor, b: &Tensor, in_params: QParams, out_params: QParams) -> Self {
+        assert_eq!(w.shape().rank(), 2, "QLinear: weight must be [out, in]");
+        let out_features = w.dims()[0];
+        assert_eq!(b.dims(), &[out_features], "QLinear: bias shape");
+        let wp = QParams::symmetric(w.abs_max());
+        let weight = QTensor::quantize(w, wp);
+        let acc_scale = in_params.scale as f64 * wp.scale as f64;
+        let bias = b
+            .data()
+            .iter()
+            .map(|&v| (v as f64 / acc_scale).round() as i32)
+            .collect();
+        QLinear {
+            weight,
+            bias,
+            mult: FixedMultiplier::encode(acc_scale / out_params.scale as f64),
+            out_params,
+            acc_scale,
+        }
+    }
+
+    /// Output activation parameters.
+    pub fn out_params(&self) -> QParams {
+        self.out_params
+    }
+
+    /// Accumulator scale (`s_in · s_w`).
+    pub fn acc_scale(&self) -> f64 {
+        self.acc_scale
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// int8 forward over `[rows, in]`, requantized to the output grid.
+    pub fn forward(&self, x: &QTensor) -> QTensor {
+        let acc = self.forward_acc(x);
+        let rows = x.dims()[0];
+        QTensor::from_raw(
+            requantize_vec(&acc, self.mult, self.out_params.zero_point),
+            &[rows, self.out_features()],
+            self.out_params,
+        )
+    }
+
+    /// Raw i32 accumulators (at [`QLinear::acc_scale`]) — used by the
+    /// classifier head, where full precision is kept for the argmax.
+    pub fn forward_acc(&self, x: &QTensor) -> Vec<i32> {
+        let (rows, k) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(k, self.weight.dims()[1], "QLinear: input width mismatch");
+        qgemm_i32(
+            x.data(),
+            self.weight.data(),
+            Some(&self.bias),
+            rows,
+            k,
+            self.out_features(),
+        )
+    }
+}
+
+/// An int8 1-D convolution (no padding/dilation — the Bioformer patch
+/// embedding is a plain strided conv).
+#[derive(Debug, Clone)]
+pub struct QConv1d {
+    weight: QTensor,
+    bias: Vec<i32>,
+    stride: usize,
+    kernel: usize,
+    mult: FixedMultiplier,
+    out_params: QParams,
+}
+
+impl QConv1d {
+    /// Quantizes an fp32 convolution (`w: [out, in, kernel]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    pub fn from_float(
+        w: &Tensor,
+        b: &Tensor,
+        stride: usize,
+        in_params: QParams,
+        out_params: QParams,
+    ) -> Self {
+        assert_eq!(w.shape().rank(), 3, "QConv1d: weight must be [out, in, k]");
+        let out_ch = w.dims()[0];
+        assert_eq!(b.dims(), &[out_ch], "QConv1d: bias shape");
+        let wp = QParams::symmetric(w.abs_max());
+        let weight = QTensor::quantize(w, wp);
+        let acc_scale = in_params.scale as f64 * wp.scale as f64;
+        let bias = b
+            .data()
+            .iter()
+            .map(|&v| (v as f64 / acc_scale).round() as i32)
+            .collect();
+        QConv1d {
+            weight,
+            bias,
+            stride,
+            kernel: w.dims()[2],
+            mult: FixedMultiplier::encode(acc_scale / out_params.scale as f64),
+            out_params,
+        }
+    }
+
+    /// Output activation parameters.
+    pub fn out_params(&self) -> QParams {
+        self.out_params
+    }
+
+    /// int8 forward over a single `[in_ch, len]` sample, producing
+    /// `[out_ch, out_len]`.
+    pub fn forward(&self, x: &QTensor) -> QTensor {
+        let (in_ch, len) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(in_ch, self.weight.dims()[1], "QConv1d: channel mismatch");
+        let out_ch = self.weight.dims()[0];
+        let out_len = (len - self.kernel) / self.stride + 1;
+        let acc = qconv1d_i32(
+            x.data(),
+            self.weight.data(),
+            &self.bias,
+            in_ch,
+            len,
+            out_ch,
+            self.kernel,
+            self.stride,
+        );
+        QTensor::from_raw(
+            requantize_vec(&acc, self.mult, self.out_params.zero_point),
+            &[out_ch, out_len],
+            self.out_params,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filled(dims: &[usize], seed: u64, range: f32) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-range..range))
+    }
+
+    #[test]
+    fn qlinear_tracks_float_linear() {
+        let w = filled(&[8, 16], 0, 0.5);
+        let b = filled(&[8], 1, 0.2);
+        let x = filled(&[4, 16], 2, 1.0);
+        let want = {
+            let mut y = x.matmul_nt(&w);
+            for r in 0..4 {
+                for c in 0..8 {
+                    let v = y.at(&[r, c]) + b.data()[c];
+                    y.set(&[r, c], v);
+                }
+            }
+            y
+        };
+        let in_p = QParams::symmetric(1.0);
+        let out_p = QParams::symmetric(want.abs_max());
+        let ql = QLinear::from_float(&w, &b, in_p, out_p);
+        let qx = QTensor::quantize(&x, in_p);
+        let got = ql.forward(&qx).dequantize();
+        for i in 0..want.len() {
+            assert!(
+                (got.data()[i] - want.data()[i]).abs() < 0.12,
+                "elem {i}: {} vs {}",
+                got.data()[i],
+                want.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn qlinear_acc_has_higher_resolution_than_i8() {
+        let w = filled(&[4, 8], 3, 0.5);
+        let b = Tensor::zeros(&[4]);
+        let in_p = QParams::symmetric(1.0);
+        let out_p = QParams::symmetric(8.0);
+        let ql = QLinear::from_float(&w, &b, in_p, out_p);
+        let x = filled(&[1, 8], 4, 1.0);
+        let qx = QTensor::quantize(&x, in_p);
+        let acc = ql.forward_acc(&qx);
+        // Accumulators carry the fine-grained result.
+        let float_ref = x.matmul_nt(&w);
+        for (i, &a) in acc.iter().enumerate() {
+            let got = a as f64 * ql.acc_scale();
+            assert!(
+                (got - float_ref.data()[i] as f64).abs() < 0.05,
+                "acc {i}: {got} vs {}",
+                float_ref.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn qconv_tracks_float_conv() {
+        use bioformer_tensor::conv::{conv1d_forward, Conv1dSpec};
+        let w = filled(&[6, 3, 5], 5, 0.4);
+        let b = filled(&[6], 6, 0.1);
+        let x = filled(&[3, 20], 7, 1.0);
+        let want = conv1d_forward(&x, &w, &b, Conv1dSpec::patch(5));
+        let in_p = QParams::symmetric(1.0);
+        let out_p = QParams::symmetric(want.abs_max());
+        let qc = QConv1d::from_float(&w, &b, 5, in_p, out_p);
+        let got = qc.forward(&QTensor::quantize(&x, in_p)).dequantize();
+        for i in 0..want.len() {
+            assert!(
+                (got.data()[i] - want.data()[i]).abs() < 0.15,
+                "elem {i}: {} vs {}",
+                got.data()[i],
+                want.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! The fully-quantized Bioformer: conversion from a trained fp32 model and
+//! integer-only inference.
+//!
+//! Conversion has three stages:
+//!
+//! 1. A **float shadow** of the network is rebuilt from the model's state
+//!    dict and verified (in tests) to reproduce `Bioformer::forward`
+//!    bit-for-bit — this is the reference graph that calibration walks.
+//! 2. The shadow runs over a calibration set while [`MinMaxObserver`]s
+//!    record the range of every activation tap.
+//! 3. Each kernel is converted: weights to symmetric int8, biases to i32 at
+//!    the accumulator scale, nonlinearities to their I-BERT integer forms,
+//!    and every scale hand-off to a fixed-point multiplier.
+//!
+//! The resulting [`QuantBioformer`] executes inference **entirely in
+//! integer arithmetic** (i8 operands, i32/i64 accumulation); floats appear
+//! only when dequantizing the final logits for reporting.
+
+use crate::ibert::{IGelu, ILayerNorm, ISoftmax};
+use crate::kernels::{qadd, qgemm_i32, requantize_vec};
+use crate::layers::{QConv1d, QLinear};
+use crate::observer::MinMaxObserver;
+use crate::qtensor::{QParams, QTensor};
+use crate::requant::FixedMultiplier;
+use bioformer_core::BioformerConfig;
+use bioformer_nn::serialize::StateDict;
+use bioformer_tensor::conv::{conv1d_forward, Conv1dSpec};
+use bioformer_tensor::ops::{layernorm_forward, softmax_rows};
+use bioformer_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error returned by [`QuantBioformer::convert`].
+#[derive(Debug)]
+pub enum ConvertError {
+    /// A parameter expected from the architecture is absent from the dict.
+    MissingParam(String),
+    /// The calibration set is empty.
+    EmptyCalibration,
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::MissingParam(name) => {
+                write!(f, "state dict is missing parameter {name}")
+            }
+            ConvertError::EmptyCalibration => write!(f, "calibration set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Weights of one encoder block, extracted from the state dict.
+#[derive(Debug)]
+struct ShadowBlock {
+    ln1_g: Tensor,
+    ln1_b: Tensor,
+    wq: (Tensor, Tensor),
+    wk: (Tensor, Tensor),
+    wv: (Tensor, Tensor),
+    wo: (Tensor, Tensor),
+    ln2_g: Tensor,
+    ln2_b: Tensor,
+    fc1: (Tensor, Tensor),
+    fc2: (Tensor, Tensor),
+}
+
+/// Float reference of the full network, rebuilt from a state dict.
+#[derive(Debug)]
+pub(crate) struct FloatShadow {
+    cfg: BioformerConfig,
+    conv_w: Tensor,
+    conv_b: Tensor,
+    class_token: Tensor,
+    blocks: Vec<ShadowBlock>,
+    lnf_g: Tensor,
+    lnf_b: Tensor,
+    head: (Tensor, Tensor),
+}
+
+fn linear(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+    let mut y = x.matmul_nt(w);
+    let (rows, cols) = (y.dims()[0], y.dims()[1]);
+    for r in 0..rows {
+        let row = &mut y.data_mut()[r * cols..(r + 1) * cols];
+        for (v, bb) in row.iter_mut().zip(b.data().iter()) {
+            *v += bb;
+        }
+    }
+    y
+}
+
+fn layernorm(x: &Tensor, g: &Tensor, b: &Tensor) -> Tensor {
+    layernorm_forward(x, g, b).0
+}
+
+impl FloatShadow {
+    fn get(dict: &BTreeMap<&str, &Tensor>, name: &str) -> Result<Tensor, ConvertError> {
+        dict.get(name)
+            .map(|t| (*t).clone())
+            .ok_or_else(|| ConvertError::MissingParam(name.to_string()))
+    }
+
+    pub(crate) fn from_state_dict(
+        cfg: &BioformerConfig,
+        dict: &StateDict,
+    ) -> Result<Self, ConvertError> {
+        let map: BTreeMap<&str, &Tensor> = dict.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        let g = |name: &str| Self::get(&map, name);
+        let mut blocks = Vec::with_capacity(cfg.depth);
+        for l in 0..cfg.depth {
+            let p = |s: &str| format!("block{l}.{s}");
+            blocks.push(ShadowBlock {
+                ln1_g: g(&p("ln1.gamma"))?,
+                ln1_b: g(&p("ln1.beta"))?,
+                wq: (g(&p("attn.wq.weight"))?, g(&p("attn.wq.bias"))?),
+                wk: (g(&p("attn.wk.weight"))?, g(&p("attn.wk.bias"))?),
+                wv: (g(&p("attn.wv.weight"))?, g(&p("attn.wv.bias"))?),
+                wo: (g(&p("attn.wo.weight"))?, g(&p("attn.wo.bias"))?),
+                ln2_g: g(&p("ln2.gamma"))?,
+                ln2_b: g(&p("ln2.beta"))?,
+                fc1: (g(&p("fc1.weight"))?, g(&p("fc1.bias"))?),
+                fc2: (g(&p("fc2.weight"))?, g(&p("fc2.bias"))?),
+            });
+        }
+        Ok(FloatShadow {
+            cfg: cfg.clone(),
+            conv_w: g("patch_embed.weight")?,
+            conv_b: g("patch_embed.bias")?,
+            class_token: g("class_token")?,
+            blocks,
+            lnf_g: g("ln_final.gamma")?,
+            lnf_b: g("ln_final.beta")?,
+            head: (g("head.weight")?, g("head.bias")?),
+        })
+    }
+
+    /// Forward over a single `[channels, window]` sample, invoking `tap`
+    /// at every quantization point.
+    pub(crate) fn forward_taps(
+        &self,
+        x: &Tensor,
+        tap: &mut impl FnMut(&str, &Tensor),
+    ) -> Tensor {
+        let cfg = &self.cfg;
+        tap("input", x);
+        let conv = conv1d_forward(x, &self.conv_w, &self.conv_b, Conv1dSpec::patch(cfg.filter));
+        tap("patch", &conv);
+        // Transpose [E, N] → tokens [S, E] with class token appended.
+        let (e, n) = (conv.dims()[0], conv.dims()[1]);
+        let s = n + 1;
+        let mut tokens = Tensor::zeros(&[s, e]);
+        for ei in 0..e {
+            for ni in 0..n {
+                tokens.data_mut()[ni * e + ei] = conv.data()[ei * n + ni];
+            }
+        }
+        tokens.data_mut()[n * e..(n + 1) * e].copy_from_slice(self.class_token.data());
+
+        let (h, p) = (cfg.heads, cfg.head_dim);
+        let scale = 1.0 / (p as f32).sqrt();
+        for (l, blk) in self.blocks.iter().enumerate() {
+            let pre = |name: &str| format!("b{l}.{name}");
+            let ln1 = layernorm(&tokens, &blk.ln1_g, &blk.ln1_b);
+            tap(&pre("ln1"), &ln1);
+            let q = linear(&ln1, &blk.wq.0, &blk.wq.1);
+            let k = linear(&ln1, &blk.wk.0, &blk.wk.1);
+            let v = linear(&ln1, &blk.wv.0, &blk.wv.1);
+            tap(&pre("q"), &q);
+            tap(&pre("k"), &k);
+            tap(&pre("v"), &v);
+            let inner = h * p;
+            let mut att = Tensor::zeros(&[s, inner]);
+            for hi in 0..h {
+                let slice = |src: &Tensor| {
+                    let mut out = Tensor::zeros(&[s, p]);
+                    for si in 0..s {
+                        out.data_mut()[si * p..(si + 1) * p]
+                            .copy_from_slice(&src.data()[si * inner + hi * p..si * inner + (hi + 1) * p]);
+                    }
+                    out
+                };
+                let (qh, kh, vh) = (slice(&q), slice(&k), slice(&v));
+                let mut scores = qh.matmul_nt(&kh);
+                scores.scale_in_place(scale);
+                let probs = softmax_rows(&scores);
+                let oh = probs.matmul(&vh);
+                for si in 0..s {
+                    att.data_mut()[si * inner + hi * p..si * inner + (hi + 1) * p]
+                        .copy_from_slice(&oh.data()[si * p..(si + 1) * p]);
+                }
+            }
+            tap(&pre("att"), &att);
+            let wo = linear(&att, &blk.wo.0, &blk.wo.1);
+            tap(&pre("wo"), &wo);
+            let res1 = tokens.add(&wo);
+            tap(&pre("res1"), &res1);
+            let ln2 = layernorm(&res1, &blk.ln2_g, &blk.ln2_b);
+            tap(&pre("ln2"), &ln2);
+            let fc1 = linear(&ln2, &blk.fc1.0, &blk.fc1.1);
+            tap(&pre("fc1"), &fc1);
+            let gelu = fc1.map(bioformer_tensor::ops::gelu);
+            tap(&pre("gelu"), &gelu);
+            let fc2 = linear(&gelu, &blk.fc2.0, &blk.fc2.1);
+            tap(&pre("fc2"), &fc2);
+            let res2 = res1.add(&fc2);
+            tap(&pre("res2"), &res2);
+            tokens = res2;
+        }
+        let cls = Tensor::from_vec(
+            tokens.data()[(s - 1) * e..s * e].to_vec(),
+            &[1, e],
+        );
+        let lnf = layernorm(&cls, &self.lnf_g, &self.lnf_b);
+        tap("ln_f", &lnf);
+        linear(&lnf, &self.head.0, &self.head.1)
+    }
+}
+
+/// One quantized encoder block.
+#[derive(Debug, Clone)]
+struct QBlock {
+    ln1: ILayerNorm,
+    /// Activation grid emitted by `ln1` (input grid of the projections).
+    ln1_params: QParams,
+    wq: QLinear,
+    wk: QLinear,
+    wv: QLinear,
+    softmax: ISoftmax,
+    av_mult: FixedMultiplier,
+    att_params: QParams,
+    wo: QLinear,
+    res1_params: QParams,
+    ln2: ILayerNorm,
+    /// Activation grid emitted by `ln2` (input grid of `fc1`).
+    ln2_params: QParams,
+    fc1: QLinear,
+    gelu: IGelu,
+    /// Activation grid emitted by the integer GELU (input grid of `fc2`).
+    gelu_params: QParams,
+    fc2: QLinear,
+    res2_params: QParams,
+}
+
+/// A Bioformer converted to integer-only int8 inference.
+#[derive(Debug, Clone)]
+pub struct QuantBioformer {
+    cfg: BioformerConfig,
+    input_params: QParams,
+    patch: QConv1d,
+    class_token: Vec<i8>,
+    blocks: Vec<QBlock>,
+    lnf: ILayerNorm,
+    /// Activation grid emitted by the final LayerNorm (head input grid).
+    lnf_params: QParams,
+    head: QLinear,
+}
+
+impl QuantBioformer {
+    /// Converts a trained fp32 Bioformer (via its state dict) using
+    /// `calib` (`[n, channels, window]`, already normalised like training
+    /// data) for activation-range calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if the dict is incomplete or the
+    /// calibration set is empty.
+    pub fn convert(
+        cfg: &BioformerConfig,
+        dict: &StateDict,
+        calib: &Tensor,
+    ) -> Result<Self, ConvertError> {
+        let shadow = FloatShadow::from_state_dict(cfg, dict)?;
+        let n = calib.dims()[0];
+        if n == 0 {
+            return Err(ConvertError::EmptyCalibration);
+        }
+        // Observe every tap over the calibration set.
+        let mut obs: BTreeMap<String, MinMaxObserver> = BTreeMap::new();
+        let sample = cfg.channels * cfg.window;
+        for i in 0..n {
+            let x = Tensor::from_vec(
+                calib.data()[i * sample..(i + 1) * sample].to_vec(),
+                &[cfg.channels, cfg.window],
+            );
+            let _ = shadow.forward_taps(&x, &mut |name, t| {
+                obs.entry(name.to_string()).or_default().observe(t);
+            });
+        }
+        let params = |name: &str| -> QParams {
+            obs.get(name)
+                .unwrap_or_else(|| panic!("no observation for tap {name}"))
+                .symmetric_params()
+        };
+
+        let input_params = params("input");
+        let patch_params = params("patch");
+        let patch = QConv1d::from_float(
+            &shadow.conv_w,
+            &shadow.conv_b,
+            cfg.filter,
+            input_params,
+            patch_params,
+        );
+        let class_token: Vec<i8> = shadow
+            .class_token
+            .data()
+            .iter()
+            .map(|&v| patch_params.quantize(v))
+            .collect();
+
+        let mut blocks = Vec::with_capacity(cfg.depth);
+        for (l, blk) in shadow.blocks.iter().enumerate() {
+            let pre = |name: &str| format!("b{l}.{name}");
+            let ln1_p = params(&pre("ln1"));
+            let (q_p, k_p, v_p) = (params(&pre("q")), params(&pre("k")), params(&pre("v")));
+            let att_p = params(&pre("att"));
+            let wo_p = params(&pre("wo"));
+            let res1_p = params(&pre("res1"));
+            let ln2_p = params(&pre("ln2"));
+            let fc1_p = params(&pre("fc1"));
+            let gelu_p = params(&pre("gelu"));
+            let fc2_p = params(&pre("fc2"));
+            let res2_p = params(&pre("res2"));
+
+            let score_scale =
+                q_p.scale as f64 * k_p.scale as f64 / (cfg.head_dim as f64).sqrt();
+            let av_scale = ISoftmax::OUT_PARAMS.scale as f64 * v_p.scale as f64;
+            blocks.push(QBlock {
+                ln1: ILayerNorm::new(blk.ln1_g.data(), blk.ln1_b.data(), ln1_p),
+                ln1_params: ln1_p,
+                wq: QLinear::from_float(&blk.wq.0, &blk.wq.1, ln1_p, q_p),
+                wk: QLinear::from_float(&blk.wk.0, &blk.wk.1, ln1_p, k_p),
+                wv: QLinear::from_float(&blk.wv.0, &blk.wv.1, ln1_p, v_p),
+                softmax: ISoftmax::new(score_scale),
+                av_mult: FixedMultiplier::encode(av_scale / att_p.scale as f64),
+                att_params: att_p,
+                wo: QLinear::from_float(&blk.wo.0, &blk.wo.1, att_p, wo_p),
+                res1_params: res1_p,
+                ln2: ILayerNorm::new(blk.ln2_g.data(), blk.ln2_b.data(), ln2_p),
+                ln2_params: ln2_p,
+                fc1: QLinear::from_float(&blk.fc1.0, &blk.fc1.1, ln2_p, fc1_p),
+                gelu: IGelu::new(fc1_p.scale as f64, gelu_p),
+                gelu_params: gelu_p,
+                fc2: QLinear::from_float(&blk.fc2.0, &blk.fc2.1, gelu_p, fc2_p),
+                res2_params: res2_p,
+            });
+        }
+        let lnf_p = params("ln_f");
+        let lnf = ILayerNorm::new(shadow.lnf_g.data(), shadow.lnf_b.data(), lnf_p);
+        let head = QLinear::from_float(&shadow.head.0, &shadow.head.1, lnf_p, lnf_p);
+        Ok(QuantBioformer {
+            cfg: cfg.clone(),
+            input_params,
+            patch,
+            class_token,
+            blocks,
+            lnf,
+            lnf_params: lnf_p,
+            head,
+        })
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &BioformerConfig {
+        &self.cfg
+    }
+
+    /// Applies an integer LayerNorm row-by-row over `[rows, width]` codes.
+    /// `out_params` must be the grid the `ILayerNorm` was built to emit.
+    fn ln_rows(ln: &ILayerNorm, x: &QTensor, out_params: QParams) -> QTensor {
+        let (rows, width) = (x.dims()[0], x.dims()[1]);
+        let mut out = vec![0i8; rows * width];
+        for r in 0..rows {
+            ln.apply_row(
+                &x.data()[r * width..(r + 1) * width],
+                &mut out[r * width..(r + 1) * width],
+            );
+        }
+        QTensor::from_raw(out, &[rows, width], out_params)
+    }
+
+    /// Integer inference over one `[channels, window]` fp32 sample
+    /// (already normalised); returns fp32 logits dequantized from the
+    /// classifier accumulators.
+    pub fn forward_window(&self, x: &Tensor) -> Vec<f32> {
+        let cfg = &self.cfg;
+        assert_eq!(x.dims(), &[cfg.channels, cfg.window], "window shape");
+        let xq = QTensor::quantize(x, self.input_params);
+        let conv = self.patch.forward(&xq); // [E, N] i8
+        let (e, n) = (conv.dims()[0], conv.dims()[1]);
+        let s = n + 1;
+        // tokens [S, E]
+        let mut tok = vec![0i8; s * e];
+        for ei in 0..e {
+            for ni in 0..n {
+                tok[ni * e + ei] = conv.data()[ei * n + ni];
+            }
+        }
+        tok[n * e..(n + 1) * e].copy_from_slice(&self.class_token);
+        let mut tokens = QTensor::from_raw(tok, &[s, e], self.patch.out_params());
+
+        let (h, p) = (cfg.heads, cfg.head_dim);
+        let inner = h * p;
+        for blk in &self.blocks {
+            // ln1 (output grid was baked into the ILayerNorm multiplier).
+            let ln1 = Self::ln_rows(&blk.ln1, &tokens, blk.ln1_params);
+            let q = blk.wq.forward(&ln1);
+            let k = blk.wk.forward(&ln1);
+            let v = blk.wv.forward(&ln1);
+
+            let mut att = vec![0i8; s * inner];
+            for hi in 0..h {
+                // Slice head hi: [S, P].
+                let slice = |src: &QTensor| -> Vec<i8> {
+                    let mut out = vec![0i8; s * p];
+                    for si in 0..s {
+                        out[si * p..(si + 1) * p].copy_from_slice(
+                            &src.data()[si * inner + hi * p..si * inner + (hi + 1) * p],
+                        );
+                    }
+                    out
+                };
+                let (qh, kh, vh) = (slice(&q), slice(&k), slice(&v));
+                // scores [S, S] = qh · khᵀ (both [S, P]).
+                let scores = qgemm_i32(&qh, &kh, None, s, p, s);
+                // integer softmax per row.
+                let mut probs = vec![0i8; s * s];
+                for r in 0..s {
+                    blk.softmax
+                        .apply_row(&scores[r * s..(r + 1) * s], &mut probs[r * s..(r + 1) * s]);
+                }
+                // AV: probs [S, S] · vh [S, P] — qgemm wants Bᵀ, i.e. vh
+                // transposed to [P, S].
+                let mut vt = vec![0i8; p * s];
+                for si in 0..s {
+                    for pi in 0..p {
+                        vt[pi * s + si] = vh[si * p + pi];
+                    }
+                }
+                let av = qgemm_i32(&probs, &vt, None, s, s, p);
+                let av8 = requantize_vec(&av, blk.av_mult, blk.att_params.zero_point);
+                for si in 0..s {
+                    att[si * inner + hi * p..si * inner + (hi + 1) * p]
+                        .copy_from_slice(&av8[si * p..(si + 1) * p]);
+                }
+            }
+            let att_q = QTensor::from_raw(att, &[s, inner], blk.att_params);
+            let wo = blk.wo.forward(&att_q);
+            let res1 = qadd(&tokens, &wo, blk.res1_params);
+            let ln2 = Self::ln_rows(&blk.ln2, &res1, blk.ln2_params);
+            let fc1 = blk.fc1.forward(&ln2);
+            let gelu: Vec<i8> = fc1.data().iter().map(|&v| blk.gelu.apply(v)).collect();
+            let gelu_q = QTensor::from_raw(gelu, fc1.dims(), blk.gelu_params);
+            let fc2 = blk.fc2.forward(&gelu_q);
+            tokens = qadd(&res1, &fc2, blk.res2_params);
+        }
+        // Class row → final LN → head accumulators.
+        let cls = QTensor::from_raw(
+            tokens.data()[(s - 1) * e..s * e].to_vec(),
+            &[1, e],
+            tokens.params(),
+        );
+        let lnf = Self::ln_rows(&self.lnf, &cls, self.lnf_params);
+        let acc = self.head.forward_acc(&lnf);
+        acc.iter()
+            .map(|&a| (a as f64 * self.head.acc_scale()) as f32)
+            .collect()
+    }
+
+    /// Integer inference over a batch `[n, channels, window]`; returns fp32
+    /// logits `[n, classes]`. Windows are processed on parallel threads.
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        let n = x.dims()[0];
+        let sample = self.cfg.channels * self.cfg.window;
+        let classes = self.cfg.classes;
+        let mut out = Tensor::zeros(&[n, classes]);
+        let threads = bioformer_tensor::parallel::hardware_threads().min(n.max(1));
+        let chunk = n.div_ceil(threads.max(1));
+        let results: Vec<(usize, Vec<f32>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let this = &*self;
+                let xd = x.data();
+                handles.push(scope.spawn(move || {
+                    let mut buf = Vec::with_capacity((end - start) * classes);
+                    for i in start..end {
+                        let w = Tensor::from_vec(
+                            xd[i * sample..(i + 1) * sample].to_vec(),
+                            &[this.cfg.channels, this.cfg.window],
+                        );
+                        buf.extend_from_slice(&this.forward_window(&w));
+                    }
+                    (start, buf)
+                }));
+                start = end;
+            }
+            handles.into_iter().map(|h| h.join().expect("quant eval shard")).collect()
+        });
+        for (start, buf) in results {
+            let rows = buf.len() / classes;
+            out.data_mut()[start * classes..(start + rows) * classes].copy_from_slice(&buf);
+        }
+        out
+    }
+
+    /// Classification accuracy of the integer pipeline on a labelled set.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.forward_batch(x);
+        bioformer_nn::loss::accuracy(&logits, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioformer_core::Bioformer;
+    use bioformer_nn::serialize::state_dict;
+    use bioformer_nn::Model;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_cfg() -> BioformerConfig {
+        BioformerConfig {
+            channels: 14,
+            window: 300,
+            classes: 8,
+            embed: 16,
+            filter: 30,
+            heads: 2,
+            depth: 1,
+            head_dim: 8,
+            hidden: 32,
+            dropout: 0.0,
+            seed: 11,
+        }
+    }
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn float_shadow_matches_bioformer() {
+        let cfg = small_cfg();
+        let mut model = Bioformer::new(&cfg);
+        let dict = state_dict(&mut model);
+        let shadow = FloatShadow::from_state_dict(&cfg, &dict).unwrap();
+
+        let batch = filled(&[3, 14, 300], 0);
+        let want = model.forward(&batch, false);
+        for i in 0..3 {
+            let w = Tensor::from_vec(
+                batch.data()[i * 14 * 300..(i + 1) * 14 * 300].to_vec(),
+                &[14, 300],
+            );
+            let got = shadow.forward_taps(&w, &mut |_, _| {});
+            for c in 0..cfg.classes {
+                assert!(
+                    (got.data()[c] - want.at(&[i, c])).abs() < 1e-4,
+                    "sample {i} class {c}: shadow {} vs model {}",
+                    got.data()[c],
+                    want.at(&[i, c])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let cfg = small_cfg();
+        let mut model = Bioformer::new(&cfg);
+        let mut dict = state_dict(&mut model);
+        dict.retain(|(n, _)| n != "head.bias");
+        let err = FloatShadow::from_state_dict(&cfg, &dict).unwrap_err();
+        assert!(err.to_string().contains("head.bias"));
+    }
+
+    #[test]
+    fn empty_calibration_is_error() {
+        let cfg = small_cfg();
+        let mut model = Bioformer::new(&cfg);
+        let dict = state_dict(&mut model);
+        let calib = Tensor::zeros(&[0, 14, 300]);
+        assert!(matches!(
+            QuantBioformer::convert(&cfg, &dict, &calib),
+            Err(ConvertError::EmptyCalibration)
+        ));
+    }
+
+    #[test]
+    fn quantized_logits_track_float_logits() {
+        let cfg = small_cfg();
+        let mut model = Bioformer::new(&cfg);
+        // Bring the class token to the scale training would give it; an
+        // untrained 0-ish token row has no int8 resolution in the shared
+        // activation grid and the comparison would test a degenerate case.
+        model.visit_params(&mut |p| {
+            if p.name == "class_token" {
+                p.value.scale_in_place(4.0);
+            }
+        });
+        let dict = state_dict(&mut model);
+        let calib = filled(&[16, 14, 300], 1);
+        let q = QuantBioformer::convert(&cfg, &dict, &calib).unwrap();
+
+        let test = filled(&[8, 14, 300], 2);
+        let fp = model.forward(&test, false);
+        let qi = q.forward_batch(&test);
+        // Logit scale of an untrained tiny net is small; demand the
+        // quantized pipeline stays within a coarse envelope and mostly
+        // agrees on argmax.
+        let mut agree = 0usize;
+        for i in 0..8 {
+            let fp_row: Vec<f32> = (0..cfg.classes).map(|c| fp.at(&[i, c])).collect();
+            let qi_row: Vec<f32> = (0..cfg.classes).map(|c| qi.at(&[i, c])).collect();
+            let argmax = |v: &[f32]| {
+                v.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            };
+            if argmax(&fp_row) == argmax(&qi_row) {
+                agree += 1;
+            }
+            for c in 0..cfg.classes {
+                assert!(
+                    (fp_row[c] - qi_row[c]).abs() < 0.5,
+                    "sample {i} class {c}: fp {} vs int {}",
+                    fp_row[c],
+                    qi_row[c]
+                );
+            }
+        }
+        assert!(agree >= 5, "argmax agreement only {agree}/8");
+    }
+}

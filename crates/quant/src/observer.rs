@@ -1,0 +1,120 @@
+//! Activation-range observers for post-training calibration.
+
+use crate::qtensor::QParams;
+use bioformer_tensor::Tensor;
+
+/// Tracks the min/max of every tensor it observes and converts the range
+/// into [`QParams`] at the end of calibration.
+///
+/// A percentile/EMA observer would clip outliers more gracefully; min/max
+/// matches what the GAP8 deployment flow of the paper's toolchain
+/// ([Burrello et al., COINS 2021]) uses and keeps behaviour reproducible.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MinMaxObserver {
+    min: f32,
+    max: f32,
+    observed: u64,
+}
+
+impl Default for MinMaxObserver {
+    fn default() -> Self {
+        MinMaxObserver::new()
+    }
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        MinMaxObserver {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            observed: 0,
+        }
+    }
+
+    /// Folds a tensor's values into the running range.
+    pub fn observe(&mut self, t: &Tensor) {
+        for &v in t.data() {
+            if v.is_finite() {
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+        }
+        self.observed += t.len() as u64;
+    }
+
+    /// Number of scalars observed so far.
+    pub fn count(&self) -> u64 {
+        self.observed
+    }
+
+    /// Observed range, or `None` before any observation.
+    pub fn range(&self) -> Option<(f32, f32)> {
+        if self.observed == 0 || self.min > self.max {
+            None
+        } else {
+            Some((self.min, self.max))
+        }
+    }
+
+    /// Affine int8 parameters for the observed range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was observed.
+    pub fn affine_params(&self) -> QParams {
+        let (min, max) = self.range().expect("observer saw no data");
+        QParams::affine(min, max)
+    }
+
+    /// Symmetric int8 parameters for the observed range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was observed.
+    pub fn symmetric_params(&self) -> QParams {
+        let (min, max) = self.range().expect("observer saw no data");
+        QParams::symmetric(min.abs().max(max.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_min_max_across_batches() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&Tensor::from_vec(vec![0.5, -0.2], &[2]));
+        obs.observe(&Tensor::from_vec(vec![1.5, 0.1], &[2]));
+        assert_eq!(obs.range(), Some((-0.2, 1.5)));
+        assert_eq!(obs.count(), 4);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&Tensor::from_vec(vec![f32::NAN, 1.0, f32::INFINITY], &[3]));
+        assert_eq!(obs.range(), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn empty_observer_has_no_range() {
+        assert_eq!(MinMaxObserver::new().range(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn params_without_data_panic() {
+        MinMaxObserver::new().affine_params();
+    }
+
+    #[test]
+    fn params_cover_range() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&Tensor::from_vec(vec![-2.0, 3.0], &[2]));
+        let p = obs.affine_params();
+        assert!((p.dequantize(p.quantize(-2.0)) - -2.0).abs() <= p.scale);
+        assert!((p.dequantize(p.quantize(3.0)) - 3.0).abs() <= p.scale);
+    }
+}

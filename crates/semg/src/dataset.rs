@@ -1,0 +1,306 @@
+//! Window datasets and per-channel normalisation.
+
+use crate::{CHANNELS, GESTURE_CLASSES, WINDOW};
+use bioformer_tensor::Tensor;
+
+/// A set of labelled sEMG windows with provenance metadata.
+///
+/// `x` is `[n, CHANNELS, WINDOW]`; `labels[i]`, `subjects[i]` and
+/// `sessions[i]` describe window `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemgDataset {
+    x: Tensor,
+    labels: Vec<usize>,
+    subjects: Vec<u16>,
+    sessions: Vec<u16>,
+}
+
+impl SemgDataset {
+    /// An empty dataset.
+    pub fn empty() -> Self {
+        SemgDataset {
+            x: Tensor::zeros(&[0, CHANNELS, WINDOW]),
+            labels: Vec::new(),
+            subjects: Vec::new(),
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or `x` has the wrong shape.
+    pub fn new(x: Tensor, labels: Vec<usize>, subjects: Vec<u16>, sessions: Vec<u16>) -> Self {
+        assert_eq!(x.shape().rank(), 3, "dataset x must be [n, C, W]");
+        let n = x.dims()[0];
+        assert_eq!(x.dims()[1], CHANNELS, "dataset channel count");
+        assert_eq!(x.dims()[2], WINDOW, "dataset window length");
+        assert_eq!(labels.len(), n, "labels length");
+        assert_eq!(subjects.len(), n, "subjects length");
+        assert_eq!(sessions.len(), n, "sessions length");
+        assert!(
+            labels.iter().all(|&l| l < GESTURE_CLASSES),
+            "label out of range"
+        );
+        SemgDataset {
+            x,
+            labels,
+            subjects,
+            sessions,
+        }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The window tensor `[n, CHANNELS, WINDOW]`.
+    pub fn x(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// Integer gesture labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Originating subject per window.
+    pub fn subjects(&self) -> &[u16] {
+        &self.subjects
+    }
+
+    /// Originating session per window.
+    pub fn sessions(&self) -> &[u16] {
+        &self.sessions
+    }
+
+    /// Concatenates several datasets.
+    pub fn merge(parts: &[SemgDataset]) -> SemgDataset {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if total == 0 {
+            return SemgDataset::empty();
+        }
+        let sample = CHANNELS * WINDOW;
+        let mut data = Vec::with_capacity(total * sample);
+        let mut labels = Vec::with_capacity(total);
+        let mut subjects = Vec::with_capacity(total);
+        let mut sessions = Vec::with_capacity(total);
+        for p in parts {
+            data.extend_from_slice(p.x.data());
+            labels.extend_from_slice(&p.labels);
+            subjects.extend_from_slice(&p.subjects);
+            sessions.extend_from_slice(&p.sessions);
+        }
+        SemgDataset {
+            x: Tensor::from_vec(data, &[total, CHANNELS, WINDOW]),
+            labels,
+            subjects,
+            sessions,
+        }
+    }
+
+    /// Windows per class label.
+    pub fn class_counts(&self) -> [usize; GESTURE_CLASSES] {
+        let mut counts = [0usize; GESTURE_CLASSES];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing the windows whose index satisfies `keep`.
+    pub fn filter(&self, mut keep: impl FnMut(usize) -> bool) -> SemgDataset {
+        let sample = CHANNELS * WINDOW;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let mut subjects = Vec::new();
+        let mut sessions = Vec::new();
+        for i in 0..self.len() {
+            if keep(i) {
+                data.extend_from_slice(&self.x.data()[i * sample..(i + 1) * sample]);
+                labels.push(self.labels[i]);
+                subjects.push(self.subjects[i]);
+                sessions.push(self.sessions[i]);
+            }
+        }
+        let n = labels.len();
+        SemgDataset {
+            x: Tensor::from_vec(data, &[n, CHANNELS, WINDOW]),
+            labels,
+            subjects,
+            sessions,
+        }
+    }
+}
+
+/// Per-channel standardisation (z-score) fitted on training data and
+/// applied to every split — the only preprocessing ahead of the network.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits channel means and standard deviations on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &SemgDataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit Normalizer on empty dataset");
+        let n = data.len();
+        let mut mean = vec![0.0f64; CHANNELS];
+        let mut sq = vec![0.0f64; CHANNELS];
+        let per = (n * WINDOW) as f64;
+        for i in 0..n {
+            for c in 0..CHANNELS {
+                let row = &data.x.data()[(i * CHANNELS + c) * WINDOW..(i * CHANNELS + c + 1) * WINDOW];
+                for &v in row {
+                    mean[c] += v as f64;
+                    sq[c] += (v as f64) * (v as f64);
+                }
+            }
+        }
+        let mut std = vec![0.0f32; CHANNELS];
+        let mut mean_f = vec![0.0f32; CHANNELS];
+        for c in 0..CHANNELS {
+            let m = mean[c] / per;
+            let var = (sq[c] / per - m * m).max(1e-12);
+            mean_f[c] = m as f32;
+            std[c] = (var.sqrt()) as f32;
+        }
+        Normalizer {
+            mean: mean_f,
+            std,
+        }
+    }
+
+    /// Channel means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Channel standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Returns a standardised copy of `data`.
+    pub fn apply(&self, data: &SemgDataset) -> SemgDataset {
+        let mut out = data.clone();
+        let n = out.len();
+        for i in 0..n {
+            for c in 0..CHANNELS {
+                let inv = 1.0 / self.std[c];
+                let m = self.mean[c];
+                let row = &mut out.x.data_mut()
+                    [(i * CHANNELS + c) * WINDOW..(i * CHANNELS + c + 1) * WINDOW];
+                for v in row {
+                    *v = (*v - m) * inv;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize, scale: f32) -> SemgDataset {
+        let x = Tensor::from_fn(&[n, CHANNELS, WINDOW], |i| {
+            scale * ((i % 17) as f32 - 8.0) + (i / (CHANNELS * WINDOW)) as f32 * 0.01
+        });
+        let labels = (0..n).map(|i| i % GESTURE_CLASSES).collect();
+        SemgDataset::new(x, labels, vec![0; n], vec![0; n])
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = toy_dataset(3, 1.0);
+        let b = toy_dataset(2, 2.0);
+        let m = SemgDataset::merge(&[a.clone(), b.clone()]);
+        assert_eq!(m.len(), 5);
+        assert_eq!(&m.labels()[..3], a.labels());
+        assert_eq!(&m.x().data()[..a.x().len()], a.x().data());
+    }
+
+    #[test]
+    fn merge_empty_is_empty() {
+        let m = SemgDataset::merge(&[]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn class_counts_balanced_toy() {
+        let d = toy_dataset(16, 1.0);
+        assert_eq!(d.class_counts(), [2; GESTURE_CLASSES]);
+    }
+
+    #[test]
+    fn filter_selects_subset() {
+        let d = toy_dataset(10, 1.0);
+        let f = d.filter(|i| i % 2 == 0);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.labels()[1], d.labels()[2]);
+    }
+
+    #[test]
+    fn normalizer_zero_mean_unit_std() {
+        let d = toy_dataset(8, 3.0);
+        let norm = Normalizer::fit(&d);
+        let nd = norm.apply(&d);
+        // Recompute stats per channel on the normalised data.
+        let n = nd.len();
+        for c in 0..CHANNELS {
+            let mut mean = 0.0f64;
+            let mut sq = 0.0f64;
+            for i in 0..n {
+                for &v in
+                    &nd.x().data()[(i * CHANNELS + c) * WINDOW..(i * CHANNELS + c + 1) * WINDOW]
+                {
+                    mean += v as f64;
+                    sq += (v as f64) * (v as f64);
+                }
+            }
+            let per = (n * WINDOW) as f64;
+            mean /= per;
+            let var = sq / per - mean * mean;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn normalizer_is_train_statistics_only() {
+        let train = toy_dataset(4, 1.0);
+        let test = toy_dataset(4, 5.0);
+        let norm = Normalizer::fit(&train);
+        let nt = norm.apply(&test);
+        // Test data normalised with train stats should NOT be unit-std.
+        let v0: f32 = nt.x().data()[..WINDOW].iter().map(|v| v * v).sum::<f32>() / WINDOW as f32;
+        assert!(v0 > 2.0, "test variance under train stats should stay large");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_on_empty_panics() {
+        Normalizer::fit(&SemgDataset::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_rejected() {
+        let x = Tensor::zeros(&[1, CHANNELS, WINDOW]);
+        SemgDataset::new(x, vec![99], vec![0], vec![0]);
+    }
+}

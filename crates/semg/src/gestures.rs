@@ -1,0 +1,170 @@
+//! The eight Ninapro DB6 gesture classes and their muscle-synergy profiles.
+
+use crate::MUSCLES;
+
+/// The gesture vocabulary of Ninapro DB6: the rest position plus seven
+/// grasps "covering hand movements typically done during daily activities"
+/// (paper §III-C / Palermo et al. 2017).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[repr(usize)]
+pub enum Gesture {
+    /// Hand at rest.
+    Rest = 0,
+    /// Medium wrap (cylindrical grasp).
+    MediumWrap = 1,
+    /// Lateral grasp (key pinch).
+    Lateral = 2,
+    /// Parallel extension grasp.
+    ParallelExtension = 3,
+    /// Tripod grasp.
+    Tripod = 4,
+    /// Power sphere grasp.
+    PowerSphere = 5,
+    /// Precision disk grasp.
+    PrecisionDisk = 6,
+    /// Prismatic pinch grasp.
+    PrismaticPinch = 7,
+}
+
+/// All gestures in label order.
+pub const ALL_GESTURES: [Gesture; 8] = [
+    Gesture::Rest,
+    Gesture::MediumWrap,
+    Gesture::Lateral,
+    Gesture::ParallelExtension,
+    Gesture::Tripod,
+    Gesture::PowerSphere,
+    Gesture::PrecisionDisk,
+    Gesture::PrismaticPinch,
+];
+
+/// Mean muscle-synergy activation per gesture (rows) and muscle group
+/// (columns), in `[0, 1]`.
+///
+/// The rows are deliberately **pairwise confusable** — (MediumWrap,
+/// Lateral), (ParallelExtension, Tripod) and (PowerSphere, PrecisionDisk)
+/// differ by small perturbations — because in real sEMG "similar gestures
+/// result in similar muscle contractions ... leading to low classification
+/// accuracy" (paper §I). This is the main knob capping attainable accuracy
+/// in the reproduction.
+pub const SYNERGY: [[f32; MUSCLES]; 8] = [
+    // Rest: faint postural tone.
+    [0.04, 0.05, 0.04, 0.05, 0.04, 0.05],
+    // MediumWrap: strong flexors (m0, m1).
+    [0.90, 0.70, 0.20, 0.10, 0.30, 0.20],
+    // Lateral: close to MediumWrap (confusable pair A).
+    [0.80, 0.62, 0.30, 0.12, 0.24, 0.28],
+    // ParallelExtension: extensors (m2, m3).
+    [0.28, 0.20, 0.82, 0.70, 0.22, 0.12],
+    // Tripod: close to ParallelExtension (confusable pair B).
+    [0.32, 0.28, 0.72, 0.78, 0.30, 0.10],
+    // PowerSphere: broad co-contraction.
+    [0.70, 0.78, 0.52, 0.42, 0.58, 0.50],
+    // PrecisionDisk: close to PowerSphere (confusable pair C).
+    [0.62, 0.70, 0.60, 0.50, 0.52, 0.58],
+    // PrismaticPinch: intrinsic/thumb muscles (m4, m5).
+    [0.20, 0.28, 0.38, 0.30, 0.80, 0.70],
+];
+
+impl Gesture {
+    /// Integer class label (0–7).
+    pub fn label(self) -> usize {
+        self as usize
+    }
+
+    /// Gesture for a class label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= 8`.
+    pub fn from_label(label: usize) -> Gesture {
+        ALL_GESTURES[label]
+    }
+
+    /// Mean synergy activation vector of this gesture.
+    pub fn synergy(self) -> &'static [f32; MUSCLES] {
+        &SYNERGY[self as usize]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gesture::Rest => "rest",
+            Gesture::MediumWrap => "medium wrap",
+            Gesture::Lateral => "lateral",
+            Gesture::ParallelExtension => "parallel extension",
+            Gesture::Tripod => "tripod",
+            Gesture::PowerSphere => "power sphere",
+            Gesture::PrecisionDisk => "precision disk",
+            Gesture::PrismaticPinch => "prismatic pinch",
+        }
+    }
+}
+
+impl std::fmt::Display for Gesture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine(a: &[f32; MUSCLES], b: &[f32; MUSCLES]) -> f32 {
+        let dot: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb)
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for g in ALL_GESTURES {
+            assert_eq!(Gesture::from_label(g.label()), g);
+        }
+    }
+
+    #[test]
+    fn rest_is_weakest() {
+        let rest_energy: f32 = Gesture::Rest.synergy().iter().sum();
+        for g in &ALL_GESTURES[1..] {
+            let e: f32 = g.synergy().iter().sum();
+            assert!(e > 2.0 * rest_energy, "{g} not well separated from rest");
+        }
+    }
+
+    #[test]
+    fn confusable_pairs_are_nearly_collinear() {
+        for (a, b) in [
+            (Gesture::MediumWrap, Gesture::Lateral),
+            (Gesture::ParallelExtension, Gesture::Tripod),
+            (Gesture::PowerSphere, Gesture::PrecisionDisk),
+        ] {
+            let c = cosine(a.synergy(), b.synergy());
+            assert!(c > 0.97, "{a} vs {b} cosine {c} should be high");
+        }
+    }
+
+    #[test]
+    fn distinct_grasps_are_separable() {
+        let c = cosine(
+            Gesture::MediumWrap.synergy(),
+            Gesture::ParallelExtension.synergy(),
+        );
+        assert!(c < 0.75, "MediumWrap vs ParallelExtension cosine {c}");
+        let c2 = cosine(
+            Gesture::MediumWrap.synergy(),
+            Gesture::PrismaticPinch.synergy(),
+        );
+        assert!(c2 < 0.75, "MediumWrap vs PrismaticPinch cosine {c2}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL_GESTURES.iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,199 @@
+//! The synthetic Ninapro DB6 facade: protocol-level access to subjects,
+//! sessions and the paper's train/test splits.
+
+use crate::dataset::SemgDataset;
+use crate::session::SessionModel;
+use crate::signal::synthesize_repetition;
+use crate::spec::DatasetSpec;
+use crate::subject::SubjectModel;
+use crate::windowing::extract_all_into;
+use crate::{CHANNELS, GESTURE_CLASSES, WINDOW};
+use bioformer_tensor::Tensor;
+
+/// The synthetic stand-in for Ninapro DB6.
+///
+/// Recordings are generated **on demand** and deterministically from the
+/// spec seed, so harnesses can iterate over `(subject, session)` pairs
+/// without holding the whole corpus in memory (the paper-scale corpus is
+/// ~3.8 M windows ≈ 64 GB as f32).
+///
+/// # Example
+///
+/// ```
+/// use bioformer_semg::{DatasetSpec, NinaproDb6};
+///
+/// let db = NinaproDb6::generate(&DatasetSpec::tiny());
+/// let train = db.train_dataset(0);
+/// let test = db.test_dataset(0);
+/// assert!(!train.is_empty() && !test.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NinaproDb6 {
+    spec: DatasetSpec,
+    subjects: Vec<SubjectModel>,
+}
+
+impl NinaproDb6 {
+    /// Builds the database facade (precomputes per-subject models only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn generate(spec: &DatasetSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid DatasetSpec: {e}");
+        }
+        let subjects = (0..spec.subjects)
+            .map(|id| SubjectModel::generate(spec, id))
+            .collect();
+        NinaproDb6 {
+            spec: spec.clone(),
+            subjects,
+        }
+    }
+
+    /// The generation spec.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Per-subject anatomy models, indexed by subject id.
+    pub fn subjects(&self) -> &[SubjectModel] {
+        &self.subjects
+    }
+
+    /// Generates all windows of one `(subject, session)` recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subject` or `session` are out of range.
+    pub fn subject_session_dataset(&self, subject: usize, session: usize) -> SemgDataset {
+        assert!(subject < self.spec.subjects, "subject {subject} out of range");
+        assert!(session < self.spec.sessions, "session {session} out of range");
+        let subj = &self.subjects[subject];
+        let sess = SessionModel::generate(&self.spec, subj, session);
+
+        let per_rep = self.spec.windows_per_rep();
+        let total = GESTURE_CLASSES * self.spec.reps_per_gesture * per_rep;
+        let mut data = Vec::with_capacity(total * CHANNELS * WINDOW);
+        let mut labels = Vec::with_capacity(total);
+        for gesture in 0..GESTURE_CLASSES {
+            for rep in 0..self.spec.reps_per_gesture {
+                let signal = synthesize_repetition(&self.spec, subj, &sess, gesture, rep);
+                let n = extract_all_into(&signal, self.spec.slide, &mut data);
+                labels.extend(std::iter::repeat(gesture).take(n));
+            }
+        }
+        let n = labels.len();
+        SemgDataset::new(
+            Tensor::from_vec(data, &[n, CHANNELS, WINDOW]),
+            labels,
+            vec![subject as u16; n],
+            vec![session as u16; n],
+        )
+    }
+
+    /// Concatenated windows of several sessions of one subject.
+    pub fn sessions_dataset(&self, subject: usize, sessions: &[usize]) -> SemgDataset {
+        let parts: Vec<SemgDataset> = sessions
+            .iter()
+            .map(|&s| self.subject_session_dataset(subject, s))
+            .collect();
+        SemgDataset::merge(&parts)
+    }
+
+    /// The paper's training split for `subject`: sessions 1–5
+    /// (indices `0..sessions/2`).
+    pub fn train_dataset(&self, subject: usize) -> SemgDataset {
+        self.sessions_dataset(subject, &self.spec.train_sessions())
+    }
+
+    /// The paper's test split for `subject`: sessions 6–10
+    /// (indices `sessions/2..`).
+    pub fn test_dataset(&self, subject: usize) -> SemgDataset {
+        self.sessions_dataset(subject, &self.spec.test_sessions())
+    }
+
+    /// The inter-subject pre-training corpus for a target subject: the
+    /// **training sessions of every other subject** (paper §III-B: "we
+    /// first train the network ... with data coming from patients 2-10,
+    /// excluding subject 1").
+    pub fn pretrain_dataset(&self, excluded_subject: usize) -> SemgDataset {
+        let train_sessions = self.spec.train_sessions();
+        let parts: Vec<SemgDataset> = (0..self.spec.subjects)
+            .filter(|&s| s != excluded_subject)
+            .flat_map(|s| {
+                train_sessions
+                    .iter()
+                    .map(move |&k| (s, k))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(s, k)| self.subject_session_dataset(s, k))
+            .collect();
+        SemgDataset::merge(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> NinaproDb6 {
+        NinaproDb6::generate(&DatasetSpec::tiny())
+    }
+
+    #[test]
+    fn session_dataset_counts() {
+        let db = tiny_db();
+        let d = db.subject_session_dataset(0, 0);
+        assert_eq!(d.len(), db.spec().windows_per_session());
+        // Balanced classes by construction.
+        let counts = d.class_counts();
+        assert!(counts.iter().all(|&c| c == counts[0]));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let db = tiny_db();
+        let a = db.subject_session_dataset(1, 2);
+        let b = db.subject_session_dataset(1, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_test_sessions_disjoint() {
+        let db = tiny_db();
+        let train = db.train_dataset(0);
+        let test = db.test_dataset(0);
+        let train_sessions: std::collections::HashSet<u16> =
+            train.sessions().iter().copied().collect();
+        let test_sessions: std::collections::HashSet<u16> =
+            test.sessions().iter().copied().collect();
+        assert!(train_sessions.is_disjoint(&test_sessions));
+    }
+
+    #[test]
+    fn pretrain_excludes_target() {
+        let db = tiny_db();
+        let pre = db.pretrain_dataset(0);
+        assert!(pre.subjects().iter().all(|&s| s != 0));
+        assert!(!pre.is_empty());
+        // Only training sessions present.
+        let max_train = (db.spec().sessions / 2) as u16;
+        assert!(pre.sessions().iter().all(|&k| k < max_train));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_subject_panics() {
+        tiny_db().subject_session_dataset(99, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DatasetSpec")]
+    fn invalid_spec_panics() {
+        let mut spec = DatasetSpec::tiny();
+        spec.sessions = 1;
+        NinaproDb6::generate(&spec);
+    }
+}

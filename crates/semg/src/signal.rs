@@ -1,0 +1,304 @@
+//! sEMG signal synthesis: band-limited stochastic carriers modulated by
+//! muscle-activation envelopes, mixed into electrodes, plus interference.
+
+use crate::session::SessionModel;
+use crate::spec::DatasetSpec;
+use crate::subject::{derive_seed, randn, SubjectModel};
+use crate::{CHANNELS, MUSCLES, SAMPLE_RATE};
+use bioformer_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// First-order high-pass + low-pass cascade approximating the 20–450 Hz
+/// surface-EMG band at 2 kHz sampling.
+#[derive(Debug, Clone)]
+pub struct BandPass {
+    hp_alpha: f32,
+    lp_beta: f32,
+    hp_y: f32,
+    hp_x: f32,
+    lp_y: f32,
+}
+
+impl BandPass {
+    /// Creates a band-pass with the given corner frequencies (Hz).
+    pub fn new(f_low: f32, f_high: f32, sample_rate: f32) -> Self {
+        let dt = 1.0 / sample_rate;
+        let rc_hp = 1.0 / (std::f32::consts::TAU * f_low);
+        let rc_lp = 1.0 / (std::f32::consts::TAU * f_high);
+        BandPass {
+            hp_alpha: rc_hp / (rc_hp + dt),
+            lp_beta: dt / (rc_lp + dt),
+            hp_y: 0.0,
+            hp_x: 0.0,
+            lp_y: 0.0,
+        }
+    }
+
+    /// The standard sEMG band used by this crate (20–450 Hz @ 2 kHz).
+    pub fn semg() -> Self {
+        BandPass::new(20.0, 450.0, SAMPLE_RATE as f32)
+    }
+
+    /// Filters one sample.
+    pub fn process(&mut self, x: f32) -> f32 {
+        // One-pole high-pass.
+        let hp = self.hp_alpha * (self.hp_y + x - self.hp_x);
+        self.hp_x = x;
+        self.hp_y = hp;
+        // One-pole low-pass.
+        self.lp_y += self.lp_beta * (hp - self.lp_y);
+        self.lp_y
+    }
+}
+
+/// Generates a unit-variance band-limited noise carrier of length `n`.
+pub fn carrier(rng: &mut impl Rng, n: usize) -> Vec<f32> {
+    let mut bp = BandPass::semg();
+    let mut out: Vec<f32> = (0..n).map(|_| bp.process(randn(rng))).collect();
+    // Normalise to unit RMS so envelope amplitudes are interpretable.
+    let rms = (out.iter().map(|v| v * v).sum::<f32>() / n as f32).sqrt();
+    if rms > 1e-9 {
+        let inv = 1.0 / rms;
+        for v in &mut out {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Smoothstep ramp: 0→1 over `edge` at both ends of `[0, 1]`.
+fn ramp(t: f32, edge: f32) -> f32 {
+    let up = (t / edge).clamp(0.0, 1.0);
+    let down = ((1.0 - t) / edge).clamp(0.0, 1.0);
+    let s = |x: f32| x * x * (3.0 - 2.0 * x);
+    s(up) * s(down)
+}
+
+/// Synthesises one repetition of `gesture` for `(subject, session)`:
+/// a `[CHANNELS, rep_samples]` tensor.
+///
+/// Deterministic in `(spec.seed, subject, session, gesture, rep)`.
+pub fn synthesize_repetition(
+    spec: &DatasetSpec,
+    subject: &SubjectModel,
+    session: &SessionModel,
+    gesture: usize,
+    rep: usize,
+) -> Tensor {
+    let n = spec.rep_samples();
+    let mut rng = StdRng::seed_from_u64(derive_seed(
+        spec.seed,
+        &[
+            4,
+            subject.id as u64,
+            session.session as u64,
+            gesture as u64,
+            rep as u64,
+        ],
+    ));
+
+    // Per-muscle stochastic carriers (independent fibre activity).
+    let carriers: Vec<Vec<f32>> = (0..MUSCLES).map(|_| carrier(&mut rng, n)).collect();
+
+    // Per-repetition execution variability: amplitude jitter + mild fatigue
+    // decay over the session's repetitions.
+    let rep_scale = (1.0 + 0.08 * randn(&mut rng)) * (1.0 - 0.01 * rep as f32).max(0.5);
+    let tremor_freq = rng.gen_range(4.0..8.0f32);
+    let tremor_phase = rng.gen_range(0.0..std::f32::consts::TAU);
+    let tremor_amp = rng.gen_range(0.08..0.18f32);
+
+    // Envelope per muscle: synergy level × ramp × tremor.
+    let act = &subject.synergy[gesture];
+    let dt = 1.0 / SAMPLE_RATE as f32;
+    let mut envelopes = vec![0.0f32; MUSCLES * n];
+    for t in 0..n {
+        let frac = t as f32 / n as f32;
+        let r = ramp(frac, 0.12);
+        let trem = 1.0 + tremor_amp * (std::f32::consts::TAU * tremor_freq * t as f32 * dt + tremor_phase).sin();
+        for m in 0..MUSCLES {
+            // Rest keeps faint tonic activity even outside the ramp.
+            let tonic = 0.04;
+            envelopes[m * n + t] = (act[m] * r * trem + tonic) * rep_scale * subject.amplitude;
+        }
+    }
+
+    // Motion artefacts: Poisson-ish events on random channels.
+    let expected = session.artifact_rate * spec.rep_duration_s;
+    let events = {
+        // Knuth-style Poisson sampling (small expected counts).
+        let l = (-expected).exp();
+        let mut k = 0usize;
+        let mut p = 1.0f32;
+        loop {
+            p *= rng.gen_range(0.0..1.0f32);
+            if p <= l || k > 20 {
+                break k;
+            }
+            k += 1;
+        }
+    };
+    struct Artifact {
+        channel: usize,
+        center: f32,
+        width: f32,
+        amp: f32,
+    }
+    let artifacts: Vec<Artifact> = (0..events)
+        .map(|_| Artifact {
+            channel: rng.gen_range(0..CHANNELS),
+            center: rng.gen_range(0.0..n as f32),
+            width: rng.gen_range(30.0..120.0f32),
+            amp: rng.gen_range(0.5..2.0f32) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+        })
+        .collect();
+
+    // Mix into electrodes.
+    let noise_sigma = spec.sensor_noise * subject.difficulty;
+    let mut x = Tensor::zeros(&[CHANNELS, n]);
+    let xd = x.data_mut();
+    for e in 0..CHANNELS {
+        let gain = session.gains[e];
+        let mix_row = &session.mixing[e * MUSCLES..(e + 1) * MUSCLES];
+        let pl_phase = session.powerline_phase + e as f32 * 0.3;
+        for t in 0..n {
+            let mut v = 0.0f32;
+            for m in 0..MUSCLES {
+                v += mix_row[m] * envelopes[m * n + t] * carriers[m][t];
+            }
+            v *= gain;
+            // 50 Hz interference.
+            v += session.powerline_amp
+                * (std::f32::consts::TAU * 50.0 * t as f32 * dt + pl_phase).sin();
+            // Sensor noise.
+            v += noise_sigma * randn(&mut rng);
+            xd[e * n + t] = v;
+        }
+    }
+    // Add artefact bumps.
+    for a in &artifacts {
+        let e = a.channel;
+        let lo = ((a.center - 4.0 * a.width).max(0.0)) as usize;
+        let hi = ((a.center + 4.0 * a.width) as usize).min(n);
+        for t in lo..hi {
+            let d = (t as f32 - a.center) / a.width;
+            xd[e * n + t] += a.amp * (-0.5 * d * d).exp();
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gestures::Gesture;
+    use crate::session::SessionModel;
+    use crate::subject::SubjectModel;
+
+    fn setup() -> (DatasetSpec, SubjectModel, SessionModel) {
+        let spec = DatasetSpec::tiny();
+        let subj = SubjectModel::generate(&spec, 0);
+        let sess = SessionModel::generate(&spec, &subj, 0);
+        (spec, subj, sess)
+    }
+
+    #[test]
+    fn bandpass_attenuates_dc_and_high_freq() {
+        let fs = SAMPLE_RATE as f32;
+        // DC input → output decays to ~0.
+        let mut bp = BandPass::semg();
+        let mut last = 0.0;
+        for _ in 0..4000 {
+            last = bp.process(1.0);
+        }
+        assert!(last.abs() < 0.05, "DC leak {last}");
+        // Pass-band tone (100 Hz) retains much more power than 900 Hz tone.
+        let tone_power = |f: f32| {
+            let mut bp = BandPass::semg();
+            let mut p = 0.0;
+            for t in 0..4000 {
+                let x = (std::f32::consts::TAU * f * t as f32 / fs).sin();
+                let y = bp.process(x);
+                if t > 1000 {
+                    p += y * y;
+                }
+            }
+            p
+        };
+        let pass = tone_power(100.0);
+        let stop = tone_power(900.0);
+        assert!(pass > 2.0 * stop, "pass {pass} vs stop {stop}");
+    }
+
+    #[test]
+    fn carrier_unit_rms_and_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = carrier(&mut rng, 8000);
+        let mean: f32 = c.iter().sum::<f32>() / c.len() as f32;
+        let rms = (c.iter().map(|v| v * v).sum::<f32>() / c.len() as f32).sqrt();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((rms - 1.0).abs() < 1e-4, "rms {rms}");
+    }
+
+    #[test]
+    fn repetition_shape_and_finite() {
+        let (spec, subj, sess) = setup();
+        let x = synthesize_repetition(&spec, &subj, &sess, Gesture::MediumWrap.label(), 0);
+        assert_eq!(x.dims(), &[CHANNELS, spec.rep_samples()]);
+        assert!(!x.has_non_finite());
+    }
+
+    #[test]
+    fn deterministic_repetitions() {
+        let (spec, subj, sess) = setup();
+        let a = synthesize_repetition(&spec, &subj, &sess, 1, 0);
+        let b = synthesize_repetition(&spec, &subj, &sess, 1, 0);
+        assert!(a.allclose(&b, 0.0));
+        let c = synthesize_repetition(&spec, &subj, &sess, 1, 1);
+        assert!(!a.allclose(&c, 1e-3), "different reps must differ");
+    }
+
+    #[test]
+    fn grasp_has_more_power_than_rest() {
+        let (spec, subj, sess) = setup();
+        let rest = synthesize_repetition(&spec, &subj, &sess, Gesture::Rest.label(), 0);
+        let grasp = synthesize_repetition(&spec, &subj, &sess, Gesture::PowerSphere.label(), 0);
+        assert!(
+            grasp.norm_sq() > 1.2 * rest.norm_sq(),
+            "grasp power {} vs rest {}",
+            grasp.norm_sq(),
+            rest.norm_sq()
+        );
+    }
+
+    #[test]
+    fn different_gestures_have_different_channel_profiles() {
+        let (spec, subj, sess) = setup();
+        let n = spec.rep_samples();
+        let rms_profile = |g: Gesture| -> Vec<f32> {
+            let x = synthesize_repetition(&spec, &subj, &sess, g.label(), 0);
+            (0..CHANNELS)
+                .map(|e| {
+                    (x.data()[e * n..(e + 1) * n]
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>()
+                        / n as f32)
+                        .sqrt()
+                })
+                .collect()
+        };
+        let a = rms_profile(Gesture::MediumWrap);
+        let b = rms_profile(Gesture::PrismaticPinch);
+        // Normalised profiles should differ appreciably for distinct grasps.
+        let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let cos: f32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x * y)
+            .sum::<f32>()
+            / (na * nb);
+        assert!(cos < 0.995, "profiles nearly identical (cos {cos})");
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-subject anatomy and style model.
+
+use crate::gestures::SYNERGY;
+use crate::spec::DatasetSpec;
+use crate::{CHANNELS, GESTURE_CLASSES, MUSCLES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a standard normal via Box–Muller (rand 0.8 has no `rand_distr`
+/// in this workspace's dependency budget).
+pub(crate) fn randn(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Stable per-entity sub-seed derivation (splitmix64-style).
+pub(crate) fn derive_seed(master: u64, parts: &[u64]) -> u64 {
+    let mut h = master ^ 0x9E37_79B9_7F4A_7C15;
+    for &p in parts {
+        h ^= p.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// The anatomy/style of one subject: how muscle activity couples into the
+/// 14 electrodes and how this subject executes each gesture.
+///
+/// All subjects share a common **base mixing matrix** (electrode geometry
+/// around the forearm); per-subject matrices are perturbations of it. The
+/// shared component is what a pre-trained network can exploit across
+/// subjects — remove it (crank `subject_variability` up) and the paper's
+/// inter-subject pre-training gain disappears.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectModel {
+    /// Subject index (0-based; the paper numbers subjects 1–10).
+    pub id: usize,
+    /// Electrode × muscle coupling matrix, row-major `[CHANNELS × MUSCLES]`.
+    pub mixing: Vec<f32>,
+    /// Subject-styled synergy table (perturbed copy of
+    /// [`crate::gestures::SYNERGY`]).
+    pub synergy: [[f32; MUSCLES]; GESTURE_CLASSES],
+    /// Overall contraction amplitude (0.7–1.3).
+    pub amplitude: f32,
+    /// Difficulty multiplier applied to this subject's noise and drift
+    /// (`1 ± difficulty_spread`); spreads subjects apart as in Fig. 3.
+    pub difficulty: f32,
+}
+
+/// The base electrode↔muscle coupling shared by all subjects: electrodes
+/// sit on a ring around the forearm, muscles at fixed angular positions;
+/// coupling decays with angular distance.
+pub fn base_mixing(seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, &[0xBA5E]));
+    let mut m = vec![0.0f32; CHANNELS * MUSCLES];
+    for e in 0..CHANNELS {
+        let theta_e = e as f32 / CHANNELS as f32;
+        for mu in 0..MUSCLES {
+            let theta_m = mu as f32 / MUSCLES as f32;
+            let mut d = (theta_e - theta_m).abs();
+            if d > 0.5 {
+                d = 1.0 - d;
+            }
+            // Sharp spatial selectivity plus a small seeded irregularity.
+            let coupling = (-(d * d) / 0.015).exp() + 0.05 * rng.gen_range(0.0..1.0);
+            m[e * MUSCLES + mu] = coupling;
+        }
+        // Normalise each electrode's row so overall signal power is
+        // comparable across electrodes.
+        let norm: f32 = m[e * MUSCLES..(e + 1) * MUSCLES]
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt();
+        for mu in 0..MUSCLES {
+            m[e * MUSCLES + mu] /= norm.max(1e-6);
+        }
+    }
+    m
+}
+
+impl SubjectModel {
+    /// Deterministically generates subject `id` under `spec`.
+    pub fn generate(spec: &DatasetSpec, id: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, &[1, id as u64]));
+        let base = base_mixing(spec.seed);
+        let mut mixing = base.clone();
+        for v in &mut mixing {
+            *v += spec.subject_variability * randn(&mut rng) * 0.5;
+        }
+        let mut synergy = SYNERGY;
+        for row in &mut synergy {
+            for v in row.iter_mut() {
+                let jitter = 1.0 + spec.style_variability * randn(&mut rng);
+                *v = (*v * jitter + 0.03 * spec.style_variability * randn(&mut rng)).clamp(0.0, 1.3);
+            }
+        }
+        let amplitude = rng.gen_range(0.7..1.3);
+        let difficulty = 1.0 + rng.gen_range(-spec.difficulty_spread..spec.difficulty_spread);
+        SubjectModel {
+            id,
+            mixing,
+            synergy,
+            amplitude,
+            difficulty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_spec() {
+        let spec = DatasetSpec::tiny();
+        let a = SubjectModel::generate(&spec, 0);
+        let b = SubjectModel::generate(&spec, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subjects_differ() {
+        let spec = DatasetSpec::tiny();
+        let a = SubjectModel::generate(&spec, 0);
+        let b = SubjectModel::generate(&spec, 1);
+        assert_ne!(a.mixing, b.mixing);
+        assert_ne!(a.difficulty, b.difficulty);
+    }
+
+    #[test]
+    fn mixing_close_to_shared_base() {
+        let spec = DatasetSpec::default();
+        let base = base_mixing(spec.seed);
+        let subj = SubjectModel::generate(&spec, 3);
+        // Per-subject deviation should be bounded: shared structure must
+        // dominate for inter-subject pre-training to work.
+        let dev: f32 = base
+            .iter()
+            .zip(subj.mixing.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        let base_norm: f32 = base.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(
+            dev < base_norm,
+            "subject deviates more than the base norm ({dev} vs {base_norm})"
+        );
+    }
+
+    #[test]
+    fn difficulty_within_spread() {
+        let spec = DatasetSpec::default();
+        for id in 0..10 {
+            let s = SubjectModel::generate(&spec, id);
+            assert!(s.difficulty >= 1.0 - spec.difficulty_spread);
+            assert!(s.difficulty <= 1.0 + spec.difficulty_spread);
+        }
+    }
+
+    #[test]
+    fn difficulty_varies_across_subjects() {
+        let spec = DatasetSpec::default();
+        let diffs: Vec<f32> = (0..10)
+            .map(|id| SubjectModel::generate(&spec, id).difficulty)
+            .collect();
+        let min = diffs.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = diffs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.3, "difficulty range too narrow: {min}..{max}");
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spread() {
+        let a = derive_seed(42, &[1, 2, 3]);
+        let b = derive_seed(42, &[1, 2, 3]);
+        let c = derive_seed(42, &[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

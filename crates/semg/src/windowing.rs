@@ -1,0 +1,105 @@
+//! Sliding-window extraction from continuous recordings.
+
+use crate::WINDOW;
+use bioformer_tensor::Tensor;
+
+/// Start offsets of all full windows of length [`WINDOW`] in a recording of
+/// `len` samples with the given `slide`.
+///
+/// # Panics
+///
+/// Panics if `slide == 0`.
+pub fn window_offsets(len: usize, slide: usize) -> Vec<usize> {
+    assert!(slide > 0, "window slide must be positive");
+    if len < WINDOW {
+        return Vec::new();
+    }
+    (0..=(len - WINDOW)).step_by(slide).collect()
+}
+
+/// Extracts the window starting at `offset` from a `[channels, len]`
+/// recording into a `[channels, WINDOW]` tensor.
+///
+/// # Panics
+///
+/// Panics if the window would run past the end of the recording.
+pub fn extract_window(signal: &Tensor, offset: usize) -> Tensor {
+    let (c, len) = (signal.dims()[0], signal.dims()[1]);
+    assert!(
+        offset + WINDOW <= len,
+        "window at {offset} overruns recording of {len} samples"
+    );
+    let mut out = Tensor::zeros(&[c, WINDOW]);
+    for ch in 0..c {
+        out.data_mut()[ch * WINDOW..(ch + 1) * WINDOW]
+            .copy_from_slice(&signal.data()[ch * len + offset..ch * len + offset + WINDOW]);
+    }
+    out
+}
+
+/// Extracts all windows of a recording, appending them (row-major) into
+/// `dst`, which must be laid out as consecutive `[channels × WINDOW]`
+/// samples. Returns the number of windows written.
+pub fn extract_all_into(signal: &Tensor, slide: usize, dst: &mut Vec<f32>) -> usize {
+    let (c, len) = (signal.dims()[0], signal.dims()[1]);
+    let offsets = window_offsets(len, slide);
+    for &off in &offsets {
+        for ch in 0..c {
+            dst.extend_from_slice(&signal.data()[ch * len + off..ch * len + off + WINDOW]);
+        }
+    }
+    offsets.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_count_matches_formula() {
+        // (2000-300)/150 + 1 = 12
+        assert_eq!(window_offsets(2000, 150).len(), 12);
+        // exact fit
+        assert_eq!(window_offsets(300, 300), vec![0]);
+        // too short
+        assert!(window_offsets(299, 10).is_empty());
+    }
+
+    #[test]
+    fn offsets_are_strided() {
+        let offs = window_offsets(900, 300);
+        assert_eq!(offs, vec![0, 300, 600]);
+    }
+
+    #[test]
+    fn extract_window_copies_channels() {
+        let signal = Tensor::from_fn(&[2, 600], |i| i as f32);
+        let w = extract_window(&signal, 100);
+        assert_eq!(w.dims(), &[2, WINDOW]);
+        assert_eq!(w.at(&[0, 0]), 100.0);
+        assert_eq!(w.at(&[1, 0]), 700.0);
+        assert_eq!(w.at(&[1, 299]), 999.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn extract_past_end_panics() {
+        let signal = Tensor::zeros(&[1, 400]);
+        extract_window(&signal, 200);
+    }
+
+    #[test]
+    fn extract_all_matches_single_extracts() {
+        let signal = Tensor::from_fn(&[3, 750], |i| (i % 97) as f32);
+        let mut buf = Vec::new();
+        let n = extract_all_into(&signal, 150, &mut buf);
+        let offs = window_offsets(750, 150);
+        assert_eq!(n, offs.len());
+        assert_eq!(buf.len(), n * 3 * WINDOW);
+        for (wi, &off) in offs.iter().enumerate() {
+            let w = extract_window(&signal, off);
+            let got = &buf[wi * 3 * WINDOW..(wi + 1) * 3 * WINDOW];
+            assert_eq!(got, w.data(), "window {wi} mismatch");
+        }
+    }
+}

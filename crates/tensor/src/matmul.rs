@@ -1,0 +1,331 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Three layouts cover every product a manual-backprop transformer needs:
+//!
+//! | Function       | Computes            | Typical use                      |
+//! |----------------|---------------------|----------------------------------|
+//! | [`matmul`]     | `A[m,k] · B[k,n]`   | activations × weights (backward) |
+//! | [`matmul_nt`]  | `A[m,k] · Bᵀ[n,k]`  | `x · Wᵀ` forward (PyTorch layout)|
+//! | [`matmul_tn`]  | `Aᵀ[m,k] · B[m,n]`  | weight gradients `dyᵀ · x`       |
+//!
+//! All kernels use an `i-k-j` loop order over contiguous rows (friendly to
+//! auto-vectorisation) and split the output rows across scoped threads when
+//! the problem is large enough (see [`crate::parallel`]).
+
+use crate::tensor::Tensor;
+
+/// `C = A · B` for 2-D tensors `A[m,k]`, `B[k,n]`.
+///
+/// # Panics
+///
+/// Panics if either tensor is not 2-D or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul: lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul: rhs must be 2-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul: inner dimensions disagree ({} vs {})",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    parallel_chunks_rows(&mut out, m, n, 2 * m * n * k, |row0, rows| {
+        for (local_i, out_row) in rows.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            let a_row = &ad[i * k..(i + 1) * k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A · Bᵀ` for `A[m,k]`, `B[n,k]` — the natural layout for a linear
+/// layer whose weight matrix is stored `[out_features, in_features]`.
+///
+/// # Panics
+///
+/// Panics if either tensor is not 2-D or the `k` dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_nt: lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul_nt: rhs must be 2-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul_nt: inner dimensions disagree ({} vs {})",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    parallel_chunks_rows(&mut out, m, n, 2 * m * n * k, |row0, rows| {
+        for (local_i, out_row) in rows.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            let a_row = &ad[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &bd[j * k..(j + 1) * k];
+                // Four partial sums break the sequential FP dependence so
+                // the loop vectorises.
+                let mut acc = [0.0f32; 4];
+                let mut it_a = a_row.chunks_exact(4);
+                let mut it_b = b_row.chunks_exact(4);
+                for (ca, cb) in (&mut it_a).zip(&mut it_b) {
+                    acc[0] += ca[0] * cb[0];
+                    acc[1] += ca[1] * cb[1];
+                    acc[2] += ca[2] * cb[2];
+                    acc[3] += ca[3] * cb[3];
+                }
+                let mut tail = 0.0f32;
+                for (x, y) in it_a.remainder().iter().zip(it_b.remainder().iter()) {
+                    tail += x * y;
+                }
+                *o = acc[0] + acc[1] + acc[2] + acc[3] + tail;
+            }
+        }
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ · B` for `A[m,k]`, `B[m,n]`, producing `C[k,n]` — the weight
+/// gradient `dW = dyᵀ · x` of a linear layer.
+///
+/// # Panics
+///
+/// Panics if either tensor is not 2-D or the `m` dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_tn: lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul_tn: rhs must be 2-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (m2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        m, m2,
+        "matmul_tn: outer dimensions disagree ({} vs {})",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; k * n];
+    let (ad, bd) = (a.data(), b.data());
+    parallel_chunks_rows(&mut out, k, n, 2 * m * n * k, |row0, rows| {
+        for (local_kk, out_row) in rows.chunks_mut(n).enumerate() {
+            let kk = row0 + local_kk;
+            for mm in 0..m {
+                let a_val = ad[mm * k + kk];
+                if a_val == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[mm * n..(mm + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_val * bv;
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[k, n])
+}
+
+/// Matrix–vector product `A[m,k] · v[k]`, returning a length-`m` 1-D tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-D, `v` is not 1-D, or the lengths disagree.
+pub fn matvec(a: &Tensor, v: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matvec: lhs must be 2-D");
+    assert_eq!(v.shape().rank(), 1, "matvec: rhs must be 1-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    assert_eq!(k, v.dims()[0], "matvec: dimension mismatch");
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &a.data()[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(v.data().iter()).map(|(x, y)| x * y).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+/// Number of worker threads worth using for a kernel of the given work
+/// estimate: 1 below the threshold, then roughly one thread per 16 M work
+/// units so every spawned thread amortises its ~0.25 ms start-up cost.
+fn plan_threads(work: usize) -> usize {
+    if work < crate::parallel::PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        (work >> 24).clamp(2, crate::parallel::max_threads().max(1))
+    }
+}
+
+/// Splits a flat `rows*cols` buffer into one `(row_index, row_slice)` chunk
+/// per worker; helper for the threaded kernels.
+fn split_rows(buf: &mut [f32], rows: usize, cols: usize, threads: usize) -> Vec<(usize, &mut [f32])> {
+    let per = rows.div_ceil(threads.min(rows.max(1)).max(1));
+    let mut out = Vec::new();
+    let mut rest = buf;
+    let mut row = 0usize;
+    while row < rows {
+        let take = per.min(rows - row);
+        let (head, tail) = rest.split_at_mut(take * cols);
+        out.push((row, head));
+        rest = tail;
+        row += take;
+    }
+    out
+}
+
+/// Runs `body(first_row, rows_slice)` over row groups, in parallel when the
+/// estimated `work` is large enough.
+fn parallel_chunks_rows<F>(
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    work: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let threads = plan_threads(work);
+    if threads <= 1 {
+        body(0, out);
+        return;
+    }
+    let chunks = split_rows(out, rows, cols, threads);
+    std::thread::scope(|scope| {
+        let body = &body;
+        for (row0, slice) in chunks {
+            scope.spawn(move || body(row0, slice));
+        }
+    });
+}
+
+// Re-export a convenience method surface on Tensor.
+impl Tensor {
+    /// `self · rhs`; see [`matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        matmul(self, rhs)
+    }
+
+    /// `self · rhsᵀ`; see [`matmul_nt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the inner dimensions disagree.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        matmul_nt(self, rhs)
+    }
+
+    /// `selfᵀ · rhs`; see [`matmul_tn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the outer dimensions disagree.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        matmul_tn(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Tensor::from_fn(dims, |_| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            ((v >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = filled(&[7, 5], 1);
+        let b = filled(&[5, 9], 2);
+        assert!(matmul(&a, &b).allclose(&naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = filled(&[4, 4], 3);
+        assert!(matmul(&a, &Tensor::eye(4)).allclose(&a, 1e-6));
+        assert!(matmul(&Tensor::eye(4), &a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive() {
+        let a = filled(&[6, 8], 4);
+        let b = filled(&[5, 8], 5);
+        let expect = naive(&a, &b.transpose2());
+        assert!(matmul_nt(&a, &b).allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive() {
+        let a = filled(&[6, 3], 6);
+        let b = filled(&[6, 4], 7);
+        let expect = naive(&a.transpose2(), &b);
+        assert!(matmul_tn(&a, &b).allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = filled(&[5, 7], 8);
+        let v = filled(&[7], 9);
+        let mv = matvec(&a, &v);
+        let mm = matmul(&a, &v.reshape(&[7, 1]));
+        for i in 0..5 {
+            assert!((mv.data()[i] - mm.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn large_parallel_matches_naive() {
+        // Big enough to trigger the threaded path.
+        let a = filled(&[64, 96], 10);
+        let b = filled(&[96, 80], 11);
+        assert!(matmul(&a, &b).allclose(&naive(&a, &b), 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn mismatched_inner_dims_panic() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Tensor::from_vec(vec![3.0], &[1, 1]);
+        let b = Tensor::from_vec(vec![4.0], &[1, 1]);
+        assert_eq!(matmul(&a, &b).data(), &[12.0]);
+    }
+}

@@ -1,0 +1,386 @@
+//! Neural-network math primitives with analytic derivatives.
+//!
+//! Everything here is a pure function over [`Tensor`]s; stateful layers with
+//! caches live in `bioformer-nn`. Row-wise operations treat the **last** axis
+//! of a 2-D tensor as the feature/key axis, matching the attention and
+//! LayerNorm semantics of the paper.
+
+use crate::tensor::Tensor;
+
+/// Numerical-stability epsilon used by [`layernorm_forward`].
+pub const LAYERNORM_EPS: f32 = 1e-5;
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_COEF: f32 = 0.044_715;
+
+/// Row-wise softmax of a 2-D tensor (softmax over the last axis).
+///
+/// Uses the max-subtraction trick for numerical stability.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "softmax_rows requires a 2-D tensor");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = x.clone();
+    for r in 0..m {
+        let row = &mut out.data_mut()[r * n..(r + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`softmax_rows`].
+///
+/// Given `y = softmax(x)` and upstream gradient `dy`, returns
+/// `dx_i = y_i (dy_i − Σ_j dy_j y_j)` per row.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn softmax_rows_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), dy.shape(), "softmax backward shape mismatch");
+    let (m, n) = (y.dims()[0], y.dims()[1]);
+    let mut dx = Tensor::zeros(&[m, n]);
+    for r in 0..m {
+        let yr = &y.data()[r * n..(r + 1) * n];
+        let dyr = &dy.data()[r * n..(r + 1) * n];
+        let dot: f32 = yr.iter().zip(dyr.iter()).map(|(a, b)| a * b).sum();
+        let dxr = &mut dx.data_mut()[r * n..(r + 1) * n];
+        for i in 0..n {
+            dxr[i] = yr[i] * (dyr[i] - dot);
+        }
+    }
+    dx
+}
+
+/// Row-wise log-softmax (numerically stable), used by the cross-entropy
+/// loss.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "log_softmax_rows requires 2-D");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = x.clone();
+    for r in 0..m {
+        let row = &mut out.data_mut()[r * n..(r + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logsum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= logsum;
+        }
+    }
+    out
+}
+
+/// GELU activation (tanh approximation, as used by ViT/BERT implementations
+/// and approximated in integer form by I-BERT).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] w.r.t. its input.
+pub fn gelu_grad(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEF * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// ReLU activation.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of [`relu`] (0 at the kink, matching common DL frameworks).
+pub fn relu_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Per-row statistics cached by [`layernorm_forward`] and consumed by
+/// [`layernorm_backward`].
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalised activations `x̂` (same shape as the input).
+    pub xhat: Tensor,
+    /// Per-row `1/√(var+ε)`.
+    pub inv_std: Vec<f32>,
+}
+
+/// Row-wise LayerNorm: `y = γ ⊙ (x − μ)/√(σ² + ε) + β`.
+///
+/// Returns the output and the cache needed for the backward pass.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D or `gamma`/`beta` do not match the row width.
+pub fn layernorm_forward(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, LayerNormCache) {
+    assert_eq!(x.shape().rank(), 2, "layernorm requires a 2-D tensor");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    assert_eq!(gamma.dims(), &[n], "layernorm: gamma must be [features]");
+    assert_eq!(beta.dims(), &[n], "layernorm: beta must be [features]");
+    let mut y = Tensor::zeros(&[m, n]);
+    let mut xhat = Tensor::zeros(&[m, n]);
+    let mut inv_std = vec![0.0f32; m];
+    for r in 0..m {
+        let row = &x.data()[r * n..(r + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let istd = 1.0 / (var + LAYERNORM_EPS).sqrt();
+        inv_std[r] = istd;
+        for i in 0..n {
+            let xh = (row[i] - mean) * istd;
+            xhat.data_mut()[r * n + i] = xh;
+            y.data_mut()[r * n + i] = gamma.data()[i] * xh + beta.data()[i];
+        }
+    }
+    (y, LayerNormCache { xhat, inv_std })
+}
+
+/// Backward pass of [`layernorm_forward`].
+///
+/// Returns `(dx, dgamma, dbeta)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `dy` and the cached activations.
+pub fn layernorm_backward(
+    dy: &Tensor,
+    gamma: &Tensor,
+    cache: &LayerNormCache,
+) -> (Tensor, Tensor, Tensor) {
+    let (m, n) = (dy.dims()[0], dy.dims()[1]);
+    assert_eq!(
+        cache.xhat.dims(),
+        dy.dims(),
+        "layernorm backward shape mismatch"
+    );
+    let mut dx = Tensor::zeros(&[m, n]);
+    let mut dgamma = Tensor::zeros(&[n]);
+    let mut dbeta = Tensor::zeros(&[n]);
+    for r in 0..m {
+        let dyr = &dy.data()[r * n..(r + 1) * n];
+        let xhr = &cache.xhat.data()[r * n..(r + 1) * n];
+        // Parameter gradients accumulate across rows.
+        for i in 0..n {
+            dgamma.data_mut()[i] += dyr[i] * xhr[i];
+            dbeta.data_mut()[i] += dyr[i];
+        }
+        // dxhat = dy * gamma; dx = istd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+        let mut mean_dxhat = 0.0f32;
+        let mut mean_dxhat_xhat = 0.0f32;
+        for i in 0..n {
+            let dxh = dyr[i] * gamma.data()[i];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * xhr[i];
+        }
+        mean_dxhat /= n as f32;
+        mean_dxhat_xhat /= n as f32;
+        let istd = cache.inv_std[r];
+        let dxr = &mut dx.data_mut()[r * n..(r + 1) * n];
+        for i in 0..n {
+            let dxh = dyr[i] * gamma.data()[i];
+            dxr[i] = istd * (dxh - mean_dxhat - xhr[i] * mean_dxhat_xhat);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Tensor::from_fn(dims, |_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            ((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = filled(&[4, 7], 1).scale(3.0);
+        let y = softmax_rows(&x);
+        for r in 0..4 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+            assert!(y.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = filled(&[2, 5], 2);
+        let shifted = x.map(|v| v + 100.0);
+        assert!(softmax_rows(&x).allclose(&softmax_rows(&shifted), 1e-5));
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let x = Tensor::from_vec(vec![1000.0, 1000.0, -1000.0], &[1, 3]);
+        let y = softmax_rows(&x);
+        assert!(!y.has_non_finite());
+        assert!((y.data()[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_backward_matches_fd() {
+        let x = filled(&[3, 5], 3);
+        let dy = filled(&[3, 5], 4);
+        let y = softmax_rows(&x);
+        let dx = softmax_rows_backward(&y, &dy);
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp = softmax_rows(&xp).mul(&dy).sum();
+            let fm = softmax_rows(&xm).mul(&dy).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 5e-3,
+                "dx[{idx}]: fd={num} analytic={}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = filled(&[3, 6], 5);
+        let ls = log_softmax_rows(&x);
+        let s = softmax_rows(&x);
+        for i in 0..x.len() {
+            assert!((ls.data()[i].exp() - s.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // Asymptotics: gelu(x) ≈ x for large x, ≈ 0 for very negative x.
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_fd() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let eps = 1e-3;
+            let num = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert!(
+                (num - gelu_grad(x)).abs() < 1e-3,
+                "x={x}: fd={num} analytic={}",
+                gelu_grad(x)
+            );
+        }
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(3.0), 3.0);
+        assert_eq!(relu_grad(-1.0), 0.0);
+        assert_eq!(relu_grad(1.0), 1.0);
+    }
+
+    #[test]
+    fn layernorm_normalises_rows() {
+        let x = filled(&[3, 16], 6).scale(5.0);
+        let gamma = Tensor::ones(&[16]);
+        let beta = Tensor::zeros(&[16]);
+        let (y, _) = layernorm_forward(&x, &gamma, &beta);
+        for r in 0..3 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_affine_params_apply() {
+        let x = filled(&[2, 4], 7);
+        let gamma = Tensor::full(&[4], 2.0);
+        let beta = Tensor::full(&[4], 1.0);
+        let (y, _) = layernorm_forward(&x, &gamma, &beta);
+        let (y0, _) = layernorm_forward(&x, &Tensor::ones(&[4]), &Tensor::zeros(&[4]));
+        let expect = y0.scale(2.0).map(|v| v + 1.0);
+        assert!(y.allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn layernorm_backward_matches_fd() {
+        let x = filled(&[3, 8], 8);
+        let gamma = filled(&[8], 9).map(|v| v + 1.0);
+        let beta = filled(&[8], 10);
+        let dy = filled(&[3, 8], 11);
+
+        let (_, cache) = layernorm_forward(&x, &gamma, &beta);
+        let (dx, dgamma, dbeta) = layernorm_backward(&dy, &gamma, &cache);
+
+        let objective = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            layernorm_forward(x, g, b).0.mul(&dy).sum()
+        };
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (objective(&xp, &gamma, &beta) - objective(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 2e-2,
+                "dx[{idx}]: fd={num} analytic={}",
+                dx.data()[idx]
+            );
+        }
+        for idx in 0..gamma.len() {
+            let mut gp = gamma.clone();
+            gp.data_mut()[idx] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[idx] -= eps;
+            let num = (objective(&x, &gp, &beta) - objective(&x, &gm, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dgamma.data()[idx]).abs() < 1e-2,
+                "dgamma[{idx}]: fd={num} analytic={}",
+                dgamma.data()[idx]
+            );
+        }
+        for idx in 0..beta.len() {
+            let mut bp = beta.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = beta.clone();
+            bm.data_mut()[idx] -= eps;
+            let num = (objective(&x, &gamma, &bp) - objective(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!(
+                (num - dbeta.data()[idx]).abs() < 1e-2,
+                "dbeta[{idx}]: fd={num} analytic={}",
+                dbeta.data()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Tensor shape metadata and index arithmetic.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], stored outermost-first
+/// (row-major / C order).
+///
+/// `Shape` is a thin wrapper over a `Vec<usize>` that provides element
+/// counting, flat-index computation and human-readable formatting.
+///
+/// # Example
+///
+/// ```
+/// use bioformer_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    ///
+    /// A zero-rank shape (`&[]`) denotes a scalar with one element.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the dimensions as a slice, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` when the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides: `strides[i]` is the flat distance between
+    /// consecutive indices along axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Computes the flat (contiguous, row-major) offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != self.rank()` or any coordinate is out of
+    /// bounds.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.rank(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.rank()
+        );
+        let mut flat = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.rank()).rev() {
+            let coord = index[axis];
+            assert!(
+                coord < self.0[axis],
+                "index {coord} out of bounds for axis {axis} with size {}",
+                self.0[axis]
+            );
+            flat += coord * stride;
+            stride *= self.0[axis];
+        }
+        flat
+    }
+
+    /// Returns `true` when both shapes describe 2-D matrices that can be
+    /// multiplied (`self` is `[m, k]`, `rhs` is `[k, n]`).
+    pub fn matmul_compatible(&self, rhs: &Shape) -> bool {
+        self.rank() == 2 && rhs.rank() == 2 && self.0[1] == rhs.0[0]
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[3, 4, 5]);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 4);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_sized() {
+        let s = Shape::new(&[2, 0, 3]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let flat = s.flat_index(&[i, j, k]);
+                    assert!(flat < 24);
+                    assert!(seen.insert(flat), "duplicate flat index {flat}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_out_of_bounds() {
+        Shape::new(&[2, 2]).flat_index(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape rank")]
+    fn flat_index_wrong_rank() {
+        Shape::new(&[2, 2]).flat_index(&[0]);
+    }
+
+    #[test]
+    fn matmul_compat() {
+        assert!(Shape::new(&[2, 3]).matmul_compatible(&Shape::new(&[3, 4])));
+        assert!(!Shape::new(&[2, 3]).matmul_compatible(&Shape::new(&[2, 4])));
+        assert!(!Shape::new(&[2, 3, 1]).matmul_compatible(&Shape::new(&[3, 4])));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2×3]");
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end deployment walk-through: train a Bioformer, quantize it to
+//! the integer-only int8 pipeline, compare fp32 vs int8 accuracy, and
+//! query the analytical GAP8 model for latency / energy / battery life —
+//! the full Table-I story for one network.
+//!
+//! ```text
+//! cargo run --release --example deploy_gap8
+//! ```
+
+use bioformers::core::descriptor::bioformer_descriptor;
+use bioformers::core::protocol::{run_standard, ProtocolConfig};
+use bioformers::core::{Bioformer, BioformerConfig};
+use bioformers::gap8::deploy::analyze_default;
+use bioformers::nn::serialize::state_dict;
+use bioformers::nn::trainer::evaluate;
+use bioformers::quant::qat::{qat_finetune, QatConfig};
+use bioformers::quant::QuantBioformer;
+use bioformers::semg::{DatasetSpec, NinaproDb6, Normalizer, CHANNELS, WINDOW};
+use bioformers::tensor::Tensor;
+
+fn main() {
+    let spec = DatasetSpec {
+        subjects: 2,
+        reps_per_gesture: 2,
+        ..DatasetSpec::default()
+    };
+    let db = NinaproDb6::generate(&spec);
+    let cfg = BioformerConfig::bio1();
+    let subject = 0;
+
+    // 1. fp32 training.
+    println!("1. training Bioformer (h=8, d=1) on subject {}…", subject + 1);
+    let mut model = Bioformer::new(&cfg);
+    let outcome = run_standard(&mut model, &db, subject, &ProtocolConfig::default());
+    println!("   fp32 test accuracy: {:.2}%", outcome.overall * 100.0);
+
+    // 2. QAT-lite, then conversion to integer-only inference.
+    println!("2. quantization-aware fine-tuning + int8 conversion…");
+    let train_raw = db.train_dataset(subject);
+    let norm = Normalizer::fit(&train_raw);
+    let train_data = norm.apply(&train_raw);
+    drop(train_raw);
+    let _ = qat_finetune(
+        &mut model,
+        train_data.x(),
+        train_data.labels(),
+        &QatConfig::default(),
+    );
+    let dict = state_dict(&mut model);
+    let calib_n = train_data.x().dims()[0].min(128);
+    let calib = Tensor::from_vec(
+        train_data.x().data()[..calib_n * CHANNELS * WINDOW].to_vec(),
+        &[calib_n, CHANNELS, WINDOW],
+    );
+    let qmodel = QuantBioformer::convert(&cfg, &dict, &calib).expect("conversion");
+
+    // 3. fp32 vs int8 accuracy on the held-out sessions.
+    let test = norm.apply(&db.test_dataset(subject));
+    let (_, fp32_acc) = evaluate(&model, test.x(), test.labels(), 256);
+    let int8_acc = qmodel.accuracy(test.x(), test.labels());
+    println!(
+        "3. after QAT: fp32 {:.2}%  |  int8 (integer-only pipeline) {:.2}%",
+        fp32_acc * 100.0,
+        int8_acc * 100.0
+    );
+
+    // 4. GAP8 deployment analysis.
+    let report = analyze_default(&bioformer_descriptor(&cfg));
+    println!("4. GAP8 deployment (analytical model, 100 MHz @ 1 V):");
+    println!("   memory        : {:.1} kB (paper: 94.2 kB)", report.memory_kb);
+    println!("   complexity    : {:.1} MMAC (paper: 3.3)", report.mmac);
+    println!("   latency       : {:.2} ms (paper: 2.72 ms)", report.latency_ms);
+    println!("   energy        : {:.3} mJ (paper: 0.139 mJ)", report.energy_mj);
+    println!(
+        "   battery life  : {:.0} h on 1000 mAh when classifying every 15 ms",
+        report.battery_hours
+    );
+    println!("   deployable    : {}", report.deployable);
+}

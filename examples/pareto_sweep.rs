@@ -1,0 +1,55 @@
+//! Complexity sweep without training: enumerates the Bioformer family
+//! (heads × depth × filter) plus TEMPONet, printing the MACs / parameters /
+//! GAP8 latency / energy landscape that underlies Fig. 5 and Table I.
+//! Runs in milliseconds — useful for picking a configuration before
+//! spending training time.
+//!
+//! ```text
+//! cargo run --release --example pareto_sweep
+//! ```
+
+use bioformers::core::descriptor::{bioformer_descriptor, temponet_descriptor};
+use bioformers::core::BioformerConfig;
+use bioformers::gap8::deploy::analyze_default;
+
+fn main() {
+    println!(
+        "{:<24} {:>8} {:>9} {:>9} {:>9} {:>8}",
+        "network", "MMAC", "params", "lat [ms]", "E [mJ]", "batt [h]"
+    );
+    for (heads, depth) in [(8usize, 1usize), (2, 2), (4, 1), (2, 1)] {
+        for filter in [5usize, 10, 20, 30] {
+            let cfg = BioformerConfig {
+                heads,
+                depth,
+                ..BioformerConfig::bio1()
+            }
+            .with_filter(filter);
+            let desc = bioformer_descriptor(&cfg);
+            let r = analyze_default(&desc);
+            println!(
+                "{:<24} {:>8.2} {:>9} {:>9.2} {:>9.3} {:>8.0}",
+                desc.name,
+                r.mmac,
+                desc.params(),
+                r.latency_ms,
+                r.energy_mj,
+                r.battery_hours
+            );
+        }
+    }
+    let tempo = temponet_descriptor();
+    let r = analyze_default(&tempo);
+    println!(
+        "{:<24} {:>8.2} {:>9} {:>9.2} {:>9.3} {:>8.0}",
+        tempo.name,
+        r.mmac,
+        tempo.params(),
+        r.latency_ms,
+        r.energy_mj,
+        r.battery_hours
+    );
+    println!(
+        "\npaper anchors: Bio1 f10 = 3.3 MMAC / 2.72 ms / 0.139 mJ; TEMPONet = 16 MMAC / 21.82 ms / 1.11 mJ"
+    );
+}

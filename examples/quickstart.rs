@@ -1,0 +1,54 @@
+//! Quickstart: generate a synthetic Ninapro-DB6-like dataset, train a
+//! Bioformer on one subject with the paper's session split, and report
+//! per-session accuracy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bioformers::core::protocol::{run_standard, ProtocolConfig};
+use bioformers::core::{complexity, Bioformer, BioformerConfig};
+use bioformers::semg::{DatasetSpec, NinaproDb6};
+use std::time::Instant;
+
+fn main() {
+    // A scaled-down DB6: full 10-subject × 10-session protocol shape, ~1 s
+    // repetitions (see DatasetSpec docs for the paper-scale variant).
+    let spec = DatasetSpec::default();
+    let db = NinaproDb6::generate(&spec);
+    println!(
+        "dataset: {} subjects × {} sessions, {} windows/session",
+        spec.subjects,
+        spec.sessions,
+        spec.windows_per_session()
+    );
+
+    // Bio1: the paper's most accurate configuration (8 heads, depth 1).
+    let cfg = BioformerConfig::bio1();
+    println!(
+        "model:   {} → {}",
+        "Bioformer (h=8, d=1, filter=10)",
+        complexity::of_bioformer(&cfg)
+    );
+
+    let subject = 0;
+    let t0 = Instant::now();
+    let mut model = Bioformer::new(&cfg);
+    let outcome = run_standard(&mut model, &db, subject, &ProtocolConfig::default());
+    let dt = t0.elapsed();
+
+    println!("\nsubject {} (standard training, {:.1?})", subject + 1, dt);
+    for (i, stat) in outcome.train_stats.iter().enumerate() {
+        println!(
+            "  epoch {:>2}: train loss {:.3}, train acc {:.1}%",
+            i + 1,
+            stat.loss,
+            stat.accuracy * 100.0
+        );
+    }
+    println!("\nper-session test accuracy (sessions 6-10 of the paper):");
+    for r in &outcome.per_session {
+        println!("  session {:>2}: {:.1}%", r.session + 1, r.accuracy * 100.0);
+    }
+    println!("\noverall: {:.2}%", outcome.overall * 100.0);
+}

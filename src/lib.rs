@@ -1,0 +1,34 @@
+//! # Bioformers — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *Bioformers: Embedding Transformers
+//! for Ultra-Low Power sEMG-based Gesture Recognition* (Burrello et al.,
+//! DATE 2022). This crate re-exports the individual subsystem crates so that
+//! examples and downstream users need a single dependency:
+//!
+//! * [`tensor`] — f32 tensors, matmul, conv1d, NN math primitives.
+//! * [`nn`] — layers with manual backprop, optimizers, training loop.
+//! * [`semg`] — synthetic Ninapro-DB6-like sEMG data generator + datasets.
+//! * [`core`] — the Bioformer architecture, TEMPONet baseline, the paper's
+//!   training protocols and complexity accounting.
+//! * [`quant`] — int8 quantization (QAT + I-BERT-style integer inference).
+//! * [`gap8`] — analytical GAP8 MCU latency/energy/memory deployment model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bioformers::semg::{DatasetSpec, NinaproDb6};
+//!
+//! // A miniature synthetic DB6: 2 subjects, 2 sessions, deterministic.
+//! let spec = DatasetSpec::tiny();
+//! let db = NinaproDb6::generate(&spec);
+//! assert_eq!(db.subjects().len(), 2);
+//! ```
+//!
+//! See `examples/` for end-to-end training, quantization and deployment.
+
+pub use bioformer_core as core;
+pub use bioformer_gap8 as gap8;
+pub use bioformer_nn as nn;
+pub use bioformer_quant as quant;
+pub use bioformer_semg as semg;
+pub use bioformer_tensor as tensor;

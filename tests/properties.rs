@@ -1,0 +1,92 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use bioformers::nn::Model;
+use bioformers::core::{Bioformer, BioformerConfig};
+use bioformers::quant::qtensor::{fake_quantize, QParams};
+use bioformers::quant::requant::FixedMultiplier;
+use bioformers::semg::{DatasetSpec, NinaproDb6};
+use bioformers::tensor::ops::softmax_rows;
+use bioformers::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Quantize→dequantize error is bounded by half a step for in-range
+    /// values, for any symmetric scale.
+    #[test]
+    fn quantization_error_bounded(absmax in 0.01f32..100.0, frac in -1.0f32..1.0) {
+        let p = QParams::symmetric(absmax);
+        let x = absmax * frac;
+        let err = (p.dequantize(p.quantize(x)) - x).abs();
+        prop_assert!(err <= p.scale * 0.5 + 1e-6);
+    }
+
+    /// Fake quantization is idempotent for any parameters.
+    #[test]
+    fn fake_quantize_idempotent(vals in proptest::collection::vec(-10.0f32..10.0, 1..64)) {
+        let n = vals.len();
+        let t = Tensor::from_vec(vals, &[n]);
+        let p = QParams::symmetric(t.abs_max().max(1e-3));
+        let once = fake_quantize(&t, p);
+        let twice = fake_quantize(&once, p);
+        prop_assert!(once.allclose(&twice, 1e-7));
+    }
+
+    /// The fixed-point multiplier tracks real multiplication within one
+    /// count for arbitrary accumulators and multipliers.
+    #[test]
+    fn fixed_multiplier_accuracy(m in 1e-5f64..8.0, acc in -1_000_000i32..1_000_000) {
+        let f = FixedMultiplier::encode(m);
+        let got = f.apply(acc) as i64;
+        let want = (acc as f64 * m).round() as i64;
+        prop_assert!((got - want).abs() <= 1, "m={m} acc={acc}: {got} vs {want}");
+    }
+
+    /// Softmax rows always form a probability distribution regardless of
+    /// input magnitude.
+    #[test]
+    fn softmax_is_distribution(rows in 1usize..5, cols in 1usize..12, scale in 0.1f32..50.0) {
+        let x = Tensor::from_fn(&[rows, cols], |i| ((i * 2654435761) % 1000) as f32 / 500.0 - 1.0)
+            .scale(scale);
+        let y = softmax_rows(&x);
+        for r in 0..rows {
+            let s: f32 = y.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(y.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Every valid Bioformer filter width yields consistent shapes all the
+    /// way through the model.
+    #[test]
+    fn bioformer_shapes_consistent(filter in prop::sample::select(vec![1usize, 2, 3, 5, 10, 15, 20, 30])) {
+        let cfg = BioformerConfig {
+            heads: 2,
+            head_dim: 4,
+            hidden: 16,
+            embed: 8,
+            dropout: 0.0,
+            ..BioformerConfig::bio1()
+        }
+        .with_filter(filter);
+        prop_assert!(cfg.validate().is_ok());
+        let mut model = Bioformer::new(&cfg);
+        let x = Tensor::zeros(&[2, cfg.channels, cfg.window]);
+        let y = model.forward(&x, false);
+        prop_assert_eq!(y.dims(), &[2, cfg.classes]);
+    }
+
+    /// Dataset generation is deterministic and windows are always
+    /// finite for any seed.
+    #[test]
+    fn dataset_generation_sane(seed in 0u64..1000) {
+        let spec = DatasetSpec { seed, ..DatasetSpec::tiny() };
+        let db = NinaproDb6::generate(&spec);
+        let d = db.subject_session_dataset(0, 0);
+        prop_assert!(!d.is_empty());
+        prop_assert!(!d.x().has_non_finite());
+        let d2 = db.subject_session_dataset(0, 0);
+        prop_assert!(d.x().allclose(d2.x(), 0.0));
+    }
+}
