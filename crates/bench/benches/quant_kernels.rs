@@ -40,7 +40,7 @@ fn bench_qgemm(c: &mut Criterion) {
 fn bench_integer_nonlinear(c: &mut Criterion) {
     let mut g = c.benchmark_group("int8_nonlinear");
     let sm = ISoftmax::new(1e-3);
-    let scores: Vec<i32> = (0..31).map(|i| (i * 37 % 701) as i32 - 350).collect();
+    let scores: Vec<i32> = (0..31).map(|i| (i * 37 % 701) - 350).collect();
     let mut out = vec![0i8; 31];
     g.bench_function("i_softmax_row31", |bench| {
         bench.iter(|| {

@@ -300,7 +300,8 @@ mod tests {
         let mut grads: Vec<(String, Tensor)> = Vec::new();
         m.visit_params(&mut |p| grads.push((p.name.clone(), p.grad.clone())));
 
-        let objective = |m: &mut Bioformer, x: &Tensor| -> f32 { m.forward(x, false).mul(&dy).sum() };
+        let objective =
+            |m: &mut Bioformer, x: &Tensor| -> f32 { m.forward(x, false).mul(&dy).sum() };
         // Small eps: parameters like the class token are initialised at
         // scale 0.02, so a large probe step leaves the linear regime of the
         // downstream LayerNorm.

@@ -9,7 +9,7 @@ use crate::descriptor::{bioformer_descriptor, temponet_descriptor};
 use std::fmt;
 
 /// Inference complexity of a network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Complexity {
     /// Multiply-accumulate operations per inference.
     pub macs: u64,

@@ -11,7 +11,7 @@ use bioformer_semg::{CHANNELS, GESTURE_CLASSES, WINDOW};
 /// 1-D convolution (stride = filter width), per-head dimension `P = 32`,
 /// FFN hidden width 128, and a learned class token appended to the
 /// sequence.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BioformerConfig {
     /// Input electrode count (DB6: 14).
     pub channels: usize,
@@ -123,7 +123,7 @@ impl BioformerConfig {
                 self.filter, self.window
             ));
         }
-        if self.window % self.filter != 0 {
+        if !self.window.is_multiple_of(self.filter) {
             return Err(format!(
                 "window {} must be a multiple of filter {} (non-overlapping patches)",
                 self.window, self.filter

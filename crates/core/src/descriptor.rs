@@ -12,7 +12,7 @@
 use crate::config::BioformerConfig;
 
 /// One kernel invocation in a network's inference schedule.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LayerDesc {
     /// 1-D convolution over `[in_ch, len]`.
     Conv1d {
@@ -230,7 +230,7 @@ impl LayerDesc {
 }
 
 /// A network's complete inference schedule.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkDescriptor {
     /// Network label (e.g. `"Bioformer(h=8,d=1,f=10)"`).
     pub name: String,
@@ -379,7 +379,10 @@ pub fn bioformer_descriptor(cfg: &BioformerConfig) -> NetworkDescriptor {
         groups: 1,
     });
     NetworkDescriptor {
-        name: format!("Bioformer(h={},d={},f={})", cfg.heads, cfg.depth, cfg.filter),
+        name: format!(
+            "Bioformer(h={},d={},f={})",
+            cfg.heads, cfg.depth, cfg.filter
+        ),
         layers,
     }
 }
@@ -547,7 +550,7 @@ mod tests {
     }
 
     #[test]
-    fn params_equal_memory_order(){
+    fn params_equal_memory_order() {
         // params ≈ memory_bytes (int8 weights dominate) for Bioformers.
         let d = bioformer_descriptor(&BioformerConfig::bio1());
         let ratio = d.memory_bytes() as f64 / d.params() as f64;

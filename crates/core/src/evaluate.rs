@@ -4,11 +4,11 @@
 use bioformer_nn::loss::ConfusionMatrix;
 use bioformer_nn::trainer::evaluate;
 use bioformer_nn::Model;
-use bioformer_semg::{Normalizer, NinaproDb6, SemgDataset};
+use bioformer_semg::{NinaproDb6, Normalizer, SemgDataset};
 
 /// Accuracy on one test session (paper Fig. 2 plots these for sessions
 /// 6–10).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionAccuracy {
     /// 0-based session index (the paper's session number minus one).
     pub session: usize,

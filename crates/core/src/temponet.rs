@@ -177,7 +177,9 @@ impl Model for TempoNet {
             self.fwd_shape = Some((b, c, l));
         }
         let flat = h.reshape(&[b, c * l]);
-        let f = self.relu_fc1.forward(&self.fc1.forward(&flat, train), train);
+        let f = self
+            .relu_fc1
+            .forward(&self.fc1.forward(&flat, train), train);
         let f = self.drop1.forward(&f, train);
         let f = self.relu_fc2.forward(&self.fc2.forward(&f, train), train);
         let f = self.drop2.forward(&f, train);
@@ -284,6 +286,9 @@ mod tests {
         let mut tempo = TempoNet::new(0);
         let mut bio = crate::Bioformer::new(&crate::BioformerConfig::bio1());
         let ratio = tempo.num_params() as f64 / bio.num_params() as f64;
-        assert!(ratio > 3.5, "param ratio {ratio} should be large (paper: 4.9×)");
+        assert!(
+            ratio > 3.5,
+            "param ratio {ratio} should be large (paper: 4.9×)"
+        );
     }
 }

@@ -3,7 +3,7 @@
 /// Hardware description of the GAP8 in the paper's operating point
 /// (100 MHz @ 1 V, 8-core cluster active at 51 mW, fabric controller alone
 /// at 10 mW).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gap8Spec {
     /// Cluster core count.
     pub cluster_cores: usize,
@@ -61,7 +61,7 @@ impl Gap8Spec {
 /// 2.72/1.37/1.03 ms, Bio2 f∈{10,30} at 4.82/1.55 ms, TEMPONet at
 /// 21.82 ms. The defaults below land every row within ±15 % (pinned by the
 /// crate tests).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelCosts {
     /// int8 MACs per SIMD instruction (4-way `SumDotp`).
     pub simd_width: usize,

@@ -8,7 +8,7 @@ use bioformer_core::NetworkDescriptor;
 
 /// Everything Table I reports for one network (quantized accuracy comes
 /// from `bioformer-quant`, measured separately on the integer pipeline).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentReport {
     /// Network label.
     pub network: String,
@@ -101,7 +101,11 @@ mod tests {
             bioformer_descriptor(&BioformerConfig::bio2()),
             temponet_descriptor(),
         ] {
-            assert!(analyze_default(&net).deployable, "{} not deployable", net.name);
+            assert!(
+                analyze_default(&net).deployable,
+                "{} not deployable",
+                net.name
+            );
         }
     }
 

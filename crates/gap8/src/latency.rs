@@ -4,7 +4,7 @@ use crate::arch::{Gap8Spec, KernelCosts};
 use bioformer_core::{LayerDesc, NetworkDescriptor};
 
 /// Cycle breakdown of one kernel.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelLatency {
     /// Kernel label.
     pub name: String,
@@ -27,7 +27,7 @@ impl KernelLatency {
 }
 
 /// Whole-network latency result.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyReport {
     /// Network label.
     pub network: String,
@@ -99,7 +99,9 @@ pub fn kernel_latency(desc: &LayerDesc, spec: &Gap8Spec, costs: &KernelCosts) ->
                 desc.memory_bytes() as f64,
             )
         }
-        LayerDesc::MatMul { m, k, n, groups, .. } => {
+        LayerDesc::MatMul {
+            m, k, n, groups, ..
+        } => {
             let elems = (m * n) as f64;
             let per_elem = (k as f64 / simd).ceil() + costs.dot_overhead;
             (elems * per_elem / effective_cores(cores, groups), 0.0)
@@ -138,7 +140,11 @@ pub fn kernel_latency(desc: &LayerDesc, spec: &Gap8Spec, costs: &KernelCosts) ->
         name: desc.name().to_string(),
         compute_cycles: compute,
         dma_cycles: dma / costs.dma_bytes_per_cycle,
-        setup_cycles: if compute > 0.0 { costs.kernel_setup } else { 0.0 },
+        setup_cycles: if compute > 0.0 {
+            costs.kernel_setup
+        } else {
+            0.0
+        },
         macs,
     }
 }
@@ -265,7 +271,8 @@ mod tests {
         let net = bioformer_descriptor(&BioformerConfig::bio1());
         let costs = KernelCosts::default();
         let base = network_latency(&net, &Gap8Spec::default(), &costs).latency_s;
-        let fast = network_latency(&net, &Gap8Spec::default().at_frequency(200e6), &costs).latency_s;
+        let fast =
+            network_latency(&net, &Gap8Spec::default().at_frequency(200e6), &costs).latency_s;
         assert!((base / fast - 2.0).abs() < 1e-6);
     }
 

@@ -4,7 +4,7 @@ use crate::arch::Gap8Spec;
 use bioformer_core::NetworkDescriptor;
 
 /// Result of checking a network against GAP8's memory hierarchy.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryReport {
     /// Network label.
     pub network: String,
@@ -26,8 +26,8 @@ pub struct MemoryReport {
 pub fn audit(net: &NetworkDescriptor, spec: &Gap8Spec) -> MemoryReport {
     let weight_bytes = net.memory_bytes();
     let peak_activation_bytes = net.peak_activation_elems(); // int8: 1 B/elem
-    // Largest kernel needs its input and output in L1 simultaneously;
-    // conservatively bound input by the same peak.
+                                                             // Largest kernel needs its input and output in L1 simultaneously;
+                                                             // conservatively bound input by the same peak.
     let l1_working_set_bytes = 2 * peak_activation_bytes;
     MemoryReport {
         network: net.name.clone(),
@@ -57,7 +57,11 @@ mod tests {
         for cfg in [BioformerConfig::bio1(), BioformerConfig::bio2()] {
             let r = audit(&bioformer_descriptor(&cfg), &Gap8Spec::default());
             assert!(r.fits_l2, "{}: weights must fit L2", r.network);
-            assert!(r.activations_fit_l1, "{}: activations must fit L1", r.network);
+            assert!(
+                r.activations_fit_l1,
+                "{}: activations must fit L1",
+                r.network
+            );
         }
     }
 
@@ -74,13 +78,19 @@ mod tests {
             &bioformer_descriptor(&BioformerConfig::bio1()),
             &Gap8Spec::default(),
         );
-        assert!((r.memory_kb() - 94.2).abs() / 94.2 < 0.05, "{} kB", r.memory_kb());
+        assert!(
+            (r.memory_kb() - 94.2).abs() / 94.2 < 0.05,
+            "{} kB",
+            r.memory_kb()
+        );
     }
 
     #[test]
     fn tiny_l2_fails_fit() {
-        let mut spec = Gap8Spec::default();
-        spec.l2_bytes = 10 * 1024;
+        let spec = Gap8Spec {
+            l2_bytes: 10 * 1024,
+            ..Gap8Spec::default()
+        };
         let r = audit(&bioformer_descriptor(&BioformerConfig::bio1()), &spec);
         assert!(!r.fits_l2);
     }

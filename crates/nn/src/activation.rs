@@ -5,9 +5,8 @@ use bioformer_tensor::Tensor;
 
 /// GELU activation layer (tanh approximation), used inside the Bioformer's
 /// feed-forward blocks.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Gelu {
-    #[serde(skip)]
     cached_input: Option<Tensor>,
 }
 
@@ -48,10 +47,9 @@ impl Gelu {
 /// baseline. The leaky variant (`negative_slope > 0`) is used in its
 /// fully-connected classifier, where there is no normalisation layer to
 /// recover from dead units.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Relu {
     negative_slope: f32,
-    #[serde(skip)]
     cached_input: Option<Tensor>,
 }
 

@@ -13,7 +13,7 @@ use bioformer_tensor::Tensor;
 use rand::Rng;
 
 /// Multi-head self-attention over `[batch, seq, embed]` tensors.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiHeadSelfAttention {
     wq: Linear,
     wk: Linear,
@@ -22,7 +22,6 @@ pub struct MultiHeadSelfAttention {
     embed: usize,
     heads: usize,
     head_dim: usize,
-    #[serde(skip)]
     cache: Option<AttnCache>,
 }
 
@@ -88,7 +87,8 @@ impl MultiHeadSelfAttention {
         let p = self.head_dim;
         let mut out = Tensor::zeros(&[seq, p]);
         for s in 0..seq {
-            let src = &proj.data()[(b * seq + s) * inner + h * p..(b * seq + s) * inner + (h + 1) * p];
+            let src =
+                &proj.data()[(b * seq + s) * inner + h * p..(b * seq + s) * inner + (h + 1) * p];
             out.data_mut()[s * p..(s + 1) * p].copy_from_slice(src);
         }
         out
@@ -187,7 +187,7 @@ impl MultiHeadSelfAttention {
                 // O = A·V
                 let da = doh.matmul_nt(&vh); // [S,S]
                 let dvh = a.matmul_tn(&doh); // [S,P]
-                // A = softmax(Z), Z = Q·Kᵀ·scale
+                                             // A = softmax(Z), Z = Q·Kᵀ·scale
                 let dz = softmax_rows_backward(a, &da); // [S,S]
                 let mut dqh = dz.matmul(&kh); // [S,P]
                 dqh.scale_in_place(scale);

@@ -17,7 +17,7 @@ use rand::Rng;
 /// ```
 ///
 /// The FFN hidden width is a free hyper-parameter (128 in the paper).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TransformerBlock {
     ln1: LayerNorm,
     attn: MultiHeadSelfAttention,
@@ -28,7 +28,6 @@ pub struct TransformerBlock {
     fc2: Linear,
     drop_ffn: Dropout,
     embed: usize,
-    #[serde(skip)]
     fwd_shape: Option<(usize, usize)>,
 }
 

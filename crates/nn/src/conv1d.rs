@@ -12,7 +12,7 @@ use rand::Rng;
 ///
 /// The Bioformer front-end uses this with `stride == kernel` (non-overlapping
 /// patch embedding, paper §III-A); TEMPONet uses dilated variants.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Conv1d {
     weight: Param,
     bias: Param,
@@ -22,7 +22,6 @@ pub struct Conv1d {
     kernel: usize,
     /// Per-sample im2col matrices cached during a training forward pass
     /// (reused for both weight and input gradients) plus the input length.
-    #[serde(skip)]
     cached_cols: Option<(Vec<Tensor>, usize)>,
 }
 
@@ -144,7 +143,10 @@ impl Conv1d {
         let c = self.in_channels;
         let (out_c, out_len) = (dy.dims()[1], dy.dims()[2]);
         assert_eq!(dy.dims()[0], b, "Conv1d backward: batch mismatch");
-        assert_eq!(out_c, self.out_channels, "Conv1d backward: channel mismatch");
+        assert_eq!(
+            out_c, self.out_channels,
+            "Conv1d backward: channel mismatch"
+        );
         let mut dx = Tensor::zeros(&[b, c, len]);
         let sample = c * len;
         let out_sample = out_c * out_len;

@@ -7,11 +7,10 @@ use bioformer_tensor::Tensor;
 ///
 /// The mask RNG is an internal `xorshift64*` stream seeded at construction,
 /// so training runs are bit-reproducible regardless of the platform RNG.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     state: u64,
-    #[serde(skip)]
     cached_mask: Option<Tensor>,
 }
 
@@ -22,7 +21,10 @@ impl Dropout {
     ///
     /// Panics if `p` is outside `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         Dropout {
             p,
             state: seed | 1,

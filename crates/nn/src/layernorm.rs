@@ -8,12 +8,11 @@ use bioformer_tensor::Tensor;
 ///
 /// `γ` initialises to ones and `β` to zeros. Inputs of shape
 /// `[batch, seq, features]` are flattened to rows by the caller.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LayerNorm {
     gamma: Param,
     beta: Param,
     features: usize,
-    #[serde(skip)]
     cache: Option<LayerNormCache>,
 }
 
@@ -135,7 +134,8 @@ mod tests {
         let dx = ln.backward(&dy);
         let dg = ln.gamma.grad.clone();
 
-        let objective = |ln: &mut LayerNorm, x: &Tensor| -> f32 { ln.forward(x, false).mul(&dy).sum() };
+        let objective =
+            |ln: &mut LayerNorm, x: &Tensor| -> f32 { ln.forward(x, false).mul(&dy).sum() };
         let eps = 1e-3;
         for idx in 0..x.len() {
             let mut xp = x.clone();

@@ -11,13 +11,12 @@ use rand::Rng;
 /// Inputs are 2-D `[rows, in_features]`; the layer is shape-agnostic in the
 /// row count, so callers flatten `[batch, seq, features]` to
 /// `[batch·seq, features]` before applying it.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param,
     bias: Param,
     in_features: usize,
     out_features: usize,
-    #[serde(skip)]
     cached_input: Option<Tensor>,
 }
 

@@ -17,13 +17,12 @@ use bioformer_tensor::Tensor;
 /// (no running statistics to synchronise across data-parallel shards), and
 /// folds into the preceding convolution at inference, so deployed MACs are
 /// unchanged.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroupNorm1d {
     gamma: Param,
     beta: Param,
     channels: usize,
     groups: usize,
-    #[serde(skip)]
     cache: Option<(LayerNormCache, usize, usize)>,
 }
 
@@ -35,7 +34,10 @@ impl GroupNorm1d {
     ///
     /// Panics if `groups` does not divide `channels`.
     pub fn new(name: &str, channels: usize, groups: usize) -> Self {
-        assert!(groups > 0 && channels % groups == 0, "groups must divide channels");
+        assert!(
+            groups > 0 && channels.is_multiple_of(groups),
+            "groups must divide channels"
+        );
         GroupNorm1d {
             gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
             beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
@@ -198,8 +200,8 @@ mod tests {
             let y = n2.forward(&x, false);
             (0..16).map(|t| y.at(&[0, 1, t])).collect()
         };
-        for t in 0..16 {
-            assert!((y.at(&[0, 1, t]) - 3.0 * y0[t]).abs() < 1e-5);
+        for (t, &y0t) in y0.iter().enumerate() {
+            assert!((y.at(&[0, 1, t]) - 3.0 * y0t).abs() < 1e-5);
         }
         // Channel 0 mean shifted by -1 relative to the unshifted layer.
         let base_m0: f32 = {

@@ -192,13 +192,18 @@ mod tests {
             labels.push(class);
             for j in 0..4 {
                 let base = if j == class { 2.0 } else { 0.0 };
-                x.data_mut()[i * 4 + j] = base + rng.gen_range(-0.3..0.3);
+                x.data_mut()[i * 4 + j] = base + rng.gen_range(-0.3f32..0.3);
             }
         }
         (model, x, labels)
     }
 
-    fn train_loss<O: FnMut(&mut Toy)>(mut step: O, model: &mut Toy, x: &Tensor, labels: &[usize]) -> f32 {
+    fn train_loss<O: FnMut(&mut Toy)>(
+        mut step: O,
+        model: &mut Toy,
+        x: &Tensor,
+        labels: &[usize],
+    ) -> f32 {
         let mut last = f32::INFINITY;
         for _ in 0..60 {
             let logits = model.forward(x, true);

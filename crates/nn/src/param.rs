@@ -9,7 +9,7 @@ use bioformer_tensor::Tensor;
 /// backward calls until [`Param::zero_grad`] is invoked (mirroring PyTorch
 /// semantics, which the trainer relies on for gradient accumulation across
 /// data-parallel shards).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Stable identifier used for serialization and debugging
     /// (e.g. `"patch_embed.weight"`).

@@ -5,11 +5,10 @@ use bioformer_tensor::Tensor;
 
 /// Batched 1-D average pooling over `[batch, channels, len]`, used by the
 /// TEMPONet baseline ahead of its classifier.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AvgPool1d {
     kernel: usize,
     stride: usize,
-    #[serde(skip)]
     cached_len: Option<usize>,
 }
 
@@ -20,7 +19,10 @@ impl AvgPool1d {
     ///
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "AvgPool1d: kernel/stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "AvgPool1d: kernel/stride must be positive"
+        );
         AvgPool1d {
             kernel,
             stride,

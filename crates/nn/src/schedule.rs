@@ -8,7 +8,7 @@
 ///
 /// Both are expressible here; [`LrSchedule::paper_pretrain`] and
 /// [`LrSchedule::paper_finetune`] build them with the paper's constants.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LrSchedule {
     /// A constant learning rate.
     Constant(f32),

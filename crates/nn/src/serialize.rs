@@ -27,7 +27,7 @@ pub enum LoadStateError {
     /// I/O failure while reading or writing a file.
     Io(std::io::Error),
     /// JSON (de)serialisation failure.
-    Json(serde_json::Error),
+    Json(String),
 }
 
 impl fmt::Display for LoadStateError {
@@ -56,9 +56,9 @@ impl From<std::io::Error> for LoadStateError {
     }
 }
 
-impl From<serde_json::Error> for LoadStateError {
-    fn from(e: serde_json::Error) -> Self {
-        LoadStateError::Json(e)
+impl From<json::ParseError> for LoadStateError {
+    fn from(e: json::ParseError) -> Self {
+        LoadStateError::Json(e.0)
     }
 }
 
@@ -110,23 +110,305 @@ pub fn load_state_dict<M: Model>(model: &mut M, dict: &StateDict) -> Result<(), 
 
 /// Serialises a state dict to a JSON file.
 ///
+/// The format is an array of `{"name": .., "dims": [..], "data": [..]}`
+/// objects in visit order. Floats are written in shortest-roundtrip form,
+/// so [`read_json`] restores values bit-exactly (non-finite values map to
+/// `null`, mirroring `serde_json`).
+///
 /// # Errors
 ///
 /// Returns an error on I/O or serialisation failure.
 pub fn save_json(dict: &StateDict, path: impl AsRef<Path>) -> Result<(), LoadStateError> {
-    let file = std::fs::File::create(path)?;
-    serde_json::to_writer(std::io::BufWriter::new(file), dict)?;
+    let mut out = String::from("[");
+    for (i, (name, tensor)) in dict.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"name\": ");
+        json::write_string(&mut out, name);
+        out.push_str(", \"dims\": [");
+        for (j, d) in tensor.dims().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_string());
+        }
+        out.push_str("], \"data\": [");
+        for (j, &v) in tensor.data().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_f32(&mut out, v);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]\n");
+    std::fs::write(path, out)?;
     Ok(())
 }
 
-/// Reads a state dict from a JSON file.
+/// Reads a state dict written by [`save_json`].
 ///
 /// # Errors
 ///
 /// Returns an error on I/O or deserialisation failure.
 pub fn read_json(path: impl AsRef<Path>) -> Result<StateDict, LoadStateError> {
-    let file = std::fs::File::open(path)?;
-    Ok(serde_json::from_reader(std::io::BufReader::new(file))?)
+    let text = std::fs::read_to_string(path)?;
+    let entries = json::parse_state_dict(&text)?;
+    let mut dict = StateDict::new();
+    for (name, dims, data) in entries {
+        let tensor = Tensor::try_from_vec(data, &dims)
+            .map_err(|e| LoadStateError::Json(format!("entry {name}: {e:?}")))?;
+        dict.push((name, tensor));
+    }
+    Ok(dict)
+}
+
+/// Minimal JSON reader/writer for the state-dict format — the build
+/// environment is offline, so this replaces `serde_json` for the one
+/// document shape this module produces.
+mod json {
+    use std::fmt::Write as _;
+
+    /// Parse failure with a human-readable message.
+    #[derive(Debug)]
+    pub struct ParseError(pub String);
+
+    /// One decoded state-dict entry: name, dims, row-major data.
+    type RawEntry = (String, Vec<usize>, Vec<f32>);
+
+    /// Writes a JSON string literal (escaping the mandatory characters).
+    pub fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Writes an `f32` in shortest-roundtrip decimal form; non-finite
+    /// values become `null`.
+    pub fn write_f32(out: &mut String, v: f32) {
+        if v.is_finite() {
+            let _ = write!(out, "{v:?}");
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    /// Parses the top-level state-dict document.
+    pub fn parse_state_dict(text: &str) -> Result<Vec<RawEntry>, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'[')?;
+        let mut entries = Vec::new();
+        p.skip_ws();
+        if !p.try_consume(b']') {
+            loop {
+                entries.push(p.parse_entry()?);
+                p.skip_ws();
+                if p.try_consume(b']') {
+                    break;
+                }
+                p.expect(b',')?;
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after document"));
+        }
+        Ok(entries)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn error(&self, msg: &str) -> ParseError {
+            ParseError(format!("{msg} at byte {}", self.pos))
+        }
+
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.error(&format!("expected '{}'", b as char)))
+            }
+        }
+
+        fn try_consume(&mut self, b: u8) -> bool {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Parses one `{"name": .., "dims": [..], "data": [..]}` object,
+        /// in any key order.
+        fn parse_entry(&mut self) -> Result<RawEntry, ParseError> {
+            self.expect(b'{')?;
+            let (mut name, mut dims, mut data) = (None, None, None);
+            loop {
+                let key = self.parse_string()?;
+                self.expect(b':')?;
+                match key.as_str() {
+                    "name" => name = Some(self.parse_string()?),
+                    "dims" => dims = Some(self.parse_usize_array()?),
+                    "data" => data = Some(self.parse_f32_array()?),
+                    other => return Err(self.error(&format!("unknown key {other:?}"))),
+                }
+                if self.try_consume(b'}') {
+                    break;
+                }
+                self.expect(b',')?;
+            }
+            match (name, dims, data) {
+                (Some(n), Some(d), Some(v)) => Ok((n, d, v)),
+                _ => Err(self.error("entry missing name/dims/data")),
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, ParseError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    return Err(self.error("unterminated string"));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&esc) = self.bytes.get(self.pos) else {
+                            return Err(self.error("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let end = self.pos + 4;
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..end)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| self.error("bad \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.error("bad \\u escape"))?;
+                                let c = char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?;
+                                out.push(c);
+                                self.pos = end;
+                            }
+                            _ => return Err(self.error("unknown escape")),
+                        }
+                    }
+                    _ => {
+                        // Multi-byte UTF-8: copy the full character.
+                        let start = self.pos - 1;
+                        let len = utf8_len(b);
+                        let end = start + len;
+                        let s = self
+                            .bytes
+                            .get(start..end)
+                            .and_then(|c| std::str::from_utf8(c).ok())
+                            .ok_or_else(|| self.error("invalid utf-8 in string"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn parse_usize_array(&mut self) -> Result<Vec<usize>, ParseError> {
+            self.parse_array(|tok, p| {
+                tok.parse::<usize>()
+                    .map_err(|_| p.error(&format!("bad dimension {tok:?}")))
+            })
+        }
+
+        fn parse_f32_array(&mut self) -> Result<Vec<f32>, ParseError> {
+            self.parse_array(|tok, p| {
+                if tok == "null" {
+                    Ok(f32::NAN)
+                } else {
+                    tok.parse::<f32>()
+                        .map_err(|_| p.error(&format!("bad number {tok:?}")))
+                }
+            })
+        }
+
+        fn parse_array<T>(
+            &mut self,
+            parse_token: impl Fn(&str, &Parser<'_>) -> Result<T, ParseError>,
+        ) -> Result<Vec<T>, ParseError> {
+            self.expect(b'[')?;
+            let mut out = Vec::new();
+            if self.try_consume(b']') {
+                return Ok(out);
+            }
+            loop {
+                self.skip_ws();
+                let start = self.pos;
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    if b == b',' || b == b']' || b.is_ascii_whitespace() {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid utf-8 in number"))?;
+                out.push(parse_token(tok, self)?);
+                if self.try_consume(b']') {
+                    return Ok(out);
+                }
+                self.expect(b',')?;
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
 }
 
 #[cfg(test)]

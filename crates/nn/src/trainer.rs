@@ -189,8 +189,10 @@ fn batch_gradient<M: Model>(
             let end = (start + per).min(batch);
             let mut worker = model.clone();
             worker.clear_cache();
-            let shard_x =
-                Tensor::from_vec(bx.data()[start * sample..end * sample].to_vec(), &[end - start, c, l]);
+            let shard_x = Tensor::from_vec(
+                bx.data()[start * sample..end * sample].to_vec(),
+                &[end - start, c, l],
+            );
             let shard_y = &by[start..end];
             let scale = (end - start) as f32 / batch as f32;
             handles.push(scope.spawn(move || {
@@ -255,7 +257,8 @@ pub fn train<M: Model>(
     let mut step = opt.steps() as usize;
     for epoch in 0..cfg.epochs {
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng =
+            StdRng::seed_from_u64(cfg.shuffle_seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
         order.shuffle(&mut rng);
 
         let mut loss_sum = 0.0f32;
@@ -293,7 +296,12 @@ pub fn train<M: Model>(
 /// # Panics
 ///
 /// Panics if `x` and `labels` disagree in length.
-pub fn evaluate<M: Model>(model: &M, x: &Tensor, labels: &[usize], batch_size: usize) -> (f32, f32) {
+pub fn evaluate<M: Model>(
+    model: &M,
+    x: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> (f32, f32) {
     let n = x.dims()[0];
     assert_eq!(n, labels.len(), "evaluate: window/label count mismatch");
     if n == 0 {
@@ -391,7 +399,7 @@ mod tests {
             labels.push(class);
             for j in 0..6 {
                 let base = if j == class * 2 { 1.5 } else { 0.0 };
-                x.data_mut()[i * 6 + j] = base + rng.gen_range(-0.4..0.4);
+                x.data_mut()[i * 6 + j] = base + rng.gen_range(-0.4f32..0.4);
             }
         }
         (x, labels)

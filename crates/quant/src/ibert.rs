@@ -165,7 +165,10 @@ impl IGelu {
     ///
     /// Panics if scales are not positive.
     pub fn new(s_in: f64, out: QParams) -> Self {
-        assert!(s_in > 0.0 && out.scale > 0.0, "IGelu scales must be positive");
+        assert!(
+            s_in > 0.0 && out.scale > 0.0,
+            "IGelu scales must be positive"
+        );
         // erf argument x/√2 shares the integer value of x at scale s_in/√2.
         let s_erf_in = s_in / std::f64::consts::SQRT_2;
         let q_b = (ERF_B / s_erf_in).floor() as i64; // negative
@@ -190,7 +193,7 @@ impl IGelu {
         let sign = if q < 0 { -1 } else { 1 };
         let qa = q.abs().min(self.q_clip);
         let l = (qa + self.q_b) * (qa + self.q_b) + self.q_c; // ≤ 0
-        // erf = sign · l · s_l; with s_l < 0: erf = sign · (−l) · |s_l|.
+                                                              // erf = sign · l · s_l; with s_l < 0: erf = sign · (−l) · |s_l|.
         sign * (-l)
     }
 
@@ -239,7 +242,10 @@ impl ILayerNorm {
             .map(|&g| ((g as f64 / s_gamma).round() as i32).clamp(-127, 127))
             .collect();
         let s_acc = s_gamma / (1u64 << FBITS) as f64;
-        let q_beta = beta.iter().map(|&b| (b as f64 / s_acc).round() as i64).collect();
+        let q_beta = beta
+            .iter()
+            .map(|&b| (b as f64 / s_acc).round() as i64)
+            .collect();
         ILayerNorm {
             q_gamma,
             q_beta,
@@ -377,7 +383,9 @@ mod tests {
         let ln = ILayerNorm::new(&gamma, &beta, out);
 
         // Random-ish int8 row.
-        let row: Vec<i8> = (0..width).map(|i| ((i * 37 + 11) % 256) as i32 as u8 as i8).collect();
+        let row: Vec<i8> = (0..width)
+            .map(|i| ((i * 37 + 11) % 256) as i32 as u8 as i8)
+            .collect();
         let mut qout = vec![0i8; width];
         ln.apply_row(&row, &mut qout);
 
@@ -390,10 +398,7 @@ mod tests {
         for i in 0..width {
             let want = gamma[i] * (vals[i] - mean) / std + beta[i];
             let got = out.dequantize(qout[i]);
-            assert!(
-                (got - want).abs() < 0.12,
-                "ln[{i}]: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 0.12, "ln[{i}]: got {got}, want {want}");
         }
     }
 

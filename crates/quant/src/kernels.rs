@@ -176,9 +176,8 @@ mod tests {
         let qb = QTensor::quantize(&bf, pb);
         let want = af.matmul_nt(&bf);
         let out_params = QParams::symmetric(1.0);
-        let mult = FixedMultiplier::encode(
-            pa.scale as f64 * pb.scale as f64 / out_params.scale as f64,
-        );
+        let mult =
+            FixedMultiplier::encode(pa.scale as f64 * pb.scale as f64 / out_params.scale as f64);
         let got = qgemm(&qa, &qb, None, mult, out_params).dequantize();
         for i in 0..4 {
             assert!(

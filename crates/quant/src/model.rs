@@ -139,11 +139,7 @@ impl FloatShadow {
 
     /// Forward over a single `[channels, window]` sample, invoking `tap`
     /// at every quantization point.
-    pub(crate) fn forward_taps(
-        &self,
-        x: &Tensor,
-        tap: &mut impl FnMut(&str, &Tensor),
-    ) -> Tensor {
+    pub(crate) fn forward_taps(&self, x: &Tensor, tap: &mut impl FnMut(&str, &Tensor)) -> Tensor {
         let cfg = &self.cfg;
         tap("input", x);
         let conv = conv1d_forward(x, &self.conv_w, &self.conv_b, Conv1dSpec::patch(cfg.filter));
@@ -177,8 +173,9 @@ impl FloatShadow {
                 let slice = |src: &Tensor| {
                     let mut out = Tensor::zeros(&[s, p]);
                     for si in 0..s {
-                        out.data_mut()[si * p..(si + 1) * p]
-                            .copy_from_slice(&src.data()[si * inner + hi * p..si * inner + (hi + 1) * p]);
+                        out.data_mut()[si * p..(si + 1) * p].copy_from_slice(
+                            &src.data()[si * inner + hi * p..si * inner + (hi + 1) * p],
+                        );
                     }
                     out
                 };
@@ -209,10 +206,7 @@ impl FloatShadow {
             tap(&pre("res2"), &res2);
             tokens = res2;
         }
-        let cls = Tensor::from_vec(
-            tokens.data()[(s - 1) * e..s * e].to_vec(),
-            &[1, e],
-        );
+        let cls = Tensor::from_vec(tokens.data()[(s - 1) * e..s * e].to_vec(), &[1, e]);
         let lnf = layernorm(&cls, &self.lnf_g, &self.lnf_b);
         tap("ln_f", &lnf);
         linear(&lnf, &self.head.0, &self.head.1)
@@ -325,8 +319,7 @@ impl QuantBioformer {
             let fc2_p = params(&pre("fc2"));
             let res2_p = params(&pre("res2"));
 
-            let score_scale =
-                q_p.scale as f64 * k_p.scale as f64 / (cfg.head_dim as f64).sqrt();
+            let score_scale = q_p.scale as f64 * k_p.scale as f64 / (cfg.head_dim as f64).sqrt();
             let av_scale = ISoftmax::OUT_PARAMS.scale as f64 * v_p.scale as f64;
             blocks.push(QBlock {
                 ln1: ILayerNorm::new(blk.ln1_g.data(), blk.ln1_b.data(), ln1_p),
@@ -499,7 +492,10 @@ impl QuantBioformer {
                 }));
                 start = end;
             }
-            handles.into_iter().map(|h| h.join().expect("quant eval shard")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("quant eval shard"))
+                .collect()
         });
         for (start, buf) in results {
             let rows = buf.len() / classes;

@@ -9,7 +9,7 @@ use bioformer_tensor::Tensor;
 /// A percentile/EMA observer would clip outliers more gracefully; min/max
 /// matches what the GAP8 deployment flow of the paper's toolchain
 /// ([Burrello et al., COINS 2021]) uses and keeps behaviour reproducible.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinMaxObserver {
     min: f32,
     max: f32,

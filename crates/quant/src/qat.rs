@@ -164,7 +164,7 @@ mod tests {
             labels.push(c);
             for j in 0..6 {
                 x.data_mut()[i * 6 + j] =
-                    if j == c * 2 { 2.0 } else { 0.0 } + rng.gen_range(-0.2..0.2);
+                    if j == c * 2 { 2.0 } else { 0.0 } + rng.gen_range(-0.2f32..0.2);
             }
         }
         let cfg = QatConfig {

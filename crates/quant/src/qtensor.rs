@@ -7,7 +7,7 @@ use bioformer_tensor::Tensor;
 /// Weights use **symmetric** parameters (`zero_point == 0`) so integer GEMM
 /// kernels avoid the weight-offset correction term; activations may use the
 /// full affine form.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QParams {
     /// Real-value step between adjacent quantized levels.
     pub scale: f32,
@@ -67,7 +67,7 @@ impl QParams {
 }
 
 /// A dense int8 tensor with shared (per-tensor) quantization parameters.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QTensor {
     dims: Vec<usize>,
     data: Vec<i8>,
@@ -127,7 +127,10 @@ impl QTensor {
     /// Reconstructs the fp32 tensor.
     pub fn dequantize(&self) -> Tensor {
         Tensor::from_vec(
-            self.data.iter().map(|&q| self.params.dequantize(q)).collect(),
+            self.data
+                .iter()
+                .map(|&q| self.params.dequantize(q))
+                .collect(),
             &self.dims,
         )
     }

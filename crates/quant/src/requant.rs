@@ -8,7 +8,7 @@
 
 /// A real multiplier encoded as `mantissa × 2^(−31−shift)` with
 /// `mantissa ∈ [2^30, 2^31)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FixedMultiplier {
     /// Normalised mantissa.
     pub mantissa: i32,
@@ -23,7 +23,10 @@ impl FixedMultiplier {
     ///
     /// Panics if `m` is not finite and positive.
     pub fn encode(m: f64) -> Self {
-        assert!(m.is_finite() && m > 0.0, "multiplier must be positive, got {m}");
+        assert!(
+            m.is_finite() && m > 0.0,
+            "multiplier must be positive, got {m}"
+        );
         assert!(m < 1e9, "multiplier {m} out of supported range");
         let mut shift = 0i32;
         let mut frac = m;

@@ -142,7 +142,7 @@ impl SemgDataset {
 
 /// Per-channel standardisation (z-score) fitted on training data and
 /// applied to every split — the only preprocessing ahead of the network.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Normalizer {
     mean: Vec<f32>,
     std: Vec<f32>,
@@ -157,12 +157,13 @@ impl Normalizer {
     pub fn fit(data: &SemgDataset) -> Self {
         assert!(!data.is_empty(), "cannot fit Normalizer on empty dataset");
         let n = data.len();
-        let mut mean = vec![0.0f64; CHANNELS];
-        let mut sq = vec![0.0f64; CHANNELS];
+        let mut mean = [0.0f64; CHANNELS];
+        let mut sq = [0.0f64; CHANNELS];
         let per = (n * WINDOW) as f64;
         for i in 0..n {
             for c in 0..CHANNELS {
-                let row = &data.x.data()[(i * CHANNELS + c) * WINDOW..(i * CHANNELS + c + 1) * WINDOW];
+                let row =
+                    &data.x.data()[(i * CHANNELS + c) * WINDOW..(i * CHANNELS + c + 1) * WINDOW];
                 for &v in row {
                     mean[c] += v as f64;
                     sq[c] += (v as f64) * (v as f64);
@@ -177,10 +178,7 @@ impl Normalizer {
             mean_f[c] = m as f32;
             std[c] = (var.sqrt()) as f32;
         }
-        Normalizer {
-            mean: mean_f,
-            std,
-        }
+        Normalizer { mean: mean_f, std }
     }
 
     /// Channel means.
@@ -288,7 +286,10 @@ mod tests {
         let nt = norm.apply(&test);
         // Test data normalised with train stats should NOT be unit-std.
         let v0: f32 = nt.x().data()[..WINDOW].iter().map(|v| v * v).sum::<f32>() / WINDOW as f32;
-        assert!(v0 > 2.0, "test variance under train stats should stay large");
+        assert!(
+            v0 > 2.0,
+            "test variance under train stats should stay large"
+        );
     }
 
     #[test]

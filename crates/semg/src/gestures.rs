@@ -5,7 +5,7 @@ use crate::MUSCLES;
 /// The gesture vocabulary of Ninapro DB6: the rest position plus seven
 /// grasps "covering hand movements typically done during daily activities"
 /// (paper §III-C / Palermo et al. 2017).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Gesture {
     /// Hand at rest.

@@ -68,8 +68,14 @@ impl NinaproDb6 {
     ///
     /// Panics if `subject` or `session` are out of range.
     pub fn subject_session_dataset(&self, subject: usize, session: usize) -> SemgDataset {
-        assert!(subject < self.spec.subjects, "subject {subject} out of range");
-        assert!(session < self.spec.sessions, "session {session} out of range");
+        assert!(
+            subject < self.spec.subjects,
+            "subject {subject} out of range"
+        );
+        assert!(
+            session < self.spec.sessions,
+            "session {session} out of range"
+        );
         let subj = &self.subjects[subject];
         let sess = SessionModel::generate(&self.spec, subj, session);
 
@@ -81,7 +87,7 @@ impl NinaproDb6 {
             for rep in 0..self.spec.reps_per_gesture {
                 let signal = synthesize_repetition(&self.spec, subj, &sess, gesture, rep);
                 let n = extract_all_into(&signal, self.spec.slide, &mut data);
-                labels.extend(std::iter::repeat(gesture).take(n));
+                labels.extend(std::iter::repeat_n(gesture, n));
             }
         }
         let n = labels.len();

@@ -49,10 +49,7 @@ impl SessionModel {
     /// Deterministically generates the state of `(subject, session)` by
     /// replaying the drift walk from session 0.
     pub fn generate(spec: &DatasetSpec, subject: &SubjectModel, session: usize) -> Self {
-        let mut rng = StdRng::seed_from_u64(derive_seed(
-            spec.seed,
-            &[2, subject.id as u64],
-        ));
+        let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, &[2, subject.id as u64]));
         let drift_sigma = spec.session_drift * subject.difficulty;
         let gain_sigma = spec.gain_drift * subject.difficulty;
 
@@ -84,7 +81,7 @@ impl SessionModel {
             gains,
             powerline_amp: srng.gen_range(0.01..0.08),
             powerline_phase: srng.gen_range(0.0..std::f32::consts::TAU),
-            artifact_rate: srng.gen_range(0.2..1.0) * subject.difficulty,
+            artifact_rate: srng.gen_range(0.2f32..1.0) * subject.difficulty,
         }
     }
 

@@ -115,7 +115,9 @@ pub fn synthesize_repetition(
     for t in 0..n {
         let frac = t as f32 / n as f32;
         let r = ramp(frac, 0.12);
-        let trem = 1.0 + tremor_amp * (std::f32::consts::TAU * tremor_freq * t as f32 * dt + tremor_phase).sin();
+        let trem = 1.0
+            + tremor_amp
+                * (std::f32::consts::TAU * tremor_freq * t as f32 * dt + tremor_phase).sin();
         for m in 0..MUSCLES {
             // Rest keeps faint tonic activity even outside the ramp.
             let tonic = 0.04;
@@ -293,12 +295,7 @@ mod tests {
         // Normalised profiles should differ appreciably for distinct grasps.
         let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
         let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
-        let cos: f32 = a
-            .iter()
-            .zip(b.iter())
-            .map(|(x, y)| x * y)
-            .sum::<f32>()
-            / (na * nb);
+        let cos: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum::<f32>() / (na * nb);
         assert!(cos < 0.995, "profiles nearly identical (cos {cos})");
     }
 }

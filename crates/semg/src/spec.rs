@@ -9,7 +9,7 @@ use crate::{SAMPLE_RATE, WINDOW};
 /// on CPU, [`DatasetSpec::default`] produces a scaled-down set (shorter
 /// repetitions, larger window slide) preserving the protocol structure, and
 /// [`DatasetSpec::tiny`] is a seconds-scale configuration for unit tests.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Number of subjects (paper: 10).
     pub subjects: usize,

@@ -66,7 +66,7 @@ pub fn base_mixing(seed: u64) -> Vec<f32> {
                 d = 1.0 - d;
             }
             // Sharp spatial selectivity plus a small seeded irregularity.
-            let coupling = (-(d * d) / 0.015).exp() + 0.05 * rng.gen_range(0.0..1.0);
+            let coupling = (-(d * d) / 0.015).exp() + 0.05 * rng.gen_range(0.0f32..1.0);
             m[e * MUSCLES + mu] = coupling;
         }
         // Normalise each electrode's row so overall signal power is
@@ -96,7 +96,8 @@ impl SubjectModel {
         for row in &mut synergy {
             for v in row.iter_mut() {
                 let jitter = 1.0 + spec.style_variability * randn(&mut rng);
-                *v = (*v * jitter + 0.03 * spec.style_variability * randn(&mut rng)).clamp(0.0, 1.3);
+                *v =
+                    (*v * jitter + 0.03 * spec.style_variability * randn(&mut rng)).clamp(0.0, 1.3);
             }
         }
         let amplitude = rng.gen_range(0.7..1.3);

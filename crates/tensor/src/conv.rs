@@ -16,7 +16,7 @@
 use crate::tensor::Tensor;
 
 /// Hyper-parameters of a 1-D convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conv1dSpec {
     /// Step between output positions.
     pub stride: usize,
@@ -280,7 +280,7 @@ pub fn conv1d_backward_params_cols(
     let (c_out, out_len) = (dy.dims()[0], dy.dims()[1]);
     assert_eq!(cols.dims()[0], out_len, "conv1d params: out_len mismatch");
     let dy_t = transpose_cl(dy); // [out_len, c_out]
-    // dW2d = dy_tᵀ · cols → [c_out, ck]
+                                 // dW2d = dy_tᵀ · cols → [c_out, ck]
     let dw2d = dy_t.matmul_tn(cols);
     let dw = dw2d.reshape(&[c_out, c_in, kernel]);
     let mut db = Tensor::zeros(&[c_out]);

@@ -25,7 +25,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul: inner dimensions disagree ({} vs {})",
         a.shape(),
         b.shape()
@@ -62,7 +63,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul_nt: inner dimensions disagree ({} vs {})",
         a.shape(),
         b.shape()
@@ -109,7 +111,8 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (m2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(
-        m, m2,
+        m,
+        m2,
         "matmul_tn: outer dimensions disagree ({} vs {})",
         a.shape(),
         b.shape()
@@ -144,11 +147,12 @@ pub fn matvec(a: &Tensor, v: &Tensor) -> Tensor {
     assert_eq!(v.shape().rank(), 1, "matvec: rhs must be 1-D");
     let (m, k) = (a.dims()[0], a.dims()[1]);
     assert_eq!(k, v.dims()[0], "matvec: dimension mismatch");
-    let mut out = vec![0.0f32; m];
-    for i in 0..m {
-        let row = &a.data()[i * k..(i + 1) * k];
-        out[i] = row.iter().zip(v.data().iter()).map(|(x, y)| x * y).sum();
-    }
+    let out: Vec<f32> = (0..m)
+        .map(|i| {
+            let row = &a.data()[i * k..(i + 1) * k];
+            row.iter().zip(v.data().iter()).map(|(x, y)| x * y).sum()
+        })
+        .collect();
     Tensor::from_vec(out, &[m])
 }
 
@@ -156,16 +160,22 @@ pub fn matvec(a: &Tensor, v: &Tensor) -> Tensor {
 /// estimate: 1 below the threshold, then roughly one thread per 16 M work
 /// units so every spawned thread amortises its ~0.25 ms start-up cost.
 fn plan_threads(work: usize) -> usize {
-    if work < crate::parallel::PARALLEL_WORK_THRESHOLD {
+    let max = crate::parallel::max_threads();
+    if max <= 1 || work < crate::parallel::PARALLEL_WORK_THRESHOLD {
         1
     } else {
-        (work >> 24).clamp(2, crate::parallel::max_threads().max(1))
+        (work >> 24).clamp(2, max)
     }
 }
 
 /// Splits a flat `rows*cols` buffer into one `(row_index, row_slice)` chunk
 /// per worker; helper for the threaded kernels.
-fn split_rows(buf: &mut [f32], rows: usize, cols: usize, threads: usize) -> Vec<(usize, &mut [f32])> {
+fn split_rows(
+    buf: &mut [f32],
+    rows: usize,
+    cols: usize,
+    threads: usize,
+) -> Vec<(usize, &mut [f32])> {
     let per = rows.div_ceil(threads.min(rows.max(1)).max(1));
     let mut out = Vec::new();
     let mut rest = buf;
@@ -182,13 +192,8 @@ fn split_rows(buf: &mut [f32], rows: usize, cols: usize, threads: usize) -> Vec<
 
 /// Runs `body(first_row, rows_slice)` over row groups, in parallel when the
 /// estimated `work` is large enough.
-fn parallel_chunks_rows<F>(
-    out: &mut [f32],
-    rows: usize,
-    cols: usize,
-    work: usize,
-    body: F,
-) where
+fn parallel_chunks_rows<F>(out: &mut [f32], rows: usize, cols: usize, work: usize, body: F)
+where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     let threads = plan_threads(work);
@@ -238,6 +243,19 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: a GEMM large enough to cross the parallel threshold must
+    /// not panic when only one worker thread is available (single-core
+    /// machines, or benchmarks forcing a serial baseline). `plan_threads`
+    /// used to call `clamp(2, 1)` here.
+    #[test]
+    fn above_threshold_gemm_works_single_threaded() {
+        let _guard = crate::parallel::override_guard(1);
+        let n = 330; // 2·n³ > PARALLEL_WORK_THRESHOLD
+        let a = Tensor::from_fn(&[n, n], |i| (i % 7) as f32 - 3.0);
+        let c = matmul(&a, &Tensor::eye(n));
+        assert!(c.allclose(&a, 0.0));
+    }
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);

@@ -138,14 +138,14 @@ pub fn layernorm_forward(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, 
     let mut y = Tensor::zeros(&[m, n]);
     let mut xhat = Tensor::zeros(&[m, n]);
     let mut inv_std = vec![0.0f32; m];
-    for r in 0..m {
+    for (r, inv_std_row) in inv_std.iter_mut().enumerate() {
         let row = &x.data()[r * n..(r + 1) * n];
         let mean = row.iter().sum::<f32>() / n as f32;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
         let istd = 1.0 / (var + LAYERNORM_EPS).sqrt();
-        inv_std[r] = istd;
-        for i in 0..n {
-            let xh = (row[i] - mean) * istd;
+        *inv_std_row = istd;
+        for (i, &xv) in row.iter().enumerate() {
+            let xh = (xv - mean) * istd;
             xhat.data_mut()[r * n + i] = xh;
             y.data_mut()[r * n + i] = gamma.data()[i] * xh + beta.data()[i];
         }

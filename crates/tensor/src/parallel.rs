@@ -30,6 +30,28 @@ pub fn set_max_threads(n: usize) {
     MAX_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Serialises tests that mutate the process-global thread override; tests
+/// run concurrently in one binary, so unsynchronised [`set_max_threads`]
+/// calls race. Lock via [`override_guard`] before overriding.
+#[cfg(test)]
+pub(crate) static OVERRIDE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Takes the override lock and sets `n`; the previous default (0) is
+/// restored when the guard drops, even on panic.
+#[cfg(test)]
+pub(crate) fn override_guard(n: usize) -> impl Drop {
+    // The guard's only job is to hold the lock until drop.
+    struct Guard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            set_max_threads(0);
+        }
+    }
+    let lock = OVERRIDE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_max_threads(n);
+    Guard(lock)
+}
+
 /// The machine's available parallelism, queried once and cached —
 /// `std::thread::available_parallelism` performs cgroup filesystem reads
 /// that cost ~0.7 ms per call on some container kernels, far too slow for
@@ -123,9 +145,9 @@ mod tests {
 
     #[test]
     fn thread_override() {
-        set_max_threads(3);
+        let guard = override_guard(3);
         assert_eq!(max_threads(), 3);
-        set_max_threads(0);
+        drop(guard);
         assert!(max_threads() >= 1);
     }
 }

@@ -18,7 +18,7 @@ use std::fmt;
 /// assert_eq!(s.rank(), 3);
 /// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

@@ -18,7 +18,7 @@ use std::fmt;
 /// assert_eq!(t.shape().dims(), &[2, 3]);
 /// assert_eq!(t.data().len(), 6);
 /// ```
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
@@ -112,9 +112,9 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f(flat_index)` for every element.
-    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(dims: &[usize], f: impl FnMut(usize) -> f32) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.len()).map(|i| f(i)).collect();
+        let data = (0..shape.len()).map(f).collect();
         Tensor { shape, data }
     }
 
@@ -435,7 +435,10 @@ impl Tensor {
     ///
     /// Panics if `items` is empty or the shapes disagree.
     pub fn stack(items: &[&Tensor]) -> Tensor {
-        assert!(!items.is_empty(), "Tensor::stack requires at least one item");
+        assert!(
+            !items.is_empty(),
+            "Tensor::stack requires at least one item"
+        );
         let first = items[0].shape().clone();
         let mut dims = vec![items.len()];
         dims.extend_from_slice(first.dims());

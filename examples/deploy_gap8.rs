@@ -29,7 +29,10 @@ fn main() {
     let subject = 0;
 
     // 1. fp32 training.
-    println!("1. training Bioformer (h=8, d=1) on subject {}…", subject + 1);
+    println!(
+        "1. training Bioformer (h=8, d=1) on subject {}…",
+        subject + 1
+    );
     let mut model = Bioformer::new(&cfg);
     let outcome = run_standard(&mut model, &db, subject, &ProtocolConfig::default());
     println!("   fp32 test accuracy: {:.2}%", outcome.overall * 100.0);
@@ -67,10 +70,19 @@ fn main() {
     // 4. GAP8 deployment analysis.
     let report = analyze_default(&bioformer_descriptor(&cfg));
     println!("4. GAP8 deployment (analytical model, 100 MHz @ 1 V):");
-    println!("   memory        : {:.1} kB (paper: 94.2 kB)", report.memory_kb);
+    println!(
+        "   memory        : {:.1} kB (paper: 94.2 kB)",
+        report.memory_kb
+    );
     println!("   complexity    : {:.1} MMAC (paper: 3.3)", report.mmac);
-    println!("   latency       : {:.2} ms (paper: 2.72 ms)", report.latency_ms);
-    println!("   energy        : {:.3} mJ (paper: 0.139 mJ)", report.energy_mj);
+    println!(
+        "   latency       : {:.2} ms (paper: 2.72 ms)",
+        report.latency_ms
+    );
+    println!(
+        "   energy        : {:.3} mJ (paper: 0.139 mJ)",
+        report.energy_mj
+    );
     println!(
         "   battery life  : {:.0} h on 1000 mAh when classifying every 15 ms",
         report.battery_hours

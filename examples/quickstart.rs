@@ -26,8 +26,7 @@ fn main() {
     // Bio1: the paper's most accurate configuration (8 heads, depth 1).
     let cfg = BioformerConfig::bio1();
     println!(
-        "model:   {} → {}",
-        "Bioformer (h=8, d=1, filter=10)",
+        "model:   Bioformer (h=8, d=1, filter=10) → {}",
         complexity::of_bioformer(&cfg)
     );
 

@@ -24,7 +24,20 @@
 //! assert_eq!(db.subjects().len(), 2);
 //! ```
 //!
+//! # Serving
+//!
+//! The [`serve`] module unifies every precision behind one infer-only
+//! trait, [`serve::GestureClassifier`], and batches requests through
+//! [`serve::InferenceEngine`] — the same trained network answers as fp32
+//! or as the fully-integer int8 pipeline the MCU runs. See
+//! `examples/serve_batch.rs`.
+//!
 //! See `examples/` for end-to-end training, quantization and deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod serve;
 
 pub use bioformer_core as core;
 pub use bioformer_gap8 as gap8;

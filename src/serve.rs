@@ -1,0 +1,392 @@
+//! The serving layer: one inference API over every model precision.
+//!
+//! The paper's deployment story is that the *same* Bioformer runs as fp32
+//! during training and as a fully-integer int8 pipeline on the MCU. This
+//! module makes that a first-class property of the codebase:
+//!
+//! * [`GestureClassifier`] — the infer-only contract every backend
+//!   implements: fp32 [`Bioformer`], fp32 [`TempoNet`] and integer-only
+//!   [`QuantBioformer`].
+//! * [`InferenceEngine`] — owns a boxed backend, splits arbitrarily-sized
+//!   request batches into model-sized micro-batches and reports per-batch
+//!   latency statistics. This is the seed of the production serving layer
+//!   (see `ROADMAP.md`); request queuing and backend sharding build on it.
+//!
+//! ```
+//! use bioformers::core::{Bioformer, BioformerConfig};
+//! use bioformers::serve::InferenceEngine;
+//! use bioformers::tensor::Tensor;
+//!
+//! let engine = InferenceEngine::new(Box::new(Bioformer::new(&BioformerConfig::bio1())))
+//!     .with_micro_batch(8);
+//! let windows = Tensor::zeros(&[3, 14, 300]);
+//! let out = engine.serve(&windows);
+//! assert_eq!(out.logits.dims(), &[3, 8]);
+//! assert_eq!(out.predictions.len(), 3);
+//! assert_eq!(out.stats.micro_batches, 1);
+//! ```
+
+use bioformer_core::{Bioformer, TempoNet};
+use bioformer_nn::Model;
+use bioformer_quant::QuantBioformer;
+use bioformer_semg::GESTURE_CLASSES;
+use bioformer_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// An inference-only gesture classifier: maps a batch of sEMG windows
+/// `[n, channels, samples]` to logits `[n, classes]`.
+///
+/// Unlike [`bioformer_nn::Model`] this trait is object-safe and takes
+/// `&self`, so heterogeneous trained backends (fp32, int8, …) can sit
+/// behind one `Box<dyn GestureClassifier>` in a serving engine and be
+/// shared across threads.
+pub trait GestureClassifier: Send + Sync {
+    /// Runs inference on `windows` (`[n, channels, samples]`, `n` may be 0)
+    /// and returns logits `[n, classes]`.
+    fn predict_batch(&self, windows: &Tensor) -> Tensor;
+
+    /// Number of output classes (the width of the logit rows).
+    fn num_classes(&self) -> usize;
+
+    /// Human-readable backend name, e.g. `"bioformer-fp32"`.
+    fn name(&self) -> &str;
+}
+
+impl GestureClassifier for Bioformer {
+    /// Eval-mode forward. [`Model::forward`] needs `&mut self` for its
+    /// training caches, so inference runs on a clone; Bioformers are tiny
+    /// (tens of kB of weights), so the copy is negligible next to the
+    /// attention math.
+    fn predict_batch(&self, windows: &Tensor) -> Tensor {
+        self.clone().forward(windows, false)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config().classes
+    }
+
+    fn name(&self) -> &str {
+        "bioformer-fp32"
+    }
+}
+
+impl GestureClassifier for TempoNet {
+    /// Eval-mode forward on a clone (see the [`Bioformer`] impl for why).
+    fn predict_batch(&self, windows: &Tensor) -> Tensor {
+        self.clone().forward(windows, false)
+    }
+
+    fn num_classes(&self) -> usize {
+        GESTURE_CLASSES
+    }
+
+    fn name(&self) -> &str {
+        "temponet-fp32"
+    }
+}
+
+impl GestureClassifier for QuantBioformer {
+    /// Integer-only inference; already `&self` and batch-parallel.
+    fn predict_batch(&self, windows: &Tensor) -> Tensor {
+        self.forward_batch(windows)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config().classes
+    }
+
+    fn name(&self) -> &str {
+        "bioformer-int8"
+    }
+}
+
+/// Default micro-batch size: large enough to amortise per-call overhead,
+/// small enough to bound per-request latency.
+pub const DEFAULT_MICRO_BATCH: usize = 32;
+
+/// Latency statistics over the micro-batches of one [`InferenceEngine::serve`]
+/// call. Durations cover the backend's `predict_batch` only (splitting and
+/// reassembly are excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of micro-batches executed (0 for an empty request).
+    pub micro_batches: usize,
+    /// Total windows served.
+    pub windows: usize,
+    /// Sum of micro-batch latencies.
+    pub total: Duration,
+    /// Mean micro-batch latency (zero for an empty request).
+    pub mean: Duration,
+    /// Fastest micro-batch.
+    pub min: Duration,
+    /// Slowest micro-batch.
+    pub max: Duration,
+    /// Median micro-batch latency.
+    pub p50: Duration,
+    /// 95th-percentile micro-batch latency.
+    pub p95: Duration,
+}
+
+impl LatencyStats {
+    fn from_samples(samples: &mut [Duration], windows: usize) -> Self {
+        if samples.is_empty() {
+            return LatencyStats {
+                micro_batches: 0,
+                windows,
+                total: Duration::ZERO,
+                mean: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+                p50: Duration::ZERO,
+                p95: Duration::ZERO,
+            };
+        }
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        let n = samples.len();
+        let pct = |q: f64| samples[(((n as f64) * q) as usize).min(n - 1)];
+        LatencyStats {
+            micro_batches: n,
+            windows,
+            total,
+            mean: total / n as u32,
+            min: samples[0],
+            max: samples[n - 1],
+            p50: pct(0.50),
+            p95: pct(0.95),
+        }
+    }
+
+    /// Windows served per second of backend time (0.0 for empty requests).
+    pub fn throughput(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.windows as f64 / self.total.as_secs_f64()
+        }
+    }
+}
+
+/// The result of serving one request batch.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Logits `[n, classes]`, row-aligned with the request windows.
+    pub logits: Tensor,
+    /// Argmax class per window.
+    pub predictions: Vec<usize>,
+    /// Micro-batch latency statistics for this request.
+    pub stats: LatencyStats,
+}
+
+/// A micro-batching inference engine over one [`GestureClassifier`] backend.
+///
+/// Requests of any size are split into micro-batches of at most
+/// [`InferenceEngine::micro_batch`] windows; results are reassembled in
+/// request order, so `serve` is batch-size invariant: the logits equal a
+/// single full-batch `predict_batch` call bar float associativity.
+pub struct InferenceEngine {
+    backend: Box<dyn GestureClassifier>,
+    micro_batch: usize,
+}
+
+impl InferenceEngine {
+    /// Wraps `backend` with the [`DEFAULT_MICRO_BATCH`] size.
+    pub fn new(backend: Box<dyn GestureClassifier>) -> Self {
+        InferenceEngine {
+            backend,
+            micro_batch: DEFAULT_MICRO_BATCH,
+        }
+    }
+
+    /// Sets the micro-batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micro_batch` is 0.
+    pub fn with_micro_batch(mut self, micro_batch: usize) -> Self {
+        assert!(micro_batch > 0, "InferenceEngine: micro_batch must be >= 1");
+        self.micro_batch = micro_batch;
+        self
+    }
+
+    /// The configured micro-batch size.
+    pub fn micro_batch(&self) -> usize {
+        self.micro_batch
+    }
+
+    /// The backend's name.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// The backend's class count.
+    pub fn num_classes(&self) -> usize {
+        self.backend.num_classes()
+    }
+
+    /// Serves a request batch `[n, channels, samples]` (`n` may be 0, and
+    /// need not divide the micro-batch size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is not rank-3 or the backend returns logits of
+    /// the wrong shape (backend contract violation).
+    pub fn serve(&self, windows: &Tensor) -> ServeOutcome {
+        assert_eq!(
+            windows.dims().len(),
+            3,
+            "InferenceEngine: windows must be [n, channels, samples], got {:?}",
+            windows.dims()
+        );
+        let n = windows.dims()[0];
+        let (channels, samples) = (windows.dims()[1], windows.dims()[2]);
+        let classes = self.backend.num_classes();
+        let sample_len = channels * samples;
+
+        let mut logits = Tensor::zeros(&[n, classes]);
+        let mut latencies = Vec::with_capacity(n.div_ceil(self.micro_batch.max(1)));
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + self.micro_batch).min(n);
+            let micro = Tensor::from_vec(
+                windows.data()[start * sample_len..end * sample_len].to_vec(),
+                &[end - start, channels, samples],
+            );
+            let t0 = Instant::now();
+            let out = self.backend.predict_batch(&micro);
+            latencies.push(t0.elapsed());
+            assert_eq!(
+                out.dims(),
+                &[end - start, classes],
+                "backend {} returned bad logits shape",
+                self.backend.name()
+            );
+            logits.data_mut()[start * classes..end * classes].copy_from_slice(out.data());
+            start = end;
+        }
+
+        let predictions = if n == 0 {
+            Vec::new()
+        } else {
+            logits.argmax_rows()
+        };
+        ServeOutcome {
+            logits,
+            predictions,
+            stats: LatencyStats::from_samples(&mut latencies, n),
+        }
+    }
+}
+
+impl std::fmt::Debug for InferenceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceEngine")
+            .field("backend", &self.backend.name())
+            .field("micro_batch", &self.micro_batch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::sync::{Arc, Mutex};
+
+    /// A backend that records the micro-batch sizes it was asked for.
+    struct Probe {
+        classes: usize,
+        seen: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl GestureClassifier for Probe {
+        fn predict_batch(&self, windows: &Tensor) -> Tensor {
+            let n = windows.dims()[0];
+            self.seen.lock().unwrap().push(n);
+            // Logit = window index within the micro-batch, so reassembly
+            // errors are visible in the output.
+            Tensor::from_fn(&[n, self.classes], |i| (i / self.classes) as f32)
+        }
+
+        fn num_classes(&self) -> usize {
+            self.classes
+        }
+
+        fn name(&self) -> &str {
+            "probe"
+        }
+    }
+
+    fn probe_engine(micro: usize) -> (InferenceEngine, Arc<Mutex<Vec<usize>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let engine = InferenceEngine::new(Box::new(Probe {
+            classes: 4,
+            seen: Arc::clone(&seen),
+        }))
+        .with_micro_batch(micro);
+        (engine, seen)
+    }
+
+    #[test]
+    fn splits_non_divisible_batches() {
+        let (engine, seen) = probe_engine(3);
+        let out = engine.serve(&Tensor::zeros(&[7, 2, 5]));
+        assert_eq!(*seen.lock().unwrap(), vec![3, 3, 1]);
+        assert_eq!(out.stats.micro_batches, 3);
+        assert_eq!(out.stats.windows, 7);
+        assert_eq!(out.logits.dims(), &[7, 4]);
+        // Last micro-batch has 1 window; its logit row must be 0.
+        assert_eq!(out.logits.row(6), &[0.0; 4]);
+    }
+
+    #[test]
+    fn empty_batch_is_served_without_backend_calls() {
+        let (engine, seen) = probe_engine(4);
+        let out = engine.serve(&Tensor::zeros(&[0, 2, 5]));
+        assert!(seen.lock().unwrap().is_empty());
+        assert_eq!(out.logits.dims(), &[0, 4]);
+        assert!(out.predictions.is_empty());
+        assert_eq!(out.stats.micro_batches, 0);
+        assert_eq!(out.stats.throughput(), 0.0);
+    }
+
+    #[test]
+    fn batch_smaller_than_micro_batch_is_one_call() {
+        let (engine, seen) = probe_engine(100);
+        let out = engine.serve(&Tensor::zeros(&[5, 2, 5]));
+        assert_eq!(*seen.lock().unwrap(), vec![5]);
+        assert_eq!(out.stats.micro_batches, 1);
+        assert_eq!(out.predictions.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "micro_batch must be >= 1")]
+    fn zero_micro_batch_is_rejected() {
+        let _ = probe_engine(0).0;
+    }
+
+    #[test]
+    #[should_panic(expected = "windows must be [n, channels, samples]")]
+    fn non_rank3_requests_are_rejected() {
+        let (engine, _seen) = probe_engine(4);
+        let _ = engine.serve(&Tensor::zeros(&[4, 10]));
+    }
+
+    #[test]
+    fn latency_stats_are_consistent() {
+        let mut samples = vec![
+            Duration::from_micros(50),
+            Duration::from_micros(10),
+            Duration::from_micros(30),
+        ];
+        let stats = LatencyStats::from_samples(&mut samples, 9);
+        assert_eq!(stats.micro_batches, 3);
+        assert_eq!(stats.min, Duration::from_micros(10));
+        assert_eq!(stats.max, Duration::from_micros(50));
+        assert_eq!(stats.p50, Duration::from_micros(30));
+        assert_eq!(stats.p95, Duration::from_micros(50));
+        assert_eq!(stats.total, Duration::from_micros(90));
+        assert_eq!(stats.mean, Duration::from_micros(30));
+        assert!((stats.throughput() - 100_000.0).abs() < 1.0);
+    }
+}

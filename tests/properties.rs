@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) on cross-crate invariants.
 
-use bioformers::nn::Model;
 use bioformers::core::{Bioformer, BioformerConfig};
+use bioformers::nn::Model;
 use bioformers::quant::qtensor::{fake_quantize, QParams};
 use bioformers::quant::requant::FixedMultiplier;
 use bioformers::semg::{DatasetSpec, NinaproDb6};

@@ -1,0 +1,257 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the criterion 0.5 API the workspace's `benches/` targets
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — on top of simple wall-clock timing.
+//!
+//! Reported numbers are a median over measurement batches with a warm-up
+//! phase; they are honest but lack criterion's outlier analysis and HTML
+//! reports. Benchmarks compile under `cargo test` and run under
+//! `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` call sites keep working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, passed to every `criterion_group!` function.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Substring filter: `cargo bench -- <filter>`; the harness flag
+        // `--bench` that cargo appends is not a filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            warm_up: Duration::from_millis(150),
+            measurement: Duration::from_millis(400),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n-- group: {name} --");
+        BenchmarkGroup {
+            group: name.to_string(),
+            c: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(self, None, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a report prefix.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(self.c, Some(&self.group), id, f);
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    mode: Mode,
+    /// Samples collected in measurement mode: (iterations, elapsed).
+    samples: Vec<(u64, Duration)>,
+}
+
+enum Mode {
+    /// Estimate per-iteration cost with geometrically growing batches.
+    Calibrate { budget: Duration },
+    /// Measure fixed-size batches until the budget is exhausted.
+    Measure { iters: u64, budget: Duration },
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` according to the current phase.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Calibrate { budget } => {
+                let start = Instant::now();
+                let mut iters = 1u64;
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let dt = t0.elapsed();
+                    self.samples.push((iters, dt));
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+            }
+            Mode::Measure { iters, budget } => {
+                let start = Instant::now();
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    self.samples.push((iters, t0.elapsed()));
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark(c: &Criterion, group: Option<&str>, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &c.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Warm-up & calibration: find a batch size whose duration is measurable.
+    let mut warm = Bencher {
+        mode: Mode::Calibrate { budget: c.warm_up },
+        samples: Vec::new(),
+    };
+    f(&mut warm);
+    let per_iter = warm
+        .samples
+        .iter()
+        .map(|(n, d)| d.as_secs_f64() / *n as f64)
+        .fold(f64::INFINITY, f64::min);
+    if !per_iter.is_finite() {
+        println!("{full:<40} (no samples — closure never called iter)");
+        return;
+    }
+    // Aim for ~5 ms per measured batch, at least one iteration.
+    let iters = ((5e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+    let mut bench = Bencher {
+        mode: Mode::Measure {
+            iters,
+            budget: c.measurement,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut bench);
+
+    let mut per: Vec<f64> = bench
+        .samples
+        .iter()
+        .map(|(n, d)| d.as_secs_f64() / *n as f64)
+        .collect();
+    per.sort_by(f64::total_cmp);
+    let median = per[per.len() / 2];
+    let (lo, hi) = (per[0], per[per.len() - 1]);
+    println!(
+        "{full:<40} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_without_panicking() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(5),
+            filter: Some("matches-nothing".into()),
+        };
+        let mut calls = 0u64;
+        c.bench_function("skipped", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn time_formatting_covers_magnitudes() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with(" s"));
+    }
+}

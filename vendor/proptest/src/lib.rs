@@ -1,0 +1,238 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0.1f32..50.0`, `1usize..5`, …),
+//! * [`collection::vec`] and [`prop::sample::select`].
+//!
+//! Each property runs for [`ProptestConfig::cases`] deterministic cases
+//! seeded from the test name, so failures reproduce exactly. Unlike real
+//! proptest there is **no shrinking**: a failing case panics with the drawn
+//! values available via the assertion message/backtrace.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     fn addition_commutes(a in -100i32..100, b in -100i32..100) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//!
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration, set per `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from the test name and case index, so each case
+    /// of each property draws an independent but reproducible stream.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, usize, u64, u32, i64, i32);
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is uniform over `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.0.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of the `proptest::prop` module path used via the prelude.
+pub mod prop {
+    /// Sampling strategies over explicit value sets.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy drawing uniformly from a fixed set of values.
+        pub struct Select<T>(Vec<T>);
+
+        /// Uniformly selects one of `items`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "sample::select: empty choice set");
+            Select(items)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample_value(&self, rng: &mut TestRng) -> T {
+                self.0[rng.0.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// The glob-imported surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a property-test condition (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }` is
+/// expanded into a test running `body` for every sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample_value(&($strategy), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.5f32..2.0, n in 1usize..8) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((1..8).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(vals in crate::collection::vec(-1.0f64..1.0, 1..16)) {
+            prop_assert!(!vals.is_empty() && vals.len() < 16);
+            prop_assert!(vals.iter().all(|v| (-1.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn select_only_yields_choices(k in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(k == 2 || k == 4 || k == 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let a = TestRng::for_case("t", 0);
+        let b = TestRng::for_case("t", 0);
+        let mut a = a;
+        let mut b = b;
+        let sa = (0f32..1.0).sample_value(&mut a);
+        let sb = (0f32..1.0).sample_value(&mut b);
+        assert_eq!(sa, sb);
+        let mut c = TestRng::for_case("t", 1);
+        assert_ne!(sa, (0f32..1.0).sample_value(&mut c));
+    }
+}

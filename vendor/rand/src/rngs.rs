@@ -1,0 +1,76 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: **xoshiro256++**
+/// (Blackman & Vigna, 2019) seeded through SplitMix64.
+///
+/// Statistically strong for simulation/testing purposes and extremely fast;
+/// *not* cryptographically secure (neither use exists in this workspace).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expands the 64-bit seed into the 256-bit state; it
+        // cannot produce the all-zero state xoshiro must avoid.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_xoshiro256pp_vector() {
+        // Reference: xoshiro256++ with state {1, 2, 3, 4} produces this
+        // sequence (from the public domain reference implementation).
+        let mut rng = StdRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_avoids_degenerate_state() {
+        for seed in 0..64 {
+            let rng = StdRng::seed_from_u64(seed);
+            assert_ne!(rng.s, [0; 4]);
+        }
+    }
+}
