@@ -7,7 +7,7 @@
 //! ```
 
 use crate::config::BioformerConfig;
-use bioformer_nn::{Conv1d, LayerNorm, Linear, Model, Param, TransformerBlock};
+use bioformer_nn::{Conv1d, InferForward, LayerNorm, Linear, Model, Param, TransformerBlock};
 use bioformer_tensor::conv::Conv1dSpec;
 use bioformer_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -153,25 +153,60 @@ impl Bioformer {
     }
 }
 
-impl Model for Bioformer {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+impl InferForward for Bioformer {
+    /// Eval-mode forward through `&self`: bit-identical logits to
+    /// [`Model::forward`]`(x, false)`, but with no cache writes, so one
+    /// instance can be shared across serving workers without cloning.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bioformer_core::{Bioformer, BioformerConfig};
+    /// use bioformer_nn::InferForward;
+    /// use bioformer_tensor::Tensor;
+    ///
+    /// let model = Bioformer::new(&BioformerConfig::bio1());
+    /// let logits = model.forward_infer(&Tensor::zeros(&[2, 14, 300]));
+    /// assert_eq!(logits.dims(), &[2, 8]);
+    /// ```
+    fn forward_infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(
             x.dims()[1],
             self.cfg.channels,
             "Bioformer: channel mismatch"
         );
         assert_eq!(x.dims()[2], self.cfg.window, "Bioformer: window mismatch");
-        let conv_out = self.patch.forward(x, train);
+        let conv_out = self.patch.forward_infer(x);
         let mut tokens = self.tokenize(&conv_out);
-        for blk in &mut self.blocks {
-            tokens = blk.forward(&tokens, train);
+        for blk in &self.blocks {
+            tokens = blk.forward_infer(&tokens);
         }
         let cls = Self::class_rows(&tokens);
-        let normed = self.ln_final.forward(&cls, train);
-        let logits = self.head.forward(&normed, train);
-        if train {
-            self.fwd_batch = Some(x.dims()[0]);
+        let normed = self.ln_final.forward_infer(&cls);
+        self.head.forward_infer(&normed)
+    }
+}
+
+impl Model for Bioformer {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.forward_infer(x);
         }
+        assert_eq!(
+            x.dims()[1],
+            self.cfg.channels,
+            "Bioformer: channel mismatch"
+        );
+        assert_eq!(x.dims()[2], self.cfg.window, "Bioformer: window mismatch");
+        let conv_out = self.patch.forward(x, true);
+        let mut tokens = self.tokenize(&conv_out);
+        for blk in &mut self.blocks {
+            tokens = blk.forward(&tokens, true);
+        }
+        let cls = Self::class_rows(&tokens);
+        let normed = self.ln_final.forward(&cls, true);
+        let logits = self.head.forward(&normed, true);
+        self.fwd_batch = Some(x.dims()[0]);
         logits
     }
 
@@ -355,6 +390,18 @@ mod tests {
             m.class_token.grad.abs_max() > 0.0,
             "class token gradient is zero"
         );
+    }
+
+    #[test]
+    fn forward_infer_matches_eval_forward_exactly() {
+        let mut m = Bioformer::new(&small_cfg());
+        let x = filled(&[3, 3, 20], 6);
+        // Run a training-mode pass first so any cache state that could leak
+        // into the shared-state path would be present.
+        let _ = m.forward(&x, true);
+        let eval = m.forward(&x, false);
+        let infer = (&m as &Bioformer).forward_infer(&x);
+        assert!(infer.allclose(&eval, 0.0), "infer path diverges from eval");
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! inference it folds into the convolutions exactly like BatchNorm, so
 //! deployed MACs/memory are unchanged.
 
-use bioformer_nn::{AvgPool1d, Conv1d, Dropout, GroupNorm1d, Linear, Model, Param, Relu};
+use bioformer_nn::{
+    AvgPool1d, Conv1d, Dropout, GroupNorm1d, InferForward, Linear, Model, Param, Relu,
+};
 use bioformer_semg::{CHANNELS, GESTURE_CLASSES, WINDOW};
 use bioformer_tensor::conv::Conv1dSpec;
 use bioformer_tensor::Tensor;
@@ -67,12 +69,24 @@ impl TcnBlock {
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let h = self.conv0.forward(x, train);
-        let h = self.relu0.forward(&self.norm0.forward(&h, train), train);
-        let h = self.conv1.forward(&h, train);
-        let h = self.relu1.forward(&self.norm1.forward(&h, train), train);
-        let h = self.down.forward(&h, train);
-        self.relu2.forward(&self.norm2.forward(&h, train), train)
+        if !train {
+            return self.forward_infer(x);
+        }
+        let h = self.conv0.forward(x, true);
+        let h = self.relu0.forward(&self.norm0.forward(&h, true), true);
+        let h = self.conv1.forward(&h, true);
+        let h = self.relu1.forward(&self.norm1.forward(&h, true), true);
+        let h = self.down.forward(&h, true);
+        self.relu2.forward(&self.norm2.forward(&h, true), true)
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let h = self.conv0.forward_infer(x);
+        let h = self.relu0.forward_infer(&self.norm0.forward_infer(&h));
+        let h = self.conv1.forward_infer(&h);
+        let h = self.relu1.forward_infer(&self.norm1.forward_infer(&h));
+        let h = self.down.forward_infer(&h);
+        self.relu2.forward_infer(&self.norm2.forward_infer(&h))
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
@@ -163,27 +177,46 @@ impl TempoNet {
     }
 }
 
+impl InferForward for TempoNet {
+    /// Eval-mode forward through `&self` (dropout layers are the identity at
+    /// inference and are skipped): bit-identical logits to
+    /// [`Model::forward`]`(x, false)`, no cache writes.
+    fn forward_infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dims()[1], CHANNELS, "TempoNet: channel mismatch");
+        assert_eq!(x.dims()[2], WINDOW, "TempoNet: window mismatch");
+        let mut h = x.clone();
+        for blk in &self.blocks {
+            h = blk.forward_infer(&h);
+        }
+        let h = self.pool.forward_infer(&h);
+        let (b, c, l) = (h.dims()[0], h.dims()[1], h.dims()[2]);
+        let flat = h.reshape(&[b, c * l]);
+        let f = self.relu_fc1.forward_infer(&self.fc1.forward_infer(&flat));
+        let f = self.relu_fc2.forward_infer(&self.fc2.forward_infer(&f));
+        self.head.forward_infer(&f)
+    }
+}
+
 impl Model for TempoNet {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.forward_infer(x);
+        }
         assert_eq!(x.dims()[1], CHANNELS, "TempoNet: channel mismatch");
         assert_eq!(x.dims()[2], WINDOW, "TempoNet: window mismatch");
         let mut h = x.clone();
         for blk in &mut self.blocks {
-            h = blk.forward(&h, train);
+            h = blk.forward(&h, true);
         }
-        let h = self.pool.forward(&h, train);
+        let h = self.pool.forward(&h, true);
         let (b, c, l) = (h.dims()[0], h.dims()[1], h.dims()[2]);
-        if train {
-            self.fwd_shape = Some((b, c, l));
-        }
+        self.fwd_shape = Some((b, c, l));
         let flat = h.reshape(&[b, c * l]);
-        let f = self
-            .relu_fc1
-            .forward(&self.fc1.forward(&flat, train), train);
-        let f = self.drop1.forward(&f, train);
-        let f = self.relu_fc2.forward(&self.fc2.forward(&f, train), train);
-        let f = self.drop2.forward(&f, train);
-        self.head.forward(&f, train)
+        let f = self.relu_fc1.forward(&self.fc1.forward(&flat, true), true);
+        let f = self.drop1.forward(&f, true);
+        let f = self.relu_fc2.forward(&self.fc2.forward(&f, true), true);
+        let f = self.drop2.forward(&f, true);
+        self.head.forward(&f, true)
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
@@ -270,6 +303,16 @@ mod tests {
             }
         });
         assert_eq!(nonzero, total, "{nonzero}/{total} params received gradient");
+    }
+
+    #[test]
+    fn forward_infer_matches_eval_forward_exactly() {
+        let mut net = TempoNet::new(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::from_fn(&[2, CHANNELS, WINDOW], |_| rng.gen_range(-1.0..1.0));
+        let eval = net.forward(&x, false);
+        let infer = (&net as &TempoNet).forward_infer(&x);
+        assert!(infer.allclose(&eval, 0.0), "infer path diverges from eval");
     }
 
     #[test]

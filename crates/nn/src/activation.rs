@@ -21,6 +21,11 @@ impl Gelu {
         if train {
             self.cached_input = Some(x.clone());
         }
+        self.forward_infer(x)
+    }
+
+    /// Inference-only forward through `&self` (no cache writes).
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
         x.map(ops::gelu)
     }
 
@@ -72,6 +77,11 @@ impl Relu {
         if train {
             self.cached_input = Some(x.clone());
         }
+        self.forward_infer(x)
+    }
+
+    /// Inference-only forward through `&self` (no cache writes).
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
         let a = self.negative_slope;
         x.map(|v| if v > 0.0 { v } else { a * v })
     }

@@ -111,20 +111,23 @@ impl MultiHeadSelfAttention {
     ///
     /// Panics if `x` is not 3-D with the configured embedding width.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.forward_infer(x);
+        }
         assert_eq!(x.shape().rank(), 3, "MHSA: input must be [B, S, C]");
         let (batch, seq, embed) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert_eq!(embed, self.embed, "MHSA: embedding width mismatch");
         let rows = batch * seq;
         let x2 = x.reshape(&[rows, embed]);
 
-        let q = self.wq.forward(&x2, train);
-        let k = self.wk.forward(&x2, train);
-        let v = self.wv.forward(&x2, train);
+        let q = self.wq.forward(&x2, true);
+        let k = self.wk.forward(&x2, true);
+        let v = self.wv.forward(&x2, true);
 
         let inner = self.heads * self.head_dim;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let mut concat = Tensor::zeros(&[rows, inner]);
-        let mut attn_cache = Vec::with_capacity(if train { batch * self.heads } else { 0 });
+        let mut attn_cache = Vec::with_capacity(batch * self.heads);
         for b in 0..batch {
             for h in 0..self.heads {
                 let qh = self.head_slice(&q, b, h, seq);
@@ -135,23 +138,55 @@ impl MultiHeadSelfAttention {
                 let a = softmax_rows(&scores);
                 let oh = a.matmul(&vh);
                 self.head_scatter(&mut concat, &oh, b, h, seq);
-                if train {
-                    attn_cache.push(a);
-                }
+                attn_cache.push(a);
             }
         }
-        let y2 = self.wo.forward(&concat, train);
-        if train {
-            self.cache = Some(AttnCache {
-                batch,
-                seq,
-                q,
-                k,
-                v,
-                attn: attn_cache,
-            });
-        }
+        let y2 = self.wo.forward(&concat, true);
+        self.cache = Some(AttnCache {
+            batch,
+            seq,
+            q,
+            k,
+            v,
+            attn: attn_cache,
+        });
         y2.reshape(&[batch, seq, embed])
+    }
+
+    /// Inference-only forward over `[batch, seq, embed]` through `&self`:
+    /// same arithmetic as `forward(x, false)`, no cache writes, so one
+    /// attention layer can serve concurrent readers without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 3-D with the configured embedding width.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().rank(), 3, "MHSA: input must be [B, S, C]");
+        let (batch, seq, embed) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        assert_eq!(embed, self.embed, "MHSA: embedding width mismatch");
+        let rows = batch * seq;
+        let x2 = x.reshape(&[rows, embed]);
+
+        let q = self.wq.forward_infer(&x2);
+        let k = self.wk.forward_infer(&x2);
+        let v = self.wv.forward_infer(&x2);
+
+        let inner = self.heads * self.head_dim;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut concat = Tensor::zeros(&[rows, inner]);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let qh = self.head_slice(&q, b, h, seq);
+                let kh = self.head_slice(&k, b, h, seq);
+                let vh = self.head_slice(&v, b, h, seq);
+                let mut scores = qh.matmul_nt(&kh);
+                scores.scale_in_place(scale);
+                let a = softmax_rows(&scores);
+                let oh = a.matmul(&vh);
+                self.head_scatter(&mut concat, &oh, b, h, seq);
+            }
+        }
+        self.wo.forward_infer(&concat).reshape(&[batch, seq, embed])
     }
 
     /// Backward pass: accumulates projection gradients, returns `dx` of

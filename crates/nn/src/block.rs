@@ -83,30 +83,61 @@ impl TransformerBlock {
     ///
     /// Panics on embedding-width mismatch.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.forward_infer(x);
+        }
         let (batch, seq, embed) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert_eq!(embed, self.embed, "TransformerBlock: width mismatch");
         let rows = batch * seq;
         let x2 = x.reshape(&[rows, embed]);
 
         // Attention branch.
-        let a = self.ln1.forward(&x2, train);
+        let a = self.ln1.forward(&x2, true);
         let a3 = a.reshape(&[batch, seq, embed]);
-        let at = self.attn.forward(&a3, train);
+        let at = self.attn.forward(&a3, true);
         let at2 = at.reshape(&[rows, embed]);
-        let at2 = self.drop_attn.forward(&at2, train);
+        let at2 = self.drop_attn.forward(&at2, true);
         let r1 = x2.add(&at2);
 
         // FFN branch.
-        let f = self.ln2.forward(&r1, train);
-        let f = self.fc1.forward(&f, train);
-        let f = self.gelu.forward(&f, train);
-        let f = self.fc2.forward(&f, train);
-        let f = self.drop_ffn.forward(&f, train);
+        let f = self.ln2.forward(&r1, true);
+        let f = self.fc1.forward(&f, true);
+        let f = self.gelu.forward(&f, true);
+        let f = self.fc2.forward(&f, true);
+        let f = self.drop_ffn.forward(&f, true);
         let out = r1.add(&f);
 
-        if train {
-            self.fwd_shape = Some((batch, seq));
-        }
+        self.fwd_shape = Some((batch, seq));
+        out.reshape(&[batch, seq, embed])
+    }
+
+    /// Inference-only forward over `[batch, seq, embed]` through `&self`:
+    /// same arithmetic as `forward(x, false)` (dropout is the identity at
+    /// inference and is skipped outright), no cache writes, so one block
+    /// can serve concurrent readers without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on embedding-width mismatch.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let (batch, seq, embed) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        assert_eq!(embed, self.embed, "TransformerBlock: width mismatch");
+        let rows = batch * seq;
+        let x2 = x.reshape(&[rows, embed]);
+
+        // Attention branch (dropout skipped: identity at inference).
+        let a = self.ln1.forward_infer(&x2);
+        let a3 = a.reshape(&[batch, seq, embed]);
+        let at = self.attn.forward_infer(&a3);
+        let at2 = at.reshape(&[rows, embed]);
+        let r1 = x2.add(&at2);
+
+        // FFN branch.
+        let f = self.ln2.forward_infer(&r1);
+        let f = self.fc1.forward_infer(&f);
+        let f = self.gelu.forward_infer(&f);
+        let f = self.fc2.forward_infer(&f);
+        let out = r1.add(&f);
         out.reshape(&[batch, seq, embed])
     }
 

@@ -105,6 +105,9 @@ impl Conv1d {
     ///
     /// Panics on shape mismatch.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.forward_infer(x);
+        }
         assert_eq!(x.shape().rank(), 3, "Conv1d: input must be [B, C, L]");
         let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert_eq!(c, self.in_channels, "Conv1d: channel mismatch");
@@ -112,18 +115,38 @@ impl Conv1d {
         let mut y = Tensor::zeros(&[b, self.out_channels, out_len]);
         let sample = c * len;
         let out_sample = self.out_channels * out_len;
-        let mut cols_cache = Vec::with_capacity(if train { b } else { 0 });
+        let mut cols_cache = Vec::with_capacity(b);
         for i in 0..b {
             let xi = Tensor::from_vec(x.data()[i * sample..(i + 1) * sample].to_vec(), &[c, len]);
             let cols = im2col(&xi, self.kernel, self.spec);
             let yi = conv1d_forward_cols(&cols, &self.weight.value, &self.bias.value);
             y.data_mut()[i * out_sample..(i + 1) * out_sample].copy_from_slice(yi.data());
-            if train {
-                cols_cache.push(cols);
-            }
+            cols_cache.push(cols);
         }
-        if train {
-            self.cached_cols = Some((cols_cache, len));
+        self.cached_cols = Some((cols_cache, len));
+        y
+    }
+
+    /// Inference-only forward over `[batch, in_channels, length]` through
+    /// `&self`: same arithmetic as `forward(x, false)`, no cache writes, so
+    /// one layer instance can serve concurrent readers without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().rank(), 3, "Conv1d: input must be [B, C, L]");
+        let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        assert_eq!(c, self.in_channels, "Conv1d: channel mismatch");
+        let out_len = self.out_len(len);
+        let mut y = Tensor::zeros(&[b, self.out_channels, out_len]);
+        let sample = c * len;
+        let out_sample = self.out_channels * out_len;
+        for i in 0..b {
+            let xi = Tensor::from_vec(x.data()[i * sample..(i + 1) * sample].to_vec(), &[c, len]);
+            let cols = im2col(&xi, self.kernel, self.spec);
+            let yi = conv1d_forward_cols(&cols, &self.weight.value, &self.bias.value);
+            y.data_mut()[i * out_sample..(i + 1) * out_sample].copy_from_slice(yi.data());
         }
         y
     }

@@ -62,6 +62,14 @@ impl Dropout {
         y
     }
 
+    /// Inference-only forward through `&self`: dropout is the identity at
+    /// inference, so this simply clones the input. Callers that can keep the
+    /// original tensor (e.g. [`crate::TransformerBlock::forward_infer`])
+    /// should skip the layer entirely to avoid the copy.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        x.clone()
+    }
+
     /// Backward pass; applies the cached mask (identity if the forward pass
     /// ran in inference mode).
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {

@@ -53,6 +53,9 @@ impl LayerNorm {
     ///
     /// Panics if the row width differs from `features`.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.forward_infer(x);
+        }
         assert_eq!(
             x.dims()[1],
             self.features,
@@ -60,10 +63,25 @@ impl LayerNorm {
             self.gamma.name
         );
         let (y, cache) = layernorm_forward(x, &self.gamma.value, &self.beta.value);
-        if train {
-            self.cache = Some(cache);
-        }
+        self.cache = Some(cache);
         y
+    }
+
+    /// Inference-only forward pass over `[rows, features]` through `&self`:
+    /// same arithmetic as `forward(x, false)`, no cache writes, so one layer
+    /// instance can serve concurrent readers without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from `features`.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.features,
+            "LayerNorm {}: width mismatch",
+            self.gamma.name
+        );
+        layernorm_forward(x, &self.gamma.value, &self.beta.value).0
     }
 
     /// Backward pass: accumulates `dγ`, `dβ`, returns `dx`.

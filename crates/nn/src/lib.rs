@@ -17,10 +17,16 @@
 //! * [`TransformerBlock`] — pre-LN block: `x + MHSA(LN(x))`,
 //!   `x + FFN(LN(x))` with a GELU MLP.
 //!
+//! Every layer additionally exposes an inference-only `forward_infer(&self, …)`
+//! path: the same eval-mode arithmetic as `forward(x, false)` but through a
+//! shared reference, with no cache writes. Models assemble these into
+//! [`InferForward`], which lets the serving layer share one model instance
+//! across a worker pool without cloning.
+//!
 //! # Training
 //!
 //! [`optim::Adam`] / [`optim::Sgd`] update any [`Model`] through its
-//! parameter visitor; [`trainer::Trainer`] runs mini-batch epochs with
+//! parameter visitor; [`trainer::train`] runs mini-batch epochs with
 //! deterministic shuffling and data-parallel gradient computation across
 //! batch shards.
 
@@ -53,7 +59,7 @@ pub use dropout::Dropout;
 pub use layernorm::LayerNorm;
 pub use linear::Linear;
 pub use loss::cross_entropy;
-pub use model::Model;
+pub use model::{InferForward, Model};
 pub use norm::GroupNorm1d;
 pub use param::Param;
 pub use pool::AvgPool1d;

@@ -69,6 +69,21 @@ impl Linear {
     ///
     /// Panics if `x` is not `[rows, in_features]`.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = self.forward_infer(x);
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    /// Inference-only forward pass over shared state: identical arithmetic
+    /// to `forward(x, false)` but through `&self`, so a single layer
+    /// instance can serve concurrent readers without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[rows, in_features]`.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(
             x.dims()[1],
             self.in_features,
@@ -85,9 +100,6 @@ impl Linear {
             for (v, b) in row.iter_mut().zip(self.bias.value.data().iter()) {
                 *v += b;
             }
-        }
-        if train {
-            self.cached_input = Some(x.clone());
         }
         y
     }

@@ -1,7 +1,26 @@
-//! The [`Model`] abstraction shared by trainers, optimizers and protocols.
+//! The [`Model`] and [`InferForward`] abstractions shared by trainers,
+//! optimizers, protocols and the serving layer.
 
 use crate::param::Param;
 use bioformer_tensor::Tensor;
+
+/// An inference-only forward pass over shared model state.
+///
+/// [`Model::forward`] takes `&mut self` because training-mode passes stash
+/// activation caches for backprop. Serving has no use for those caches, and
+/// the `&mut` receiver forces engines to either lock or deep-copy the model
+/// per request. Implementors of this trait provide the eval-mode forward
+/// through `&self` — bit-identical logits to `Model::forward(x, false)`,
+/// no cache writes — so a single model instance can be shared across a
+/// worker pool (`Arc<M>`) with zero clones.
+///
+/// Every layer in this crate exposes a matching `forward_infer(&self, …)`
+/// building block (e.g. [`crate::Linear::forward_infer`]).
+pub trait InferForward {
+    /// Eval-mode forward pass:
+    /// `[batch, channels, samples] → [batch, classes]`.
+    fn forward_infer(&self, x: &Tensor) -> Tensor;
+}
 
 /// A trainable classifier over sEMG windows.
 ///

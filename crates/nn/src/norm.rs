@@ -68,6 +68,9 @@ impl GroupNorm1d {
     ///
     /// Panics on channel-count mismatch.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.forward_infer(x);
+        }
         assert_eq!(x.dims()[1], self.channels, "GroupNorm1d: channel mismatch");
         let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         let cg = c / self.groups;
@@ -78,8 +81,37 @@ impl GroupNorm1d {
         let zeros = Tensor::zeros(&[row_w]);
         let (xhat, cache) = layernorm_forward(&rows, &ones, &zeros);
         // Per-channel affine: position p in a row belongs to channel
-        // group_base + p / len.
+        // group_base + p / len. The backward pass reads x̂ from the cache,
+        // so the affine is applied to a copy.
         let mut y = xhat.clone();
+        self.affine(&mut y, b, len);
+        self.cache = Some((cache, b, len));
+        y.reshape(&[b, c, len])
+    }
+
+    /// Inference-only forward over `[batch, channels, len]` through `&self`
+    /// (no cache writes): same arithmetic as `forward(x, false)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on channel-count mismatch.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dims()[1], self.channels, "GroupNorm1d: channel mismatch");
+        let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let cg = c / self.groups;
+        let row_w = cg * len;
+        let rows = x.reshape(&[b * self.groups, row_w]);
+        let ones = Tensor::ones(&[row_w]);
+        let zeros = Tensor::zeros(&[row_w]);
+        let (mut y, _) = layernorm_forward(&rows, &ones, &zeros);
+        self.affine(&mut y, b, len);
+        y.reshape(&[b, c, len])
+    }
+
+    /// Applies the per-channel affine `γ ⊙ x̂ + β` in place over
+    /// `[b·groups, (channels/groups)·len]` rows.
+    fn affine(&self, y: &mut Tensor, b: usize, len: usize) {
+        let cg = self.channels / self.groups;
         for r in 0..b * self.groups {
             let group = r % self.groups;
             let row = y.row_mut(r);
@@ -88,10 +120,6 @@ impl GroupNorm1d {
                 *v = self.gamma.value.data()[ch] * *v + self.beta.value.data()[ch];
             }
         }
-        if train {
-            self.cache = Some((cache, b, len));
-        }
-        y.reshape(&[b, c, len])
     }
 
     /// Backward pass; returns `dx` of the input shape.

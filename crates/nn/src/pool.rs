@@ -46,6 +46,20 @@ impl AvgPool1d {
     ///
     /// Panics if the input is shorter than the kernel.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = self.forward_infer(x);
+        if train {
+            self.cached_len = Some(x.dims()[2]);
+        }
+        y
+    }
+
+    /// Inference-only forward over `[batch, channels, len]` through `&self`
+    /// (no cache writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is shorter than the kernel.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
         let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         let out_len = self.out_len(len);
         let mut y = Tensor::zeros(&[b, c, out_len]);
@@ -55,9 +69,6 @@ impl AvgPool1d {
             let xi = Tensor::from_vec(x.data()[i * sample..(i + 1) * sample].to_vec(), &[c, len]);
             let yi = avg_pool1d(&xi, self.kernel, self.stride);
             y.data_mut()[i * out_sample..(i + 1) * out_sample].copy_from_slice(yi.data());
-        }
-        if train {
-            self.cached_len = Some(len);
         }
         y
     }

@@ -3,7 +3,7 @@
 //! All activations in the converted Bioformer use **symmetric** int8
 //! quantization (zero-point 0), so the kernels are plain dot products with
 //! no offset-correction terms — matching the PULP-NN/`MCU-Transformer`
-//! kernels of the paper's deployment flow ([25]).
+//! kernels of the paper's deployment flow (the paper's reference \[25\]).
 
 use crate::qtensor::{QParams, QTensor};
 use crate::requant::FixedMultiplier;

@@ -511,6 +511,15 @@ impl QuantBioformer {
     }
 }
 
+impl bioformer_nn::InferForward for QuantBioformer {
+    /// Integer-only inference is already stateless per call (`&self`), so
+    /// the shared-state serving path simply delegates to
+    /// [`QuantBioformer::forward_batch`].
+    fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.forward_batch(x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,11 +6,20 @@
 //!
 //! * [`GestureClassifier`] — the infer-only contract every backend
 //!   implements: fp32 [`Bioformer`], fp32 [`TempoNet`] and integer-only
-//!   [`QuantBioformer`].
-//! * [`InferenceEngine`] — owns a boxed backend, splits arbitrarily-sized
-//!   request batches into model-sized micro-batches and reports per-batch
-//!   latency statistics. This is the seed of the production serving layer
-//!   (see `ROADMAP.md`); request queuing and backend sharding build on it.
+//!   [`QuantBioformer`]. All impls run through the shared-state
+//!   [`bioformer_nn::InferForward`] path, so no backend clones model
+//!   weights per request.
+//! * [`InferenceEngine`] — the synchronous engine: owns a boxed backend,
+//!   splits arbitrarily-sized request batches into model-sized
+//!   micro-batches and reports per-batch latency statistics. One caller,
+//!   one request at a time.
+//! * [`AsyncEngine`] — the concurrent engine: a bounded MPSC request
+//!   [`queue`] feeding a [`worker`] pool that **coalesces requests from
+//!   many clients into shared micro-batches** (flush on batch-full or a
+//!   configurable linger deadline), with per-request deadlines,
+//!   backpressure and graceful shutdown.
+//!
+//! `docs/serving.md` is the end-to-end architecture guide for this module.
 //!
 //! ```
 //! use bioformers::core::{Bioformer, BioformerConfig};
@@ -26,8 +35,14 @@
 //! assert_eq!(out.stats.micro_batches, 1);
 //! ```
 
+pub mod queue;
+pub mod worker;
+
+pub use queue::{PendingResponse, RequestOutput, ServeError};
+pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, WorkerStats};
+
 use bioformer_core::{Bioformer, TempoNet};
-use bioformer_nn::Model;
+use bioformer_nn::InferForward;
 use bioformer_quant::QuantBioformer;
 use bioformer_semg::GESTURE_CLASSES;
 use bioformer_tensor::Tensor;
@@ -50,15 +65,22 @@ pub trait GestureClassifier: Send + Sync {
 
     /// Human-readable backend name, e.g. `"bioformer-fp32"`.
     fn name(&self) -> &str;
+
+    /// The `[channels, samples]` window shape this backend serves, when
+    /// fixed and known. Engines use it to reject malformed requests at
+    /// submission time; `None` (the default) makes the async engine fall
+    /// back to pinning the shape of the first successfully queued request.
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 impl GestureClassifier for Bioformer {
-    /// Eval-mode forward. [`Model::forward`] needs `&mut self` for its
-    /// training caches, so inference runs on a clone; Bioformers are tiny
-    /// (tens of kB of weights), so the copy is negligible next to the
-    /// attention math.
+    /// Eval-mode forward through the zero-clone [`InferForward`] path: one
+    /// model instance serves arbitrarily many concurrent callers without
+    /// copying weights.
     fn predict_batch(&self, windows: &Tensor) -> Tensor {
-        self.clone().forward(windows, false)
+        self.forward_infer(windows)
     }
 
     fn num_classes(&self) -> usize {
@@ -68,12 +90,16 @@ impl GestureClassifier for Bioformer {
     fn name(&self) -> &str {
         "bioformer-fp32"
     }
+
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        Some((self.config().channels, self.config().window))
+    }
 }
 
 impl GestureClassifier for TempoNet {
-    /// Eval-mode forward on a clone (see the [`Bioformer`] impl for why).
+    /// Eval-mode forward through the zero-clone [`InferForward`] path.
     fn predict_batch(&self, windows: &Tensor) -> Tensor {
-        self.clone().forward(windows, false)
+        self.forward_infer(windows)
     }
 
     fn num_classes(&self) -> usize {
@@ -82,6 +108,10 @@ impl GestureClassifier for TempoNet {
 
     fn name(&self) -> &str {
         "temponet-fp32"
+    }
+
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        Some((bioformer_semg::CHANNELS, bioformer_semg::WINDOW))
     }
 }
 
@@ -97,6 +127,10 @@ impl GestureClassifier for QuantBioformer {
 
     fn name(&self) -> &str {
         "bioformer-int8"
+    }
+
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        Some((self.config().channels, self.config().window))
     }
 }
 
@@ -128,7 +162,19 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    fn from_samples(samples: &mut [Duration], windows: usize) -> Self {
+    /// Builds the summary from raw per-micro-batch latency samples (sorts
+    /// `samples` in place) over `windows` total served windows.
+    ///
+    /// ```
+    /// use bioformers::serve::LatencyStats;
+    /// use std::time::Duration;
+    ///
+    /// let mut samples = vec![Duration::from_micros(20), Duration::from_micros(10)];
+    /// let stats = LatencyStats::from_samples(&mut samples, 8);
+    /// assert_eq!(stats.micro_batches, 2);
+    /// assert_eq!(stats.min, Duration::from_micros(10));
+    /// ```
+    pub fn from_samples(samples: &mut [Duration], windows: usize) -> Self {
         if samples.is_empty() {
             return LatencyStats {
                 micro_batches: 0,
@@ -239,32 +285,8 @@ impl InferenceEngine {
             windows.dims()
         );
         let n = windows.dims()[0];
-        let (channels, samples) = (windows.dims()[1], windows.dims()[2]);
-        let classes = self.backend.num_classes();
-        let sample_len = channels * samples;
-
-        let mut logits = Tensor::zeros(&[n, classes]);
-        let mut latencies = Vec::with_capacity(n.div_ceil(self.micro_batch.max(1)));
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + self.micro_batch).min(n);
-            let micro = Tensor::from_vec(
-                windows.data()[start * sample_len..end * sample_len].to_vec(),
-                &[end - start, channels, samples],
-            );
-            let t0 = Instant::now();
-            let out = self.backend.predict_batch(&micro);
-            latencies.push(t0.elapsed());
-            assert_eq!(
-                out.dims(),
-                &[end - start, classes],
-                "backend {} returned bad logits shape",
-                self.backend.name()
-            );
-            logits.data_mut()[start * classes..end * classes].copy_from_slice(out.data());
-            start = end;
-        }
-
+        let (logits, mut latencies) =
+            predict_chunked(self.backend.as_ref(), windows, self.micro_batch);
         let predictions = if n == 0 {
             Vec::new()
         } else {
@@ -276,6 +298,63 @@ impl InferenceEngine {
             stats: LatencyStats::from_samples(&mut latencies, n),
         }
     }
+}
+
+/// Runs `windows` (`[n, channels, samples]`) through `backend` in chunks of
+/// at most `micro` rows, reassembling logits in request order and recording
+/// one backend latency sample per chunk. Shared by the sync engine and the
+/// async worker pool so both have identical micro-batch semantics.
+///
+/// # Panics
+///
+/// Panics if the backend returns logits of the wrong shape.
+pub(crate) fn predict_chunked(
+    backend: &dyn GestureClassifier,
+    windows: &Tensor,
+    micro: usize,
+) -> (Tensor, Vec<Duration>) {
+    let n = windows.dims()[0];
+    let (channels, samples) = (windows.dims()[1], windows.dims()[2]);
+    let classes = backend.num_classes();
+    let sample_len = channels * samples;
+
+    // Single-chunk fast path: the whole request fits one micro-batch, so
+    // serve it from the caller's tensor without the chunk copy.
+    if n > 0 && n <= micro {
+        let t0 = Instant::now();
+        let out = backend.predict_batch(windows);
+        let latencies = vec![t0.elapsed()];
+        assert_eq!(
+            out.dims(),
+            &[n, classes],
+            "backend {} returned bad logits shape",
+            backend.name()
+        );
+        return (out, latencies);
+    }
+
+    let mut logits = Tensor::zeros(&[n, classes]);
+    let mut latencies = Vec::with_capacity(n.div_ceil(micro.max(1)));
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + micro).min(n);
+        let chunk = Tensor::from_vec(
+            windows.data()[start * sample_len..end * sample_len].to_vec(),
+            &[end - start, channels, samples],
+        );
+        let t0 = Instant::now();
+        let out = backend.predict_batch(&chunk);
+        latencies.push(t0.elapsed());
+        assert_eq!(
+            out.dims(),
+            &[end - start, classes],
+            "backend {} returned bad logits shape",
+            backend.name()
+        );
+        logits.data_mut()[start * classes..end * classes].copy_from_slice(out.data());
+        start = end;
+    }
+    (logits, latencies)
 }
 
 impl std::fmt::Debug for InferenceEngine {

@@ -1,0 +1,784 @@
+//! The worker pool behind [`AsyncEngine`]: each worker pops requests off
+//! the shared [`queue`](super::queue), coalesces concurrent clients'
+//! windows into one shared micro-batch (flushing on batch-full or when the
+//! linger deadline passes), expires late requests, runs the backend once
+//! per batch, and scatters the logits back to every waiting client.
+
+use super::queue::{PendingResponse, Request, RequestOutput, RequestQueue, ServeError};
+use super::{predict_chunked, GestureClassifier, LatencyStats, DEFAULT_MICRO_BATCH};
+use bioformer_tensor::Tensor;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`AsyncEngine`].
+///
+/// The defaults favour throughput under concurrency: a small linger lets a
+/// worker wait for other clients' requests to share a batch, which costs at
+/// most `linger` of extra latency when traffic is sparse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncEngineConfig {
+    /// Worker threads consuming the queue (≥ 1). One worker per backend
+    /// replica is the norm; more only helps when the backend itself can run
+    /// batches concurrently (e.g. on spare cores).
+    pub workers: usize,
+    /// Maximum windows per coalesced batch, and the chunk size the batch is
+    /// executed with (≥ 1) — identical semantics to
+    /// [`InferenceEngine::micro_batch`](super::InferenceEngine::micro_batch).
+    pub micro_batch: usize,
+    /// How long a worker holding a partial batch waits for more requests
+    /// before flushing. `Duration::ZERO` still coalesces whatever is
+    /// already queued, it just never waits for stragglers.
+    pub linger: Duration,
+    /// Bounded queue capacity in requests (≥ 1); the backpressure limit.
+    pub queue_capacity: usize,
+}
+
+impl Default for AsyncEngineConfig {
+    fn default() -> Self {
+        AsyncEngineConfig {
+            workers: 2,
+            micro_batch: DEFAULT_MICRO_BATCH,
+            linger: Duration::from_micros(500),
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl AsyncEngineConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the maximum windows per coalesced batch.
+    pub fn with_micro_batch(mut self, micro_batch: usize) -> Self {
+        self.micro_batch = micro_batch;
+        self
+    }
+
+    /// Sets the linger deadline for partial batches.
+    pub fn with_linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Sets the bounded queue capacity (in requests).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.workers > 0, "AsyncEngineConfig: workers must be >= 1");
+        assert!(
+            self.micro_batch > 0,
+            "AsyncEngineConfig: micro_batch must be >= 1"
+        );
+        assert!(
+            self.queue_capacity > 0,
+            "AsyncEngineConfig: queue_capacity must be >= 1"
+        );
+    }
+}
+
+/// Per-worker cap on retained latency samples: totals stay exact forever,
+/// while p50/p95 are estimated over a sliding window of the most recent
+/// samples so a long-lived engine's memory stays bounded.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Per-worker accounting, updated after every executed batch.
+#[derive(Debug, Default)]
+struct WorkerInner {
+    batches: usize,
+    coalesced_batches: usize,
+    requests: usize,
+    windows: usize,
+    expired: usize,
+    failed: usize,
+    micro_batches: usize,
+    total_latency: Duration,
+    min_latency: Option<Duration>,
+    max_latency: Option<Duration>,
+    /// Ring buffer of the most recent micro-batch latencies (percentiles).
+    recent: Vec<Duration>,
+    next: usize,
+}
+
+impl WorkerInner {
+    fn record_latencies(&mut self, latencies: &[Duration]) {
+        for &d in latencies {
+            self.micro_batches += 1;
+            self.total_latency += d;
+            self.min_latency = Some(self.min_latency.map_or(d, |m| m.min(d)));
+            self.max_latency = Some(self.max_latency.map_or(d, |m| m.max(d)));
+            if self.recent.len() < LATENCY_WINDOW {
+                self.recent.push(d);
+            } else {
+                self.recent[self.next] = d;
+                self.next = (self.next + 1) % LATENCY_WINDOW;
+            }
+        }
+    }
+
+    /// Builds a [`LatencyStats`] with exact count/total/mean/min/max and
+    /// window-estimated percentiles.
+    fn latency_stats(&self, windows: usize) -> LatencyStats {
+        let mut recent = self.recent.clone();
+        let mut stats = LatencyStats::from_samples(&mut recent, windows);
+        if self.micro_batches > 0 {
+            stats.micro_batches = self.micro_batches;
+            stats.total = self.total_latency;
+            stats.mean = Duration::from_secs_f64(
+                self.total_latency.as_secs_f64() / self.micro_batches as f64,
+            );
+            stats.min = self.min_latency.unwrap_or(Duration::ZERO);
+            stats.max = self.max_latency.unwrap_or(Duration::ZERO);
+        }
+        stats
+    }
+}
+
+/// A snapshot of one worker's counters.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Batches this worker executed.
+    pub batches: usize,
+    /// Batches that coalesced more than one request.
+    pub coalesced_batches: usize,
+    /// Requests this worker served.
+    pub requests: usize,
+    /// Windows this worker served.
+    pub windows: usize,
+    /// Requests this worker expired for missing their deadline.
+    pub expired: usize,
+    /// Requests cancelled because the backend panicked mid-batch.
+    pub failed: usize,
+    /// Micro-batch latency summary for this worker. Count, total, mean,
+    /// min and max are exact over the worker's lifetime; p50/p95 are
+    /// estimated over a sliding window of the most recent samples.
+    pub latency: LatencyStats,
+}
+
+/// Aggregate statistics for an [`AsyncEngine`], merging every worker's
+/// counters; latency summaries reuse the sync engine's [`LatencyStats`].
+#[derive(Debug, Clone)]
+pub struct AsyncStats {
+    /// Requests served (responses delivered with logits).
+    pub requests: usize,
+    /// Requests expired for missing their deadline.
+    pub expired: usize,
+    /// Requests cancelled because the backend panicked mid-batch.
+    pub failed: usize,
+    /// Batches executed across all workers.
+    pub batches: usize,
+    /// Batches that coalesced more than one request.
+    pub coalesced_batches: usize,
+    /// Total windows served.
+    pub windows: usize,
+    /// Micro-batch latency summary across all workers (exact count/total/
+    /// mean/min/max; p50/p95 estimated over recent-sample windows).
+    pub latency: LatencyStats,
+    /// Per-worker breakdown.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl AsyncStats {
+    /// Windows served per second of backend time (0.0 before any work).
+    pub fn throughput(&self) -> f64 {
+        self.latency.throughput()
+    }
+
+    /// Mean requests per executed batch (0.0 before any work) — the
+    /// coalescing factor: > 1 means cross-request batching is happening.
+    pub fn requests_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A concurrent micro-batching inference engine: a bounded MPSC request
+/// queue feeding a worker pool that coalesces requests from many clients
+/// into shared micro-batches over one shared (never cloned) backend.
+///
+/// Compared to the synchronous [`InferenceEngine`](super::InferenceEngine)
+/// (one caller, one request at a time), this engine accepts requests from
+/// arbitrarily many threads, amortises per-invocation backend overhead
+/// across clients, expires requests whose deadline passes before service,
+/// pushes back on producers via the bounded queue, and drains in-flight
+/// work on shutdown.
+///
+/// # Example
+///
+/// ```
+/// use bioformers::core::{Bioformer, BioformerConfig};
+/// use bioformers::serve::{AsyncEngine, AsyncEngineConfig};
+/// use bioformers::tensor::Tensor;
+/// use std::time::Duration;
+///
+/// let engine = AsyncEngine::with_config(
+///     Box::new(Bioformer::new(&BioformerConfig::bio1())),
+///     AsyncEngineConfig::default()
+///         .with_workers(1)
+///         .with_micro_batch(8)
+///         .with_linger(Duration::ZERO),
+/// );
+/// // Submit from any number of threads; each submission is independent.
+/// let pending = engine.submit(Tensor::zeros(&[2, 14, 300])).unwrap();
+/// let out = pending.wait().unwrap();
+/// assert_eq!(out.logits.dims(), &[2, 8]);
+/// assert_eq!(out.predictions.len(), 2);
+/// let stats = engine.shutdown();
+/// assert_eq!(stats.requests, 1);
+/// assert_eq!(stats.windows, 2);
+/// ```
+pub struct AsyncEngine {
+    queue: Arc<RequestQueue>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<Vec<Mutex<WorkerInner>>>,
+    /// `[channels, samples]` served by this engine: the backend's declared
+    /// [`GestureClassifier::input_shape`] when known, else pinned by the
+    /// first successfully enqueued request. Mismatches are rejected at
+    /// submission.
+    shape: Mutex<Option<(usize, usize)>>,
+    classes: usize,
+    backend_name: String,
+    cfg: AsyncEngineConfig,
+}
+
+impl AsyncEngine {
+    /// Spawns the worker pool over `backend` with the default
+    /// [`AsyncEngineConfig`].
+    pub fn new(backend: Box<dyn GestureClassifier>) -> Self {
+        AsyncEngine::with_config(backend, AsyncEngineConfig::default())
+    }
+
+    /// Spawns the worker pool over `backend` with an explicit config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any config field is zero where ≥ 1 is required
+    /// (`workers`, `micro_batch`, `queue_capacity`).
+    pub fn with_config(backend: Box<dyn GestureClassifier>, cfg: AsyncEngineConfig) -> Self {
+        cfg.validate();
+        let backend: Arc<dyn GestureClassifier> = Arc::from(backend);
+        let queue = Arc::new(RequestQueue::new(cfg.queue_capacity));
+        let stats = Arc::new(
+            (0..cfg.workers)
+                .map(|_| Mutex::new(WorkerInner::default()))
+                .collect::<Vec<_>>(),
+        );
+        let handles = (0..cfg.workers)
+            .map(|id| {
+                let queue = Arc::clone(&queue);
+                let backend = Arc::clone(&backend);
+                let stats = Arc::clone(&stats);
+                let (micro_batch, linger) = (cfg.micro_batch, cfg.linger);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{id}"))
+                    .spawn(move || {
+                        worker_loop(
+                            id,
+                            &queue,
+                            backend.as_ref(),
+                            micro_batch,
+                            linger,
+                            &stats[id],
+                        )
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        AsyncEngine {
+            queue,
+            handles,
+            stats,
+            shape: Mutex::new(backend.input_shape()),
+            classes: backend.num_classes(),
+            backend_name: backend.name().to_string(),
+            cfg,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AsyncEngineConfig {
+        &self.cfg
+    }
+
+    /// The backend's name, e.g. `"bioformer-fp32"`.
+    pub fn backend_name(&self) -> &str {
+        &self.backend_name
+    }
+
+    /// The backend's class count.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Requests currently waiting in the queue (excludes in-flight batches).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Validates `windows` against the engine's served shape and builds the
+    /// queue entry + client handle. Does **not** pin an unknown shape —
+    /// that only happens after the request is successfully enqueued
+    /// ([`AsyncEngine::commit_shape`]), so a rejected or shed request can
+    /// never brick the engine for well-formed traffic.
+    #[allow(clippy::type_complexity)]
+    fn make_request(
+        &self,
+        windows: Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<(Request, PendingResponse, (usize, usize)), ServeError> {
+        if windows.dims().len() != 3 {
+            return Err(ServeError::BadRequest(format!(
+                "windows must be [n, channels, samples], got {:?}",
+                windows.dims()
+            )));
+        }
+        let (n, c, s) = (windows.dims()[0], windows.dims()[1], windows.dims()[2]);
+        let shape = self.shape.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((ec, es)) = *shape {
+            if (ec, es) != (c, s) {
+                return Err(ServeError::BadRequest(format!(
+                    "window shape [{c}, {s}] does not match engine shape [{ec}, {es}]"
+                )));
+            }
+        }
+        drop(shape);
+        let (tx, rx) = mpsc::channel();
+        Ok((
+            Request {
+                windows,
+                deadline,
+                enqueued: Instant::now(),
+                respond: tx,
+            },
+            PendingResponse { rx, windows: n },
+            (c, s),
+        ))
+    }
+
+    /// Pins the engine's served `[channels, samples]` if still unknown
+    /// (backends that declare [`GestureClassifier::input_shape`] are pinned
+    /// from construction).
+    fn commit_shape(&self, c: usize, s: usize) {
+        let mut shape = self.shape.lock().unwrap_or_else(|e| e.into_inner());
+        if shape.is_none() {
+            *shape = Some((c, s));
+        }
+    }
+
+    /// Submits a request, blocking while the queue is full (cooperative
+    /// backpressure). Returns a handle to wait on.
+    pub fn submit(&self, windows: Tensor) -> Result<PendingResponse, ServeError> {
+        let (req, pending, (c, s)) = self.make_request(windows, None)?;
+        self.queue.push(req)?;
+        self.commit_shape(c, s);
+        Ok(pending)
+    }
+
+    /// Submits a request without blocking: fails fast with
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity, so
+    /// load-shedding clients can drop or redirect work immediately.
+    pub fn try_submit(&self, windows: Tensor) -> Result<PendingResponse, ServeError> {
+        let (req, pending, (c, s)) = self.make_request(windows, None)?;
+        self.queue.try_push(req)?;
+        self.commit_shape(c, s);
+        Ok(pending)
+    }
+
+    /// Submits a request that must **start** being served within `ttl`;
+    /// workers reject it with [`ServeError::DeadlineExpired`] otherwise.
+    /// (A batch already executing is never aborted.)
+    pub fn submit_with_deadline(
+        &self,
+        windows: Tensor,
+        ttl: Duration,
+    ) -> Result<PendingResponse, ServeError> {
+        let (req, pending, (c, s)) = self.make_request(windows, Some(Instant::now() + ttl))?;
+        self.queue.push(req)?;
+        self.commit_shape(c, s);
+        Ok(pending)
+    }
+
+    /// Convenience wrapper: [`AsyncEngine::submit`] then
+    /// [`PendingResponse::wait`].
+    pub fn classify(&self, windows: Tensor) -> Result<RequestOutput, ServeError> {
+        self.submit(windows)?.wait()
+    }
+
+    /// A live snapshot of aggregate + per-worker statistics.
+    pub fn stats(&self) -> AsyncStats {
+        let mut per_worker = Vec::with_capacity(self.stats.len());
+        let mut merged = WorkerInner::default();
+        for (id, slot) in self.stats.iter().enumerate() {
+            let inner = slot.lock().unwrap_or_else(|e| e.into_inner());
+            merged.requests += inner.requests;
+            merged.expired += inner.expired;
+            merged.failed += inner.failed;
+            merged.batches += inner.batches;
+            merged.coalesced_batches += inner.coalesced_batches;
+            merged.windows += inner.windows;
+            merged.micro_batches += inner.micro_batches;
+            merged.total_latency += inner.total_latency;
+            merged.min_latency = match (merged.min_latency, inner.min_latency) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            merged.max_latency = merged.max_latency.max(inner.max_latency);
+            merged.recent.extend_from_slice(&inner.recent);
+            per_worker.push(WorkerStats {
+                worker: id,
+                batches: inner.batches,
+                coalesced_batches: inner.coalesced_batches,
+                requests: inner.requests,
+                windows: inner.windows,
+                expired: inner.expired,
+                failed: inner.failed,
+                latency: inner.latency_stats(inner.windows),
+            });
+        }
+        AsyncStats {
+            requests: merged.requests,
+            expired: merged.expired,
+            failed: merged.failed,
+            batches: merged.batches,
+            coalesced_batches: merged.coalesced_batches,
+            windows: merged.windows,
+            latency: merged.latency_stats(merged.windows),
+            per_worker,
+        }
+    }
+
+    fn close_and_join(&mut self) {
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: stops accepting new requests, drains and serves
+    /// everything already queued, joins the workers and returns the final
+    /// statistics. Dropping the engine does the same minus the stats.
+    pub fn shutdown(mut self) -> AsyncStats {
+        self.close_and_join();
+        self.stats()
+    }
+}
+
+impl Drop for AsyncEngine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl std::fmt::Debug for AsyncEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncEngine")
+            .field("backend", &self.backend_name)
+            .field("config", &self.cfg)
+            .field("queue_depth", &self.queue.len())
+            .field("queue_capacity", &self.queue.capacity())
+            .finish()
+    }
+}
+
+/// One worker: pop → coalesce until batch-full or linger deadline → expire
+/// late requests → execute → respond, until the queue closes and drains.
+fn worker_loop(
+    _id: usize,
+    queue: &RequestQueue,
+    backend: &dyn GestureClassifier,
+    micro_batch: usize,
+    linger: Duration,
+    stats: &Mutex<WorkerInner>,
+) {
+    while let Some(first) = queue.pop() {
+        let mut batch = Vec::new();
+        let mut total = 0usize;
+        let mut expired = 0usize;
+        admit(first, &mut batch, &mut total, &mut expired);
+        // Coalesce: drain the backlog immediately, then wait out the linger
+        // window for stragglers — but never once the batch is full.
+        let flush_at = Instant::now() + linger;
+        while total < micro_batch {
+            match queue.pop_until(flush_at) {
+                Some(req) => admit(req, &mut batch, &mut total, &mut expired),
+                None => break,
+            }
+        }
+        // Re-check deadlines at execution start: lingering must not revive
+        // requests that expired while the batch was forming.
+        let exec_start = Instant::now();
+        batch.retain(|req| {
+            let late = req.deadline.is_some_and(|d| exec_start > d);
+            if late {
+                expired += 1;
+                total -= req.windows.dims()[0];
+                let _ = req.respond.send(Err(ServeError::DeadlineExpired));
+            }
+            !late
+        });
+
+        // A panicking backend (bad logits shape, internal assert, …) must
+        // not take the worker thread down with it — that would leave every
+        // queued client waiting forever. Catch the unwind, cancel the
+        // batch's requests, count the failure and keep serving.
+        let outcome = if batch.is_empty() {
+            Ok(Vec::new())
+        } else {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_batch(backend, micro_batch, &batch, total, exec_start)
+            }))
+        };
+
+        let mut inner = stats.lock().unwrap_or_else(|e| e.into_inner());
+        inner.expired += expired;
+        match outcome {
+            Ok(latencies) if !batch.is_empty() => {
+                inner.batches += 1;
+                if batch.len() > 1 {
+                    inner.coalesced_batches += 1;
+                }
+                inner.requests += batch.len();
+                inner.windows += total;
+                inner.record_latencies(&latencies);
+            }
+            Ok(_) => {}
+            Err(_panic) => {
+                inner.failed += batch.len();
+                drop(inner);
+                for req in &batch {
+                    let _ = req.respond.send(Err(ServeError::Cancelled));
+                }
+                continue;
+            }
+        }
+    }
+}
+
+/// Admits `req` into the forming batch, or expires it on the spot.
+fn admit(req: Request, batch: &mut Vec<Request>, total: &mut usize, expired: &mut usize) {
+    if req.deadline.is_some_and(|d| Instant::now() > d) {
+        *expired += 1;
+        let _ = req.respond.send(Err(ServeError::DeadlineExpired));
+        return;
+    }
+    *total += req.windows.dims()[0];
+    batch.push(req);
+}
+
+/// Executes one coalesced batch and responds to every request in it;
+/// returns the per-micro-batch backend latencies.
+fn run_batch(
+    backend: &dyn GestureClassifier,
+    micro_batch: usize,
+    batch: &[Request],
+    total: usize,
+    exec_start: Instant,
+) -> Vec<Duration> {
+    let classes = backend.num_classes();
+    let (channels, samples) = {
+        let d = batch[0].windows.dims();
+        (d[1], d[2])
+    };
+    let sample_len = channels * samples;
+
+    // Gather every request's windows into one shared tensor — unless the
+    // batch is a single request, which can be served from its own tensor
+    // without the extra copy (the common case under sparse traffic).
+    let gathered;
+    let all: &Tensor = if batch.len() == 1 {
+        &batch[0].windows
+    } else {
+        let mut buf = Tensor::zeros(&[total, channels, samples]);
+        let mut row = 0usize;
+        for req in batch {
+            let n = req.windows.dims()[0];
+            buf.data_mut()[row * sample_len..(row + n) * sample_len]
+                .copy_from_slice(req.windows.data());
+            row += n;
+        }
+        gathered = buf;
+        &gathered
+    };
+
+    let (logits, latencies) = predict_chunked(backend, all, micro_batch);
+    let batch_latency: Duration = latencies.iter().sum();
+
+    // Scatter logits back, one response per request.
+    let mut row = 0usize;
+    for req in batch {
+        let n = req.windows.dims()[0];
+        let slice = Tensor::from_vec(
+            logits.data()[row * classes..(row + n) * classes].to_vec(),
+            &[n, classes],
+        );
+        let predictions = if n == 0 {
+            Vec::new()
+        } else {
+            slice.argmax_rows()
+        };
+        let _ = req.respond.send(Ok(RequestOutput {
+            logits: slice,
+            predictions,
+            queue_wait: exec_start.saturating_duration_since(req.enqueued),
+            batch_requests: batch.len(),
+            batch_windows: total,
+            batch_latency,
+        }));
+        row += n;
+    }
+    latencies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A backend that records the batch sizes it was asked for.
+    struct Probe {
+        classes: usize,
+        seen: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl GestureClassifier for Probe {
+        fn predict_batch(&self, windows: &Tensor) -> Tensor {
+            let n = windows.dims()[0];
+            self.seen.lock().unwrap().push(n);
+            Tensor::from_fn(&[n, self.classes], |i| (i / self.classes) as f32)
+        }
+
+        fn num_classes(&self) -> usize {
+            self.classes
+        }
+
+        fn name(&self) -> &str {
+            "probe"
+        }
+    }
+
+    fn probe_engine(cfg: AsyncEngineConfig) -> (AsyncEngine, Arc<Mutex<Vec<usize>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let engine = AsyncEngine::with_config(
+            Box::new(Probe {
+                classes: 4,
+                seen: Arc::clone(&seen),
+            }),
+            cfg,
+        );
+        (engine, seen)
+    }
+
+    #[test]
+    fn serves_a_single_request() {
+        let (engine, _seen) = probe_engine(AsyncEngineConfig::default().with_workers(1));
+        let out = engine.classify(Tensor::zeros(&[3, 2, 5])).unwrap();
+        assert_eq!(out.logits.dims(), &[3, 4]);
+        assert_eq!(out.predictions.len(), 3);
+        assert!(out.batch_requests >= 1);
+        let stats = engine.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.windows, 3);
+        assert_eq!(stats.expired, 0);
+    }
+
+    #[test]
+    fn empty_requests_are_served() {
+        let (engine, seen) = probe_engine(AsyncEngineConfig::default().with_workers(1));
+        let out = engine.classify(Tensor::zeros(&[0, 2, 5])).unwrap();
+        assert_eq!(out.logits.dims(), &[0, 4]);
+        assert!(out.predictions.is_empty());
+        assert!(seen.lock().unwrap().is_empty(), "no backend call for n=0");
+    }
+
+    #[test]
+    fn rejects_non_rank3_and_mismatched_shapes() {
+        let (engine, _seen) = probe_engine(AsyncEngineConfig::default().with_workers(1));
+        assert!(matches!(
+            engine.submit(Tensor::zeros(&[4, 10])),
+            Err(ServeError::BadRequest(_))
+        ));
+        let _ = engine.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+        assert!(matches!(
+            engine.submit(Tensor::zeros(&[1, 3, 5])),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let (engine, _seen) = probe_engine(AsyncEngineConfig::default().with_workers(1));
+        engine.queue.close();
+        assert_eq!(
+            engine.submit(Tensor::zeros(&[1, 2, 5])).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be >= 1")]
+    fn zero_workers_rejected() {
+        let _ = probe_engine(AsyncEngineConfig::default().with_workers(0));
+    }
+
+    /// A backend that panics on every batch.
+    struct Exploding;
+
+    impl GestureClassifier for Exploding {
+        fn predict_batch(&self, _windows: &Tensor) -> Tensor {
+            panic!("backend contract violation");
+        }
+
+        fn num_classes(&self) -> usize {
+            4
+        }
+
+        fn name(&self) -> &str {
+            "exploding"
+        }
+    }
+
+    #[test]
+    fn backend_panic_cancels_batch_but_worker_survives() {
+        let engine = AsyncEngine::with_config(
+            Box::new(Exploding),
+            AsyncEngineConfig::default().with_workers(1),
+        );
+        // Two separate panicking batches: the worker must survive the
+        // first to serve (and cancel) the second.
+        for _ in 0..2 {
+            let out = engine.classify(Tensor::zeros(&[1, 2, 5]));
+            assert_eq!(out.unwrap_err(), ServeError::Cancelled);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn latency_window_stays_bounded_with_exact_totals() {
+        let mut inner = WorkerInner::default();
+        let samples: Vec<Duration> = (1..=10_000).map(Duration::from_micros).collect();
+        inner.record_latencies(&samples);
+        assert_eq!(inner.recent.len(), LATENCY_WINDOW);
+        let stats = inner.latency_stats(10_000);
+        assert_eq!(stats.micro_batches, 10_000);
+        assert_eq!(stats.min, Duration::from_micros(1));
+        assert_eq!(stats.max, Duration::from_micros(10_000));
+        // total = Σ 1..=10000 µs
+        assert_eq!(stats.total, Duration::from_micros(10_000 * 10_001 / 2));
+        // p50 is estimated over the most recent window (samples 5905..=10000
+        // after wrap-around), not over all history.
+        assert!(stats.p50 >= Duration::from_micros(5905));
+    }
+}
