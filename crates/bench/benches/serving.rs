@@ -1,45 +1,56 @@
-//! Sync vs async serving throughput under concurrent client load.
+//! Single-replica vs sharded serving under concurrent client load.
 //!
-//! Simulates 1 / 4 / 16 closed-loop clients, each streaming single-window
-//! requests, against two backends:
+//! Each benchmark measures the wall-clock time for 1 / 4 / 16 closed-loop
+//! clients to stream single-window requests through an engine:
 //!
-//! * `bio1-fp32` — the real fp32 Bioformer running on this host. Its
-//!   per-window cost is linear in the batch size (no fixed per-invocation
-//!   overhead worth amortising on a CPU), so coalescing primarily buys
-//!   per-request overhead amortisation; on single-core hosts expect parity
-//!   rather than speedup.
-//! * `gap8-edge` — a simulated GAP8-attached deployment, the regime the
-//!   paper actually targets: every backend *invocation* pays a fixed
-//!   overhead (cluster power-up, weight/config DMA, SPI result readback —
-//!   see [`EDGE_INVOCATION_OVERHEAD`]) plus the per-window inference
-//!   latency taken from the `bioformer-gap8` analytical model. Cross-request
-//!   coalescing amortises the fixed cost across every rider, which is where
-//!   the async engine's ≥2× throughput at high concurrency comes from.
+//! * `single-*` — one [`AsyncEngine`] replica (the PR 2 topology);
+//! * `sharded-*` — a [`ShardedEngine`] pool with latency-aware routing
+//!   and adaptive linger over heterogeneous replicas.
 //!
-//! The sync baseline is the PR 1 contract: `InferenceEngine` serves one
-//! caller at a time, so concurrent clients serialise behind a mutex.
+//! Two regimes are covered, mirroring the paper's deployment story:
+//!
+//! * `cpu` — real inference on this host: a small fp32 Bioformer replica
+//!   vs an fp32+int8 pool (the int8 replica is the same network
+//!   quantized). Sharding pays off with spare cores to put replicas on;
+//!   on a single-core host the replicas' worker threads contend for the
+//!   one core and the pool trails the single replica — measuring that
+//!   honestly is the point of this regime.
+//! * `edge` — simulated GAP8-class offload replicas, where the host CPU is
+//!   idle during offload and sharding shines even single-core: every
+//!   backend invocation pays a fixed overhead (cluster wake-up, DMA/SPI
+//!   round-trips) plus a per-window latency from the `bioformer-gap8`
+//!   analytical model. `sharded-2x` doubles the offload lanes (the
+//!   scaling story, ~1.7× at 16 clients); `sharded-het` adds a 2× slower
+//!   Pareto sibling instead (latency-aware routing must exploit it at
+//!   moderate load without letting it drag the pool at saturation).
 //!
 //! ```text
-//! cargo bench -p bioformer-bench --bench serving
+//! cargo bench -p bioformer-bench --bench serving                      # full
+//! cargo bench -p bioformer-bench --bench serving -- --smoke           # CI sanity
+//! cargo bench -p bioformer-bench --bench serving -- --save-baseline b # record
+//! cargo bench -p bioformer-bench --bench serving -- --baseline b --fail-threshold 25
 //! ```
 
 use bioformer_core::descriptor::bioformer_descriptor;
 use bioformer_core::{Bioformer, BioformerConfig};
 use bioformer_gap8::deploy::analyze_default;
-use bioformers::serve::{AsyncEngine, AsyncEngineConfig, GestureClassifier, InferenceEngine};
+use bioformer_nn::serialize::state_dict;
+use bioformer_quant::QuantBioformer;
+use bioformers::serve::{
+    AsyncEngine, AsyncEngineConfig, GestureClassifier, RoutingPolicy, ShardedEngine,
+};
 use bioformers::tensor::Tensor;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Fixed cost per backend invocation in the simulated edge deployment:
 /// waking the GAP8 cluster, DMAing activations in and logits out over SPI,
-/// and re-arming the fabric controller. Milliseconds-scale is typical for
-/// duty-cycled MCU offload; the exact value only shifts *where* coalescing
-/// starts to pay, not whether it does.
-const EDGE_INVOCATION_OVERHEAD: Duration = Duration::from_millis(4);
+/// and re-arming the fabric controller.
+const EDGE_INVOCATION_OVERHEAD: Duration = Duration::from_millis(2);
 
 /// Requests each simulated client sends (closed loop: submit, wait, repeat).
-const REQUESTS_PER_CLIENT: usize = 12;
+const REQUESTS_PER_CLIENT: usize = 6;
 
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
 
@@ -54,9 +65,9 @@ fn window(seed: u64) -> Tensor {
 }
 
 /// A backend that models a GAP8-class accelerator behind a host interface:
-/// sleeps for the invocation overhead plus the analytical per-window
-/// latency, then returns deterministic logits. Sleeping (not spinning)
-/// mirrors a host blocked on an offload completion interrupt.
+/// sleeps for the invocation overhead plus a per-window latency, then
+/// returns deterministic logits. Sleeping (not spinning) mirrors a host
+/// blocked on an offload completion interrupt.
 struct EdgeSim {
     per_window: Duration,
 }
@@ -75,111 +86,143 @@ impl GestureClassifier for EdgeSim {
     fn name(&self) -> &str {
         "gap8-edge"
     }
-}
 
-/// A factory producing fresh backend instances for one benchmark scenario.
-type BackendFactory = Box<dyn Fn() -> Box<dyn GestureClassifier>>;
-
-fn backends() -> Vec<(&'static str, BackendFactory)> {
-    let per_window_ms = analyze_default(&bioformer_descriptor(&BioformerConfig::bio1())).latency_ms;
-    vec![
-        (
-            "bio1-fp32",
-            Box::new(|| -> Box<dyn GestureClassifier> {
-                Box::new(Bioformer::new(&BioformerConfig::bio1()))
-            }) as BackendFactory,
-        ),
-        (
-            "gap8-edge",
-            Box::new(move || -> Box<dyn GestureClassifier> {
-                Box::new(EdgeSim {
-                    per_window: Duration::from_secs_f64(per_window_ms / 1e3),
-                })
-            }),
-        ),
-    ]
-}
-
-/// Sync baseline: `clients` threads contend for one `InferenceEngine`
-/// (one caller at a time); returns windows/second of wall time.
-fn run_sync(backend: Box<dyn GestureClassifier>, clients: usize) -> f64 {
-    let engine = Mutex::new(InferenceEngine::new(backend).with_micro_batch(16));
-    let total = clients * REQUESTS_PER_CLIENT;
-    let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for c in 0..clients {
-            let engine = &engine;
-            scope.spawn(move || {
-                let w = window(c as u64 + 1);
-                for _ in 0..REQUESTS_PER_CLIENT {
-                    let guard = engine.lock().unwrap();
-                    let out = guard.serve(&w);
-                    assert_eq!(out.predictions.len(), 1);
-                }
-            });
-        }
-    });
-    total as f64 / t0.elapsed().as_secs_f64()
-}
-
-/// Async engine under the same client load; returns (windows/second,
-/// mean requests per executed batch).
-fn run_async(backend: Box<dyn GestureClassifier>, clients: usize) -> (f64, f64) {
-    let engine = Arc::new(AsyncEngine::with_config(
-        backend,
-        AsyncEngineConfig::default()
-            .with_workers(1)
-            .with_micro_batch(16)
-            .with_linger(Duration::from_millis(1)),
-    ));
-    let total = clients * REQUESTS_PER_CLIENT;
-    let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for c in 0..clients {
-            let engine = Arc::clone(&engine);
-            scope.spawn(move || {
-                let w = window(c as u64 + 1);
-                for _ in 0..REQUESTS_PER_CLIENT {
-                    let out = engine.classify(w.clone()).unwrap();
-                    assert_eq!(out.predictions.len(), 1);
-                }
-            });
-        }
-    });
-    let elapsed = t0.elapsed().as_secs_f64();
-    let stats = Arc::into_inner(engine).unwrap().shutdown();
-    assert_eq!(stats.requests, total);
-    (total as f64 / elapsed, stats.requests_per_batch())
-}
-
-fn main() {
-    println!("serving throughput: sync (mutexed InferenceEngine) vs async (AsyncEngine)");
-    println!(
-        "closed-loop single-window clients, {REQUESTS_PER_CLIENT} requests each; \
-         edge overhead {EDGE_INVOCATION_OVERHEAD:?}/invocation\n"
-    );
-    println!(
-        "{:<11} {:>8} {:>12} {:>13} {:>10} {:>10}",
-        "backend", "clients", "sync win/s", "async win/s", "speedup", "req/batch"
-    );
-    for (name, make) in backends() {
-        for clients in CLIENT_COUNTS {
-            let sync_tput = run_sync(make(), clients);
-            let (async_tput, coalesce) = run_async(make(), clients);
-            println!(
-                "{:<11} {:>8} {:>12.1} {:>13.1} {:>9.2}x {:>10.1}",
-                name,
-                clients,
-                sync_tput,
-                async_tput,
-                async_tput / sync_tput,
-                coalesce
-            );
-        }
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        Some((14, 300))
     }
-    println!(
-        "\ncoalescing amortises per-invocation overhead; the win scales with\n\
-         concurrency and vanishes when the backend has no fixed cost to share\n\
-         (pure-CPU fp32 on a single core)."
-    );
 }
+
+/// Small-but-real Bioformer config: big enough to cost real compute per
+/// window, small enough for a benchmark iteration to stay sub-second.
+fn small_config() -> BioformerConfig {
+    BioformerConfig {
+        heads: 2,
+        depth: 1,
+        head_dim: 8,
+        hidden: 32,
+        filter: 30,
+        dropout: 0.0,
+        seed: 9,
+        ..BioformerConfig::bio1()
+    }
+}
+
+/// Closed-loop client load against any engine submit/wait closure.
+fn drive_clients(clients: usize, classify: impl Fn(Tensor) + Sync) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let classify = &classify;
+            scope.spawn(move || {
+                let w = window(c as u64 + 1);
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    classify(w.clone());
+                }
+            });
+        }
+    });
+}
+
+fn replica_config() -> AsyncEngineConfig {
+    AsyncEngineConfig::default()
+        .with_workers(1)
+        .with_micro_batch(16)
+        .with_adaptive_linger(Duration::from_millis(2))
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    // One shared fp32 model + its int8 conversion back every engine in
+    // this group (replicas add queues and workers, not weights).
+    let cfg = small_config();
+    let mut model = Bioformer::new(&cfg);
+    let calib = Tensor::from_fn(&[8, cfg.channels, cfg.window], |i| {
+        ((i % 13) as f32 - 6.0) / 6.0
+    });
+    let dict = state_dict(&mut model);
+    let qmodel = Arc::new(QuantBioformer::convert(&cfg, &dict, &calib).expect("int8 conversion"));
+    let model = Arc::new(model);
+
+    let mut g = c.benchmark_group("serving-cpu");
+    for clients in CLIENT_COUNTS {
+        g.bench_function(&format!("single-fp32/{clients}clients"), |b| {
+            b.iter(|| {
+                let engine =
+                    AsyncEngine::with_config(Box::new(Arc::clone(&model)), replica_config());
+                drive_clients(clients, |w| {
+                    engine.classify(w).expect("serve");
+                });
+            })
+        });
+        g.bench_function(&format!("sharded-fp32+int8/{clients}clients"), |b| {
+            b.iter(|| {
+                let pool = ShardedEngine::builder()
+                    .with_policy(RoutingPolicy::LatencyAware)
+                    .with_replica_config(replica_config())
+                    .add_replica(Box::new(Arc::clone(&model)))
+                    .add_replica(Box::new(Arc::clone(&qmodel)))
+                    .build();
+                drive_clients(clients, |w| {
+                    pool.classify(w).expect("serve");
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_edge(c: &mut Criterion) {
+    // Per-window latency from the analytical GAP8 model for the real bio1
+    // network; the "slow" replica models a 2× heavier deployment sharing
+    // the pool (the Pareto sibling).
+    let per_window_ms = analyze_default(&bioformer_descriptor(&BioformerConfig::bio1())).latency_ms;
+    let fast = Duration::from_secs_f64(per_window_ms / 1e3);
+    let slow = fast * 2;
+
+    let mut g = c.benchmark_group("serving-edge");
+    for clients in CLIENT_COUNTS {
+        g.bench_function(&format!("single-edge/{clients}clients"), |b| {
+            b.iter(|| {
+                let engine = AsyncEngine::with_config(
+                    Box::new(EdgeSim { per_window: fast }),
+                    replica_config(),
+                );
+                drive_clients(clients, |w| {
+                    engine.classify(w).expect("serve");
+                });
+            })
+        });
+        // Two equal offload lanes: the pure scaling story.
+        g.bench_function(&format!("sharded-2x-edge/{clients}clients"), |b| {
+            b.iter(|| {
+                let pool = ShardedEngine::builder()
+                    .with_policy(RoutingPolicy::LatencyAware)
+                    .with_replica_config(replica_config())
+                    .add_replica(Box::new(EdgeSim { per_window: fast }))
+                    .add_replica(Box::new(EdgeSim { per_window: fast }))
+                    .build();
+                drive_clients(clients, |w| {
+                    pool.classify(w).expect("serve");
+                });
+            })
+        });
+        // Fast lane + a 2× slower Pareto sibling: latency-aware routing
+        // must exploit the extra capacity without letting the slow lane
+        // drag the pool below the single fast lane.
+        g.bench_function(&format!("sharded-het-edge/{clients}clients"), |b| {
+            b.iter(|| {
+                let pool = ShardedEngine::builder()
+                    .with_policy(RoutingPolicy::LatencyAware)
+                    .with_replica_config(replica_config())
+                    .add_replica(Box::new(EdgeSim { per_window: fast }))
+                    .add_replica(Box::new(EdgeSim { per_window: slow }))
+                    .build();
+                drive_clients(clients, |w| {
+                    pool.classify(w).expect("serve");
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(serving, bench_cpu, bench_edge);
+criterion_main!(serving);

@@ -29,12 +29,15 @@
 //! The [`serve`] module unifies every precision behind one infer-only
 //! trait, [`serve::GestureClassifier`] — the same trained network answers
 //! as fp32 or as the fully-integer int8 pipeline the MCU runs, with no
-//! model clones per request ([`nn::InferForward`]). Two engines sit on
+//! model clones per request ([`nn::InferForward`]). Three engines sit on
 //! top: the synchronous, micro-batching [`serve::InferenceEngine`]
-//! (`examples/serve_batch.rs`) and the concurrent [`serve::AsyncEngine`]
-//! — a bounded MPSC queue + worker pool that coalesces requests from many
+//! (`examples/serve_batch.rs`); the concurrent [`serve::AsyncEngine`] — a
+//! bounded MPSC queue + worker pool that coalesces requests from many
 //! clients into shared micro-batches, with per-request deadlines,
-//! backpressure and graceful shutdown (`examples/serve_async.rs`).
+//! backpressure and graceful shutdown (`examples/serve_async.rs`); and
+//! the multi-replica [`serve::ShardedEngine`] — one submission API over N
+//! heterogeneous replicas with latency-aware routing, adaptive linger,
+//! quarantine and pool-level stats (`examples/serve_sharded.rs`).
 //! `docs/serving.md` is the architecture guide.
 //!
 //! See `examples/` for end-to-end training, quantization and deployment.

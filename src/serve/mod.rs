@@ -18,6 +18,12 @@
 //!   many clients into shared micro-batches** (flush on batch-full or a
 //!   configurable linger deadline), with per-request deadlines,
 //!   backpressure and graceful shutdown.
+//! * [`ShardedEngine`] — the multi-replica engine: one submission API
+//!   fanning out over N backend replicas (each its own queue + worker
+//!   pool, possibly different precisions), with policy-driven
+//!   [`router`]-level routing ([`RoutingPolicy`]), quarantine of dead or
+//!   failing replicas, adaptive per-replica linger, and pool-level
+//!   statistics rollup.
 //!
 //! `docs/serving.md` is the end-to-end architecture guide for this module.
 //!
@@ -36,16 +42,22 @@
 //! ```
 
 pub mod queue;
+pub mod router;
 pub mod worker;
 
 pub use queue::{PendingResponse, RequestOutput, ServeError};
-pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, WorkerStats};
+pub use router::{
+    PoolStats, ReplicaStats, RoutingPolicy, ShardedEngine, ShardedEngineBuilder,
+    ShardedEngineConfig,
+};
+pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy, WorkerStats};
 
 use bioformer_core::{Bioformer, TempoNet};
 use bioformer_nn::InferForward;
 use bioformer_quant::QuantBioformer;
 use bioformer_semg::GESTURE_CLASSES;
 use bioformer_tensor::Tensor;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An inference-only gesture classifier: maps a batch of sEMG windows
@@ -72,6 +84,27 @@ pub trait GestureClassifier: Send + Sync {
     /// back to pinning the shape of the first successfully queued request.
     fn input_shape(&self) -> Option<(usize, usize)> {
         None
+    }
+}
+
+/// Delegation through `Arc`, so one shared model instance can back any
+/// number of engines (or replicas of a sharded pool) without cloning
+/// weights: `Box::new(Arc::clone(&model))` is a valid backend.
+impl<T: GestureClassifier + ?Sized> GestureClassifier for Arc<T> {
+    fn predict_batch(&self, windows: &Tensor) -> Tensor {
+        (**self).predict_batch(windows)
+    }
+
+    fn num_classes(&self) -> usize {
+        (**self).num_classes()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        (**self).input_shape()
     }
 }
 
@@ -190,7 +223,15 @@ impl LatencyStats {
         samples.sort_unstable();
         let total: Duration = samples.iter().sum();
         let n = samples.len();
-        let pct = |q: f64| samples[(((n as f64) * q) as usize).min(n - 1)];
+        // Nearest-rank percentile: the q-quantile of n sorted samples is
+        // the ⌈n·q⌉-th smallest (1-based), i.e. index ⌈n·q⌉ − 1. The naive
+        // `(n·q) as usize` reads one sample too high whenever n·q is an
+        // integer (p95 of 100 samples read the 96th) and relied on a clamp
+        // to avoid indexing past the end at q → 1.0.
+        let pct = |q: f64| {
+            let rank = ((n as f64) * q).ceil() as usize;
+            samples[rank.saturating_sub(1).min(n - 1)]
+        };
         LatencyStats {
             micro_batches: n,
             windows,
@@ -449,6 +490,37 @@ mod tests {
     fn non_rank3_requests_are_rejected() {
         let (engine, _seen) = probe_engine(4);
         let _ = engine.serve(&Tensor::zeros(&[4, 10]));
+    }
+
+    /// Regression (percentile off-by-one): the old `(n·q) as usize` index
+    /// read one sample too high whenever n·q landed on an integer — p95 of
+    /// exactly 100 samples reported the 96th-smallest — and only the
+    /// `.min(n-1)` clamp hid the out-of-bounds read at q → 1.0. Nearest
+    /// rank (⌈n·q⌉ − 1) pins every boundary case.
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let micros = |k: u64| Duration::from_micros(k);
+        // n = 1: every percentile is the single sample.
+        let mut one = vec![micros(7)];
+        let s = LatencyStats::from_samples(&mut one, 1);
+        assert_eq!((s.p50, s.p95), (micros(7), micros(7)));
+
+        // n = 2: p50 is the 1st sample (⌈1.0⌉−1 = 0), not the 2nd; p95 is
+        // the 2nd (⌈1.9⌉−1 = 1).
+        let mut two = vec![micros(10), micros(20)];
+        let s = LatencyStats::from_samples(&mut two, 2);
+        assert_eq!((s.p50, s.p95), (micros(10), micros(20)));
+
+        // n = 20 over 1..=20 µs: p50 = 10th sample, p95 = 19th sample.
+        let mut twenty: Vec<Duration> = (1..=20).map(micros).collect();
+        let s = LatencyStats::from_samples(&mut twenty, 20);
+        assert_eq!((s.p50, s.p95), (micros(10), micros(19)));
+
+        // n = 100 over 1..=100 µs: p50 = 50th, p95 = 95th — the old index
+        // read the 51st and 96th here.
+        let mut hundred: Vec<Duration> = (1..=100).map(micros).collect();
+        let s = LatencyStats::from_samples(&mut hundred, 100);
+        assert_eq!((s.p50, s.p95), (micros(50), micros(95)));
     }
 
     #[test]

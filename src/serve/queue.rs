@@ -34,6 +34,10 @@ pub enum ServeError {
     /// serving; see `AsyncStats::failed`), or the engine terminated
     /// abnormally. Graceful shutdown never cancels accepted requests.
     Cancelled,
+    /// Every replica in a sharded pool is quarantined (dead workers or a
+    /// run of consecutive backend failures), so there is nowhere left to
+    /// route the request. See `ShardedEngine`.
+    Unavailable,
 }
 
 impl std::fmt::Display for ServeError {
@@ -44,6 +48,9 @@ impl std::fmt::Display for ServeError {
             ServeError::DeadlineExpired => write!(f, "request deadline expired before service"),
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServeError::Cancelled => write!(f, "request cancelled without being served"),
+            ServeError::Unavailable => {
+                write!(f, "no healthy replica available to serve the request")
+            }
         }
     }
 }
@@ -79,6 +86,13 @@ pub(crate) struct Request {
     pub(crate) enqueued: Instant,
     /// One-shot response channel back to the submitting client.
     pub(crate) respond: mpsc::Sender<Result<RequestOutput, ServeError>>,
+}
+
+impl Request {
+    /// The request's `[channels, samples]` window shape.
+    pub(crate) fn shape(&self) -> (usize, usize) {
+        (self.windows.dims()[1], self.windows.dims()[2])
+    }
 }
 
 /// Client-side handle to an in-flight request submitted to an

@@ -1,0 +1,558 @@
+//! Sharded multi-replica serving: one submission API fanning out over N
+//! backend replicas with policy-driven, latency-aware routing.
+//!
+//! The paper's deployment story is one Bioformer at several precisions —
+//! fp32 where accuracy matters, fully-integer int8 where latency and
+//! energy do. [`ShardedEngine`] turns that Pareto picture into a serving
+//! topology: each replica is a full `Replica` (bounded queue + coalescing
+//! worker pool + stats, the component inside
+//! [`AsyncEngine`](super::AsyncEngine)), and the router picks a replica
+//! per request according to a [`RoutingPolicy`]. Replicas whose workers
+//! die or whose backend fails repeatedly are **quarantined** — new traffic
+//! routes around them, and [`ShardedEngine::classify`] transparently
+//! re-routes a request cancelled by a failing replica. Shutdown drains
+//! every replica in parallel before joining.
+
+use super::queue::{PendingResponse, RequestOutput, ServeError};
+use super::worker::{AsyncEngineConfig, AsyncStats, Replica, WorkerInner};
+use super::{GestureClassifier, LatencyStats};
+use bioformer_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// How the router picks a replica for each submission. Only healthy
+/// (non-quarantined) replicas are ever candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Cycle through the healthy replicas in order. Fair, oblivious to
+    /// load — the baseline policy.
+    RoundRobin,
+    /// Pick the replica with the fewest queued requests, breaking ties
+    /// round-robin. Adapts to load imbalance but not to heterogeneous
+    /// replica speed.
+    LeastQueueDepth,
+    /// Pick the replica minimising `(inflight + 1) ×` its per-window
+    /// batch-latency EWMA — an estimate of time-to-service that accounts
+    /// for both outstanding load and how fast the replica actually is, so
+    /// an fp32 replica naturally yields traffic to a faster int8 sibling
+    /// under load. The latency signal is the batch EWMA normalised per
+    /// window (a replica is not punished for absorbing bigger coalesced
+    /// batches), and the load signal counts in-flight requests rather
+    /// than queue depth (which reads zero while a worker holds the whole
+    /// backlog in its forming batch). Replicas with no latency history
+    /// yet score zero and are probed first.
+    #[default]
+    LatencyAware,
+}
+
+/// Tuning knobs for [`ShardedEngine`] (per-replica knobs live in each
+/// replica's [`AsyncEngineConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedEngineConfig {
+    /// The routing policy.
+    pub policy: RoutingPolicy,
+    /// Consecutive backend failures (panicking batches) after which a
+    /// replica is quarantined (≥ 1). A replica whose workers have all died
+    /// is quarantined regardless.
+    pub quarantine_after: usize,
+    /// Maximum times [`ShardedEngine::classify`] re-routes a request to
+    /// another replica after a [`ServeError::Cancelled`] response.
+    pub max_reroutes: usize,
+}
+
+impl Default for ShardedEngineConfig {
+    fn default() -> Self {
+        ShardedEngineConfig {
+            policy: RoutingPolicy::LatencyAware,
+            quarantine_after: 2,
+            max_reroutes: 3,
+        }
+    }
+}
+
+/// One replica plus its sticky quarantine flag. The flag is set by health
+/// refreshes on the routing path and never cleared: a quarantined replica
+/// stays out of rotation for the engine's lifetime (its queued work is
+/// still drained on shutdown).
+struct ReplicaSlot {
+    replica: Replica,
+    quarantined: AtomicBool,
+}
+
+/// A snapshot of one replica's serving state inside a [`PoolStats`].
+#[derive(Debug, Clone)]
+pub struct ReplicaStats {
+    /// Replica index (0-based, in `add_replica` order).
+    pub replica: usize,
+    /// The replica backend's name, e.g. `"bioformer-int8"`.
+    pub backend: String,
+    /// Whether the router has quarantined this replica.
+    pub quarantined: bool,
+    /// Requests waiting in this replica's queue at snapshot time.
+    pub queue_depth: usize,
+    /// EWMA of this replica's coalesced-batch backend latency. `None`
+    /// before the first executed batch.
+    pub ewma_batch_latency: Option<Duration>,
+    /// EWMA of this replica's per-window backend latency — the signal
+    /// [`RoutingPolicy::LatencyAware`] routes on. `None` before the first
+    /// executed batch.
+    pub ewma_window_latency: Option<Duration>,
+    /// The replica's full per-worker statistics.
+    pub stats: AsyncStats,
+}
+
+/// Pool-level statistics for a [`ShardedEngine`]: every replica's counters
+/// rolled up, plus the per-replica breakdown. Counter semantics match
+/// [`AsyncStats`]; each total equals the sum over `per_replica`.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Requests served across the pool.
+    pub requests: usize,
+    /// Requests expired for missing their deadline.
+    pub expired: usize,
+    /// Requests cancelled because a backend panicked mid-batch.
+    pub failed: usize,
+    /// Requests rejected by a worker's defence-in-depth shape check.
+    pub rejected: usize,
+    /// Batches executed across the pool (backend actually invoked).
+    pub batches: usize,
+    /// Batches that coalesced more than one request.
+    pub coalesced_batches: usize,
+    /// Total windows served.
+    pub windows: usize,
+    /// Micro-batch latency summary across every replica's workers (exact
+    /// count/total/mean/min/max; percentiles estimated over recent-sample
+    /// windows).
+    pub latency: LatencyStats,
+    /// Per-replica breakdown.
+    pub per_replica: Vec<ReplicaStats>,
+}
+
+impl PoolStats {
+    /// Windows served per second of backend time (0.0 before any work).
+    pub fn throughput(&self) -> f64 {
+        self.latency.throughput()
+    }
+
+    /// Mean requests per executed batch across the pool (0.0 before any
+    /// work).
+    pub fn requests_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Builder for a [`ShardedEngine`]: collect heterogeneous replicas, then
+/// [`ShardedEngineBuilder::build`].
+pub struct ShardedEngineBuilder {
+    cfg: ShardedEngineConfig,
+    replica_cfg: AsyncEngineConfig,
+    replicas: Vec<(Box<dyn GestureClassifier>, Option<AsyncEngineConfig>)>,
+}
+
+impl ShardedEngineBuilder {
+    fn new() -> Self {
+        ShardedEngineBuilder {
+            cfg: ShardedEngineConfig::default(),
+            // One worker per replica is the norm, and the router derives
+            // each replica's linger from its observed traffic by default.
+            replica_cfg: AsyncEngineConfig::default()
+                .with_workers(1)
+                .with_adaptive_linger(Duration::from_millis(5)),
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Sets the routing policy.
+    pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the consecutive-failure count that quarantines a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is 0.
+    pub fn with_quarantine_after(mut self, after: usize) -> Self {
+        assert!(after > 0, "ShardedEngine: quarantine_after must be >= 1");
+        self.cfg.quarantine_after = after;
+        self
+    }
+
+    /// Sets how many times [`ShardedEngine::classify`] re-routes a
+    /// cancelled request to another replica (0 disables re-routing).
+    pub fn with_max_reroutes(mut self, reroutes: usize) -> Self {
+        self.cfg.max_reroutes = reroutes;
+        self
+    }
+
+    /// Sets the default per-replica config used by
+    /// [`ShardedEngineBuilder::add_replica`] (replicas already added keep
+    /// theirs).
+    pub fn with_replica_config(mut self, cfg: AsyncEngineConfig) -> Self {
+        self.replica_cfg = cfg;
+        self
+    }
+
+    /// Adds a replica serving `backend` with the builder's default replica
+    /// config.
+    pub fn add_replica(mut self, backend: Box<dyn GestureClassifier>) -> Self {
+        self.replicas.push((backend, None));
+        self
+    }
+
+    /// Adds a replica with an explicit per-replica config — e.g. more
+    /// workers for a big-core fp32 replica, a larger micro-batch for an
+    /// accelerator-offload replica.
+    pub fn add_replica_with(
+        mut self,
+        backend: Box<dyn GestureClassifier>,
+        cfg: AsyncEngineConfig,
+    ) -> Self {
+        self.replicas.push((backend, Some(cfg)));
+        self
+    }
+
+    /// Spawns every replica's worker pool and returns the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replica was added, if replicas disagree on the class
+    /// count (they must serve the same task), or if any replica config is
+    /// invalid.
+    pub fn build(self) -> ShardedEngine {
+        assert!(
+            !self.replicas.is_empty(),
+            "ShardedEngine: at least one replica is required"
+        );
+        let default_cfg = self.replica_cfg;
+        let replicas: Vec<ReplicaSlot> = self
+            .replicas
+            .into_iter()
+            .map(|(backend, cfg)| ReplicaSlot {
+                replica: Replica::new(backend, cfg.unwrap_or_else(|| default_cfg.clone())),
+                quarantined: AtomicBool::new(false),
+            })
+            .collect();
+        let classes = replicas[0].replica.num_classes();
+        for slot in &replicas {
+            assert_eq!(
+                slot.replica.num_classes(),
+                classes,
+                "ShardedEngine: replica {} serves {} classes, expected {}",
+                slot.replica.backend_name(),
+                slot.replica.num_classes(),
+                classes
+            );
+        }
+        ShardedEngine {
+            replicas,
+            rr: AtomicUsize::new(0),
+            cfg: self.cfg,
+            classes,
+        }
+    }
+}
+
+/// A sharded multi-replica serving engine: one submission API over N
+/// backend replicas, each with its own bounded queue and coalescing worker
+/// pool, with policy-driven routing, replica quarantine and pool-level
+/// statistics.
+///
+/// Replicas may be heterogeneous — the intended deployment is the paper's
+/// fp32/int8 Pareto front, e.g. one fp32 `Bioformer` replica on big cores
+/// plus int8 `QuantBioformer` replicas elsewhere — as long as they serve
+/// the same class count. Each replica derives its own linger from observed
+/// traffic by default ([`LingerPolicy::Adaptive`](super::LingerPolicy)).
+///
+/// # Example
+///
+/// ```
+/// use bioformers::core::{Bioformer, BioformerConfig};
+/// use bioformers::serve::{RoutingPolicy, ShardedEngine};
+/// use bioformers::tensor::Tensor;
+///
+/// let pool = ShardedEngine::builder()
+///     .with_policy(RoutingPolicy::LatencyAware)
+///     .add_replica(Box::new(Bioformer::new(&BioformerConfig::bio1())))
+///     .add_replica(Box::new(Bioformer::new(&BioformerConfig::bio1())))
+///     .build();
+/// let out = pool.classify(Tensor::zeros(&[2, 14, 300])).unwrap();
+/// assert_eq!(out.logits.dims(), &[2, 8]);
+/// let stats = pool.shutdown();
+/// assert_eq!(stats.requests, 1);
+/// assert_eq!(stats.per_replica.len(), 2);
+/// ```
+pub struct ShardedEngine {
+    replicas: Vec<ReplicaSlot>,
+    /// Round-robin cursor; also rotates tie-breaks for the other policies.
+    rr: AtomicUsize,
+    cfg: ShardedEngineConfig,
+    classes: usize,
+}
+
+impl ShardedEngine {
+    /// Starts building a pool.
+    pub fn builder() -> ShardedEngineBuilder {
+        ShardedEngineBuilder::new()
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &ShardedEngineConfig {
+        &self.cfg
+    }
+
+    /// Number of replicas (healthy or quarantined).
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The shared class count every replica serves.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Re-evaluates every replica's health and marks dead or persistently
+    /// failing replicas as quarantined. Runs on every routing decision;
+    /// cheap (a few atomic loads per replica).
+    fn refresh_health(&self) {
+        for slot in &self.replicas {
+            if slot.quarantined.load(Ordering::Relaxed) {
+                continue;
+            }
+            let shared = slot.replica.shared();
+            if shared.alive_workers() == 0
+                || shared.consecutive_failures() >= self.cfg.quarantine_after
+            {
+                slot.quarantined.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Picks a replica for the next request, skipping quarantined replicas
+    /// and the explicitly `excluded` indices (already-tried replicas during
+    /// a re-route).
+    fn route(&self, excluded: &[usize]) -> Result<usize, ServeError> {
+        self.refresh_health();
+        let healthy: Vec<usize> = (0..self.replicas.len())
+            .filter(|i| !self.replicas[*i].quarantined.load(Ordering::Relaxed))
+            .filter(|i| !excluded.contains(i))
+            .collect();
+        if healthy.is_empty() {
+            return Err(ServeError::Unavailable);
+        }
+        // One cursor bump per decision: round-robin rotation, and a
+        // rotating tie-break start for the load-aware policies.
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % healthy.len();
+        let pick = match self.cfg.policy {
+            RoutingPolicy::RoundRobin => healthy[start],
+            RoutingPolicy::LeastQueueDepth => select_min(&healthy, start, |i| {
+                self.replicas[i].replica.queue_depth() as f64
+            }),
+            RoutingPolicy::LatencyAware => select_min(&healthy, start, |i| {
+                let r = &self.replicas[i].replica;
+                let shared = r.shared();
+                let win = shared
+                    .ewma_window_latency()
+                    .map_or(0.0, |d| d.as_secs_f64());
+                let batch = shared.ewma_batch_latency().map_or(0.0, |d| d.as_secs_f64());
+                // Expected time-to-service: the requests already waiting
+                // (queued or in a forming batch — riders of an executing
+                // batch finish with it and don't add future work) plus
+                // this request, at the replica's per-window rate, plus the
+                // expected remainder of any batch executing right now
+                // (½ the batch EWMA per busy worker).
+                (shared.waiting() + 1) as f64 * win + shared.busy_workers() as f64 * batch / 2.0
+            }),
+        };
+        Ok(pick)
+    }
+
+    /// Submits a request to the routed replica, blocking while that
+    /// replica's queue is full (cooperative backpressure). Returns the
+    /// replica's response handle.
+    pub fn submit(&self, windows: Tensor) -> Result<PendingResponse, ServeError> {
+        let idx = self.route(&[])?;
+        self.replicas[idx].replica.submit(windows)
+    }
+
+    /// Submits without blocking: if the routed replica's queue is full, the
+    /// other healthy replicas are tried in routing order before failing
+    /// with [`ServeError::QueueFull`] — spillover load balancing.
+    pub fn try_submit(&self, windows: Tensor) -> Result<PendingResponse, ServeError> {
+        let mut tried = Vec::new();
+        let mut windows = windows;
+        loop {
+            let idx = match self.route(&tried) {
+                Ok(idx) => idx,
+                // All replicas tried and full -> report backpressure, not
+                // unavailability (quarantine exhaustion still surfaces).
+                Err(ServeError::Unavailable) if !tried.is_empty() => {
+                    return Err(ServeError::QueueFull)
+                }
+                Err(e) => return Err(e),
+            };
+            // Keep a spillover copy of the tensor only while another
+            // replica remains to spill to; the last (and the single-
+            // replica) attempt moves it, clone-free.
+            let retry = (tried.len() + 1 < self.replicas.len()).then(|| windows.clone());
+            match (self.replicas[idx].replica.try_submit(windows), retry) {
+                (Err(ServeError::QueueFull), Some(copy)) => {
+                    tried.push(idx);
+                    windows = copy;
+                }
+                (Err(ServeError::QueueFull), None) => return Err(ServeError::QueueFull),
+                (other, _) => return other,
+            }
+        }
+    }
+
+    /// Submits a request that must **start** being served within `ttl` on
+    /// the routed replica.
+    pub fn submit_with_deadline(
+        &self,
+        windows: Tensor,
+        ttl: Duration,
+    ) -> Result<PendingResponse, ServeError> {
+        let idx = self.route(&[])?;
+        self.replicas[idx]
+            .replica
+            .submit_with_deadline(windows, ttl)
+    }
+
+    /// Routes, submits and waits — re-routing to another healthy replica
+    /// (up to [`ShardedEngineConfig::max_reroutes`] times) when a replica
+    /// cancels the request because its backend panicked. This is how a
+    /// dying replica's traffic is re-routed rather than dropped.
+    pub fn classify(&self, windows: Tensor) -> Result<RequestOutput, ServeError> {
+        let mut tried = Vec::new();
+        let mut windows = windows;
+        loop {
+            let idx = self.route(&tried)?;
+            // Keep a retry copy of the tensor only while another re-route
+            // is actually possible (budget left and an untried replica to
+            // go to); otherwise the submission moves it, clone-free.
+            let rerouteable =
+                tried.len() < self.cfg.max_reroutes && self.replicas.len() > tried.len() + 1;
+            let retry = rerouteable.then(|| windows.clone());
+            let pending = self.replicas[idx].replica.submit(windows)?;
+            match (pending.wait(), retry) {
+                (Err(ServeError::Cancelled), Some(copy)) => {
+                    tried.push(idx);
+                    windows = copy;
+                }
+                (Err(ServeError::Cancelled), None) if tried.len() < self.cfg.max_reroutes => {
+                    // Re-route budget remains but there was no untried
+                    // replica to keep a retry copy for. Escalate to
+                    // pool-level unavailability only when no healthy
+                    // replica is left at all; a transient failure on a
+                    // still-healthy replica stays a plain cancellation.
+                    return match self.route(&[]) {
+                        Err(e) => Err(e),
+                        Ok(_) => Err(ServeError::Cancelled),
+                    };
+                }
+                (other, _) => return other,
+            }
+        }
+    }
+
+    /// A live snapshot of pool-level + per-replica statistics. Every pool
+    /// total is the sum of the corresponding per-replica counters.
+    ///
+    /// The `quarantined` flags reflect the router's decisions so far (the
+    /// flag is evaluated on the routing path, not here — a drained pool's
+    /// idle workers are not retroactively declared dead).
+    pub fn stats(&self) -> PoolStats {
+        let mut merged = WorkerInner::default();
+        let mut per_replica = Vec::with_capacity(self.replicas.len());
+        for (i, slot) in self.replicas.iter().enumerate() {
+            // One snapshot per replica feeds both the pool rollup and the
+            // per-replica view, so the totals sum exactly even mid-traffic.
+            let (replica_merged, per_worker) = slot.replica.snapshot();
+            merged.merge_from(&replica_merged);
+            per_replica.push(ReplicaStats {
+                replica: i,
+                backend: slot.replica.backend_name().to_string(),
+                quarantined: slot.quarantined.load(Ordering::Relaxed),
+                queue_depth: slot.replica.queue_depth(),
+                ewma_batch_latency: slot.replica.shared().ewma_batch_latency(),
+                ewma_window_latency: slot.replica.shared().ewma_window_latency(),
+                stats: replica_merged.into_stats(per_worker),
+            });
+        }
+        let pool = merged.into_stats(Vec::new());
+        PoolStats {
+            requests: pool.requests,
+            expired: pool.expired,
+            failed: pool.failed,
+            rejected: pool.rejected,
+            batches: pool.batches,
+            coalesced_batches: pool.coalesced_batches,
+            windows: pool.windows,
+            latency: pool.latency,
+            per_replica,
+        }
+    }
+
+    /// Graceful shutdown: closes every replica's queue (so they drain in
+    /// parallel), joins all workers, and returns the final pool statistics.
+    /// Accepted requests are always served; dropping the engine does the
+    /// same minus the stats.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        // Close all queues first: replicas drain concurrently instead of
+        // serially waiting on each other's backlog.
+        for slot in &self.replicas {
+            slot.replica.close();
+        }
+        for slot in &mut self.replicas {
+            slot.replica.join();
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backends: Vec<&str> = self
+            .replicas
+            .iter()
+            .map(|s| s.replica.backend_name())
+            .collect();
+        f.debug_struct("ShardedEngine")
+            .field("replicas", &backends)
+            .field("policy", &self.cfg.policy)
+            .field("quarantine_after", &self.cfg.quarantine_after)
+            .finish()
+    }
+}
+
+/// Picks the index in `healthy` minimising `score`, scanning from `start`
+/// so ties rotate instead of always landing on the first replica.
+fn select_min(healthy: &[usize], start: usize, score: impl Fn(usize) -> f64) -> usize {
+    let mut best = healthy[start];
+    let mut best_score = score(best);
+    for k in 1..healthy.len() {
+        let idx = healthy[(start + k) % healthy.len()];
+        let s = score(idx);
+        if s < best_score {
+            best = idx;
+            best_score = s;
+        }
+    }
+    best
+}

@@ -8,13 +8,33 @@
 //! [`criterion_main!`] macros — on top of simple wall-clock timing.
 //!
 //! Reported numbers are a median over measurement batches with a warm-up
-//! phase; they are honest but lack criterion's outlier analysis and HTML
-//! reports. Benchmarks compile under `cargo test` and run under
-//! `cargo bench`.
+//! phase and **IQR outlier rejection** (samples outside
+//! `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are discarded before summarising, like
+//! real criterion's Tukey analysis). Benchmarks compile under `cargo test`
+//! and run under `cargo bench`.
+//!
+//! # Command-line flags (after `cargo bench -- …`)
+//!
+//! * `<substring>` — run only benchmarks whose `group/id` contains it;
+//! * `--smoke` — drastically shrink the warm-up/measurement budgets: a
+//!   seconds-scale sanity run for CI, not a stable measurement;
+//! * `--save-baseline <name>` — write each benchmark's median to
+//!   `<name>.baseline` under `criterion-shim/` in the nearest enclosing
+//!   `target/` directory (override with `CRITERION_SHIM_DIR`), merging
+//!   with the baseline's existing entries so several bench binaries (or a
+//!   filtered run) can share one baseline name;
+//! * `--baseline <name>` — compare each median against the saved baseline
+//!   and print the relative change;
+//! * `--fail-threshold <pct>` — with `--baseline`, exit non-zero if any
+//!   benchmark regressed by more than `pct` percent: the regression gate
+//!   for CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` call sites keep working.
@@ -25,25 +45,79 @@ pub struct Criterion {
     warm_up: Duration,
     measurement: Duration,
     filter: Option<String>,
+    /// `--save-baseline`: collected medians, written on drop.
+    save_baseline: Option<String>,
+    saved: Vec<(String, f64)>,
+    /// `--baseline`: reference medians loaded up front.
+    baseline_name: Option<String>,
+    baseline: BTreeMap<String, f64>,
+    /// `--fail-threshold`: max tolerated regression, in percent.
+    fail_threshold: Option<f64>,
+    /// Worst observed regression in percent (positive = slower).
+    worst_regression: f64,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        // Substring filter: `cargo bench -- <filter>`; the harness flag
-        // `--bench` that cargo appends is not a filter.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'))
-            .filter(|a| !a.is_empty());
-        Criterion {
-            warm_up: Duration::from_millis(150),
-            measurement: Duration::from_millis(400),
-            filter,
-        }
+        Criterion::from_args(std::env::args().skip(1))
     }
 }
 
 impl Criterion {
+    /// Builds a driver from an iterator of command-line arguments (what
+    /// [`Criterion::default`] does with the process arguments).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        let mut save_baseline = None;
+        let mut baseline_name = None;
+        let mut fail_threshold = None;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => smoke = true,
+                "--save-baseline" => save_baseline = args.next(),
+                "--baseline" => baseline_name = args.next(),
+                "--fail-threshold" => {
+                    fail_threshold = args.next().and_then(|v| v.parse::<f64>().ok());
+                }
+                // Harness flags cargo appends (e.g. `--bench`) are not
+                // filters; the first bare argument is.
+                a if !a.starts_with('-') && !a.is_empty() && filter.is_none() => {
+                    filter = Some(a.to_string());
+                }
+                _ => {}
+            }
+        }
+        let (warm_up, measurement) = if smoke {
+            (Duration::from_millis(10), Duration::from_millis(40))
+        } else {
+            (Duration::from_millis(150), Duration::from_millis(400))
+        };
+        let baseline = baseline_name
+            .as_deref()
+            .map(load_baseline)
+            .unwrap_or_default();
+        Criterion {
+            warm_up,
+            measurement,
+            filter,
+            save_baseline,
+            saved: Vec::new(),
+            baseline_name,
+            baseline,
+            fail_threshold,
+            worst_regression: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Overrides the warm-up and measurement budgets (mainly for tests).
+    pub fn with_budgets(mut self, warm_up: Duration, measurement: Duration) -> Self {
+        self.warm_up = warm_up;
+        self.measurement = measurement;
+        self
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n-- group: {name} --");
@@ -57,6 +131,30 @@ impl Criterion {
     pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_benchmark(self, None, id, f);
         self
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        // Skip the write when nothing was measured (e.g. a filter matched
+        // no benchmark): an existing baseline must never be clobbered by
+        // an empty run.
+        if let (Some(name), false) = (&self.save_baseline, self.saved.is_empty()) {
+            match store_baseline(name, &self.saved) {
+                Ok(path) => println!("\nbaseline '{name}' saved to {}", path.display()),
+                Err(e) => eprintln!("\nfailed to save baseline '{name}': {e}"),
+            }
+        }
+        if let (Some(threshold), Some(name)) = (self.fail_threshold, &self.baseline_name) {
+            if self.worst_regression > threshold {
+                eprintln!(
+                    "\nregression gate: worst change +{:.1}% vs baseline '{name}' \
+                     exceeds --fail-threshold {threshold}%",
+                    self.worst_regression
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -129,7 +227,103 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(c: &Criterion, group: Option<&str>, id: &str, mut f: impl FnMut(&mut Bencher)) {
+/// Discards samples outside the Tukey fences `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`
+/// and returns how many were rejected. `samples` must be sorted ascending;
+/// with fewer than 4 samples nothing is rejected (quartiles are
+/// meaningless). The surviving samples stay sorted.
+fn reject_outliers(samples: &mut Vec<f64>) -> usize {
+    let n = samples.len();
+    if n < 4 {
+        return 0;
+    }
+    // Nearest-rank quartiles over the sorted samples.
+    let quartile = |q: f64| samples[((n as f64 * q).ceil() as usize).clamp(1, n) - 1];
+    let (q1, q3) = (quartile(0.25), quartile(0.75));
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let before = samples.len();
+    samples.retain(|&s| (lo..=hi).contains(&s));
+    before - samples.len()
+}
+
+/// Where baseline files live: `$CRITERION_SHIM_DIR`, or `criterion-shim`
+/// inside the nearest enclosing `target/` directory. Cargo runs bench
+/// binaries with the *package* directory as CWD, so a plain relative
+/// `target/…` would scatter baselines across member crates; walking up to
+/// the workspace `target/` keeps them in one place however the bench is
+/// invoked.
+fn baseline_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CRITERION_SHIM_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        for dir in cwd.ancestors() {
+            let target = dir.join("target");
+            if target.is_dir() {
+                return target.join("criterion-shim");
+            }
+        }
+    }
+    PathBuf::from("target").join("criterion-shim")
+}
+
+fn baseline_path(name: &str) -> PathBuf {
+    // Keep the file name tame regardless of the baseline name.
+    let safe: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    baseline_dir().join(format!("{safe}.baseline"))
+}
+
+/// Writes `entries` (`benchmark id`, median seconds) for `name`, merging
+/// into any existing baseline of that name: several bench binaries (or a
+/// filtered run) saving to the same baseline update their own entries
+/// without erasing everyone else's. Returns the file path.
+fn store_baseline(name: &str, entries: &[(String, f64)]) -> std::io::Result<PathBuf> {
+    let mut merged = load_baseline(name);
+    for (id, median) in entries {
+        merged.insert(id.clone(), *median);
+    }
+    let path = baseline_path(name);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(&path)?;
+    for (id, median) in &merged {
+        writeln!(file, "{id}\t{median:e}")?;
+    }
+    Ok(path)
+}
+
+/// Loads a baseline saved by [`store_baseline`]; unknown or unreadable
+/// baselines load as empty (every comparison just prints "no baseline").
+fn load_baseline(name: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(baseline_path(name)) {
+        for line in text.lines() {
+            if let Some((id, value)) = line.rsplit_once('\t') {
+                if let Ok(v) = value.parse::<f64>() {
+                    map.insert(id.to_string(), v);
+                }
+            }
+        }
+    }
+    map
+}
+
+fn run_benchmark(
+    c: &mut Criterion,
+    group: Option<&str>,
+    id: &str,
+    mut f: impl FnMut(&mut Bencher),
+) {
     let full = match group {
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
@@ -173,14 +367,32 @@ fn run_benchmark(c: &Criterion, group: Option<&str>, id: &str, mut f: impl FnMut
         .map(|(n, d)| d.as_secs_f64() / *n as f64)
         .collect();
     per.sort_by(f64::total_cmp);
+    let rejected = reject_outliers(&mut per);
     let median = per[per.len() / 2];
     let (lo, hi) = (per[0], per[per.len() - 1]);
+    let outliers = if rejected > 0 {
+        format!("  ({rejected} outliers rejected)")
+    } else {
+        String::new()
+    };
+    let comparison = match (&c.baseline_name, c.baseline.get(&full)) {
+        (Some(name), Some(&base)) if base > 0.0 => {
+            let change = (median / base - 1.0) * 100.0;
+            c.worst_regression = c.worst_regression.max(change);
+            format!("  [{change:+.1}% vs '{name}']")
+        }
+        (Some(name), _) => format!("  [no '{name}' baseline entry]"),
+        (None, _) => String::new(),
+    };
     println!(
-        "{full:<40} time: [{} {} {}]",
+        "{full:<40} time: [{} {} {}]{outliers}{comparison}",
         fmt_time(lo),
         fmt_time(median),
         fmt_time(hi)
     );
+    if c.save_baseline.is_some() {
+        c.saved.push((full, median));
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -220,13 +432,14 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn quick() -> Criterion {
+        Criterion::from_args(std::iter::empty())
+            .with_budgets(Duration::from_millis(5), Duration::from_millis(10))
+    }
+
     #[test]
     fn measures_and_reports_without_panicking() {
-        let mut c = Criterion {
-            warm_up: Duration::from_millis(5),
-            measurement: Duration::from_millis(10),
-            filter: None,
-        };
+        let mut c = quick();
         let mut calls = 0u64;
         c.bench_function("noop", |b| b.iter(|| calls += 1));
         assert!(calls > 0);
@@ -237,11 +450,8 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching_benchmarks() {
-        let mut c = Criterion {
-            warm_up: Duration::from_millis(5),
-            measurement: Duration::from_millis(5),
-            filter: Some("matches-nothing".into()),
-        };
+        let mut c = Criterion::from_args(["matches-nothing".to_string()].into_iter())
+            .with_budgets(Duration::from_millis(5), Duration::from_millis(5));
         let mut calls = 0u64;
         c.bench_function("skipped", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 0);
@@ -253,5 +463,89 @@ mod tests {
         assert!(fmt_time(5e-6).ends_with("µs"));
         assert!(fmt_time(5e-3).ends_with("ms"));
         assert!(fmt_time(5.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let mut c = Criterion::from_args(
+            [
+                "--smoke",
+                "--save-baseline",
+                "main",
+                "--baseline",
+                "main",
+                "--fail-threshold",
+                "15",
+                "serving",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        assert_eq!(c.warm_up, Duration::from_millis(10));
+        assert_eq!(c.save_baseline.as_deref(), Some("main"));
+        assert_eq!(c.baseline_name.as_deref(), Some("main"));
+        assert_eq!(c.fail_threshold, Some(15.0));
+        assert_eq!(c.filter.as_deref(), Some("serving"));
+        // Disarm Drop: this Criterion measured nothing and must not touch
+        // any real baseline file named "main" when it goes out of scope.
+        c.save_baseline = None;
+        c.fail_threshold = None;
+    }
+
+    #[test]
+    fn iqr_rejects_only_outliers() {
+        // 11 tight samples + 2 wild ones.
+        let mut samples: Vec<f64> = (0..11).map(|i| 1.0 + i as f64 * 0.01).collect();
+        samples.push(50.0);
+        samples.push(120.0);
+        samples.sort_by(f64::total_cmp);
+        let rejected = reject_outliers(&mut samples);
+        assert_eq!(rejected, 2);
+        assert_eq!(samples.len(), 11);
+        assert!(samples.iter().all(|&s| s < 2.0));
+
+        // A tight cluster loses nothing.
+        let mut tight: Vec<f64> = (0..8).map(|i| 3.0 + i as f64 * 0.001).collect();
+        assert_eq!(reject_outliers(&mut tight), 0);
+        assert_eq!(tight.len(), 8);
+
+        // Too few samples for quartiles: untouched even when wild.
+        let mut few = vec![1.0, 2.0, 100.0];
+        assert_eq!(reject_outliers(&mut few), 0);
+        assert_eq!(few.len(), 3);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        // The env var is process-global; this is the only test touching it.
+        std::env::set_var("CRITERION_SHIM_DIR", &dir);
+        let entries = vec![
+            ("grp/fast".to_string(), 1.25e-6),
+            ("grp/slow with spaces".to_string(), 3.5e-3),
+        ];
+        let path = store_baseline("unit test", &entries).expect("store baseline");
+        assert!(path.starts_with(&dir));
+        let loaded = load_baseline("unit test");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["grp/fast"], 1.25e-6);
+        assert_eq!(loaded["grp/slow with spaces"], 3.5e-3);
+        // A second save with different ids merges instead of truncating
+        // (several bench binaries share one baseline name), and an updated
+        // id takes the new value.
+        let update = vec![
+            ("grp/fast".to_string(), 2.0e-6),
+            ("other/bench".to_string(), 7.0e-4),
+        ];
+        store_baseline("unit test", &update).expect("merge baseline");
+        let merged = load_baseline("unit test");
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged["grp/fast"], 2.0e-6);
+        assert_eq!(merged["grp/slow with spaces"], 3.5e-3);
+        assert_eq!(merged["other/bench"], 7.0e-4);
+        // Unknown baselines load as empty.
+        assert!(load_baseline("missing").is_empty());
+        std::env::remove_var("CRITERION_SHIM_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
