@@ -1,18 +1,49 @@
-//! Criterion benchmarks of full-model inference (single 150 ms window):
-//! Bioformer fp32, Bioformer int8 (integer-only pipeline) and TEMPONet
-//! fp32. Host-side throughput; the MCU latencies come from `bioformer-gap8`.
+//! Criterion benchmarks of the inference hot path, with a committed
+//! baseline and a CI regression gate.
+//!
+//! Three groups:
+//!
+//! * `gemm` — the bio1-shaped fp32 GEMMs, naive reference kernel vs the
+//!   panel-packed register-tiled kernel (pre-packed weights, as the
+//!   serving steady state runs them). This is the ≥2× single-thread
+//!   speedup claim of the packed-GEMM rework, measured directly.
+//! * `fp32_inference` — Bioformer bio1 per-window latency and per-batch
+//!   throughput at batch 1/8/32, through the arena-threaded
+//!   `forward_infer_in` path a serving worker uses (weights packed once,
+//!   scratch recycled). TEMPONet rides along as the CNN baseline.
+//! * `int8_inference` — the integer-only pipeline at batch 1/8/32, for the
+//!   int8-vs-fp32 per-window comparison.
+//!
+//! Per-window numbers are the benchmark id's time divided by the batch
+//! size (batch ids are suffixed `_bN`; the printed time is per *batch*).
+//!
+//! Run and compare against the committed baseline:
+//!
+//! ```text
+//! CRITERION_SHIM_DIR=crates/bench/baselines cargo bench -p bioformer-bench \
+//!     --bench inference -- --baseline inference --fail-threshold 50
+//! ```
+//!
+//! Refresh the committed baseline after an intentional perf change:
+//!
+//! ```text
+//! CRITERION_SHIM_DIR=crates/bench/baselines cargo bench -p bioformer-bench \
+//!     --bench inference -- --save-baseline inference
+//! ```
 
 use bioformer_core::{Bioformer, BioformerConfig, TempoNet};
 use bioformer_nn::serialize::state_dict;
-use bioformer_nn::Model;
+use bioformer_nn::{InferForward, Model};
 use bioformer_quant::QuantBioformer;
-use bioformer_tensor::{parallel, Tensor};
+use bioformer_tensor::matmul::{matmul_naive, matmul_nt_naive};
+use bioformer_tensor::pack::{gemm_packed, Epilogue, PackedB};
+use bioformer_tensor::{parallel, Tensor, TensorArena};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn window(seed: u64) -> Tensor {
+fn filled(dims: &[usize], seed: u64) -> Tensor {
     let mut state = seed | 1;
-    Tensor::from_fn(&[1, 14, 300], |_| {
+    Tensor::from_fn(dims, |_| {
         state ^= state >> 12;
         state ^= state << 25;
         state ^= state >> 27;
@@ -20,42 +51,113 @@ fn window(seed: u64) -> Tensor {
     })
 }
 
+fn windows(batch: usize, seed: u64) -> Tensor {
+    filled(&[batch, 14, 300], seed)
+}
+
+/// Naive-vs-packed at the GEMM shapes a bio1 forward actually issues:
+/// `[seq+1, embed] × [inner, embed]ᵀ` projections (m=32, k=64, n=256), the
+/// output projection (k=256, n=64) and the FFN (n=128), plus the batch-32
+/// projection GEMM (m=1024 rows).
+fn bench_gemm(c: &mut Criterion) {
+    parallel::set_max_threads(1);
+    let mut g = c.benchmark_group("gemm");
+    for (label, m, k, n) in [
+        ("qkv_32x64x256", 32usize, 64usize, 256usize),
+        ("wo_32x256x64", 32, 256, 64),
+        ("ffn_32x64x128", 32, 64, 128),
+        ("qkv_b32_1024x64x256", 1024, 64, 256),
+    ] {
+        let a = filled(&[m, k], 1);
+        let bt = filled(&[n, k], 2);
+        g.bench_function(&format!("naive_{label}"), |b| {
+            b.iter(|| black_box(matmul_nt_naive(black_box(&a), black_box(&bt))))
+        });
+        // Steady-state serving: the weight is packed once per layer, so
+        // only the GEMM itself is on the clock.
+        let packed = PackedB::from_b_t(bt.data(), n, k);
+        let mut out = vec![0.0f32; m * n];
+        g.bench_function(&format!("packed_{label}"), |b| {
+            b.iter(|| {
+                gemm_packed(
+                    black_box(a.data()),
+                    m,
+                    k,
+                    packed.as_slice(),
+                    n,
+                    &mut out,
+                    Epilogue::None,
+                );
+                black_box(out[0])
+            })
+        });
+        // The A·B orientation reference rides along for completeness.
+        let bn = filled(&[k, n], 3);
+        g.bench_function(&format!("naive_nn_{label}"), |b| {
+            b.iter(|| black_box(matmul_naive(black_box(&a), black_box(&bn))))
+        });
+    }
+    g.finish();
+    parallel::set_max_threads(0);
+}
+
 fn bench_fp32(c: &mut Criterion) {
     parallel::set_max_threads(1);
     let mut g = c.benchmark_group("fp32_inference");
-    let x = window(1);
-    let mut bio1 = Bioformer::new(&BioformerConfig::bio1());
-    g.bench_function("bio1_f10", |b| {
-        b.iter(|| black_box(bio1.forward(black_box(&x), false)))
-    });
-    let mut bio2 = Bioformer::new(&BioformerConfig::bio2());
-    g.bench_function("bio2_f10", |b| {
-        b.iter(|| black_box(bio2.forward(black_box(&x), false)))
-    });
-    let mut bio1_f30 = Bioformer::new(&BioformerConfig::bio1().with_filter(30));
-    g.bench_function("bio1_f30", |b| {
-        b.iter(|| black_box(bio1_f30.forward(black_box(&x), false)))
+    let bio1 = Bioformer::new(&BioformerConfig::bio1());
+    let mut arena = TensorArena::new();
+    for batch in [1usize, 8, 32] {
+        let x = windows(batch, batch as u64);
+        // Warm the arena and the packed-weight caches outside the timer.
+        let y = bio1.forward_infer_in(&x, &mut arena);
+        arena.recycle(y);
+        g.bench_function(&format!("bio1_f10_b{batch}"), |b| {
+            b.iter(|| {
+                let y = bio1.forward_infer_in(black_box(&x), &mut arena);
+                let first = y.data()[0];
+                arena.recycle(y);
+                black_box(first)
+            })
+        });
+    }
+    // Secondary configs at batch 1 (per-window latency comparison).
+    let x1 = windows(1, 7);
+    let bio2 = Bioformer::new(&BioformerConfig::bio2());
+    let y = bio2.forward_infer_in(&x1, &mut arena);
+    arena.recycle(y);
+    g.bench_function("bio2_f10_b1", |b| {
+        b.iter(|| {
+            let y = bio2.forward_infer_in(black_box(&x1), &mut arena);
+            let first = y.data()[0];
+            arena.recycle(y);
+            black_box(first)
+        })
     });
     let mut tempo = TempoNet::new(0);
-    g.bench_function("temponet", |b| {
-        b.iter(|| black_box(tempo.forward(black_box(&x), false)))
+    g.bench_function("temponet_b1", |b| {
+        b.iter(|| black_box(tempo.forward(black_box(&x1), false)))
     });
     g.finish();
+    parallel::set_max_threads(0);
 }
 
 fn bench_int8(c: &mut Criterion) {
+    parallel::set_max_threads(1);
     let mut g = c.benchmark_group("int8_inference");
     let cfg = BioformerConfig::bio1();
     let mut model = Bioformer::new(&cfg);
     let dict = state_dict(&mut model);
-    let calib = window(2).reshape(&[1, 14, 300]);
+    let calib = windows(4, 11);
     let qmodel = QuantBioformer::convert(&cfg, &dict, &calib).expect("convert");
-    let w = window(3).reshape(&[14, 300]);
-    g.bench_function("bio1_f10_int8", |b| {
-        b.iter(|| black_box(qmodel.forward_window(black_box(&w))))
-    });
+    for batch in [1usize, 8, 32] {
+        let x = windows(batch, 13 + batch as u64);
+        g.bench_function(&format!("bio1_f10_int8_b{batch}"), |b| {
+            b.iter(|| black_box(qmodel.forward_batch(black_box(&x))))
+        });
+    }
     g.finish();
+    parallel::set_max_threads(0);
 }
 
-criterion_group!(benches, bench_fp32, bench_int8);
+criterion_group!(benches, bench_gemm, bench_fp32, bench_int8);
 criterion_main!(benches);

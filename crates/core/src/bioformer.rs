@@ -7,9 +7,10 @@
 //! ```
 
 use crate::config::BioformerConfig;
+use bioformer_nn::linear::FusedActivation;
 use bioformer_nn::{Conv1d, InferForward, LayerNorm, Linear, Model, Param, TransformerBlock};
 use bioformer_tensor::conv::Conv1dSpec;
-use bioformer_tensor::Tensor;
+use bioformer_tensor::{Tensor, TensorArena};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -102,10 +103,15 @@ impl Bioformer {
     /// appends the class token at position `N`.
     fn tokenize(&self, conv_out: &Tensor) -> Tensor {
         let (b, e, n) = (conv_out.dims()[0], conv_out.dims()[1], conv_out.dims()[2]);
+        let mut tokens = Tensor::zeros(&[b, n + 1, e]);
+        self.tokenize_into(conv_out.data(), b, e, n, tokens.data_mut());
+        tokens
+    }
+
+    /// Slice-level [`Bioformer::tokenize`] into a caller-provided
+    /// `[B, N+1, E]` buffer (every element is written).
+    fn tokenize_into(&self, src: &[f32], b: usize, e: usize, n: usize, dst: &mut [f32]) {
         let s = n + 1;
-        let mut tokens = Tensor::zeros(&[b, s, e]);
-        let src = conv_out.data();
-        let dst = tokens.data_mut();
         for bi in 0..b {
             for ei in 0..e {
                 let row = &src[(bi * e + ei) * n..(bi * e + ei + 1) * n];
@@ -116,7 +122,6 @@ impl Bioformer {
             let cls = self.class_token.value.data();
             dst[(bi * s + n) * e..(bi * s + n + 1) * e].copy_from_slice(cls);
         }
-        tokens
     }
 
     /// Splits token gradients back into the conv layout and the class-token
@@ -170,20 +175,47 @@ impl InferForward for Bioformer {
     /// assert_eq!(logits.dims(), &[2, 8]);
     /// ```
     fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.forward_infer_in(x, &mut TensorArena::new())
+    }
+
+    /// The arena-threaded eval forward: patch conv, tokenisation, every
+    /// encoder block, the final LayerNorm and the classifier head all draw
+    /// scratch from `arena` and recycle it, so a warmed arena makes the
+    /// whole pass allocation-free. [`InferForward::forward_infer`] is this
+    /// over a throwaway arena, which pins the two paths together.
+    fn forward_infer_in(&self, x: &Tensor, arena: &mut TensorArena) -> Tensor {
         assert_eq!(
             x.dims()[1],
             self.cfg.channels,
             "Bioformer: channel mismatch"
         );
         assert_eq!(x.dims()[2], self.cfg.window, "Bioformer: window mismatch");
-        let conv_out = self.patch.forward_infer(x);
-        let mut tokens = self.tokenize(&conv_out);
+        let (b, e) = (x.dims()[0], self.cfg.embed);
+        let conv_out = self.patch.forward_infer_in(x, arena);
+        let n = conv_out.dims()[2];
+        let mut tokens = arena.tensor(&[b, n + 1, e]);
+        self.tokenize_into(conv_out.data(), b, e, n, tokens.data_mut());
+        arena.recycle(conv_out);
         for blk in &self.blocks {
-            tokens = blk.forward_infer(&tokens);
+            let next = blk.forward_infer_in(&tokens, arena);
+            arena.recycle(std::mem::replace(&mut tokens, next));
         }
-        let cls = Self::class_rows(&tokens);
-        let normed = self.ln_final.forward_infer(&cls);
-        self.head.forward_infer(&normed)
+        // Class rows → final LN → head, each in arena scratch.
+        let s = n + 1;
+        let mut cls = arena.tensor(&[b, e]);
+        for bi in 0..b {
+            cls.data_mut()[bi * e..(bi + 1) * e]
+                .copy_from_slice(&tokens.data()[(bi * s + s - 1) * e..(bi * s + s) * e]);
+        }
+        arena.recycle(tokens);
+        let mut normed = arena.tensor(&[b, e]);
+        self.ln_final.infer_into(cls.data(), normed.data_mut());
+        arena.recycle(cls);
+        let logits = self
+            .head
+            .forward_infer_in(&normed, FusedActivation::None, arena);
+        arena.recycle(normed);
+        logits
     }
 }
 

@@ -29,6 +29,16 @@ impl Gelu {
         x.map(ops::gelu)
     }
 
+    /// Allocation-free inference: applies GELU to `x` in place. Inference
+    /// activations are scratch tensors, so there is nothing to preserve —
+    /// this is the arena-path counterpart of [`Gelu::forward_infer`]
+    /// (bit-identical values; the hot path usually avoids even this by
+    /// fusing GELU into the preceding GEMM's epilogue, see
+    /// [`crate::linear::FusedActivation`]).
+    pub fn forward_infer_in_place(&self, x: &mut Tensor) {
+        x.map_in_place(ops::gelu);
+    }
+
     /// Backward pass.
     ///
     /// # Panics
@@ -84,6 +94,13 @@ impl Relu {
     pub fn forward_infer(&self, x: &Tensor) -> Tensor {
         let a = self.negative_slope;
         x.map(|v| if v > 0.0 { v } else { a * v })
+    }
+
+    /// Allocation-free inference: applies the (leaky) ReLU in place; see
+    /// [`Gelu::forward_infer_in_place`] for the rationale.
+    pub fn forward_infer_in_place(&self, x: &mut Tensor) {
+        let a = self.negative_slope;
+        x.map_in_place(|v| if v > 0.0 { v } else { a * v });
     }
 
     /// Backward pass.

@@ -6,10 +6,11 @@
 //! attention `softmax(QKᵀ/√P)·V` per head, then an output projection back to
 //! `R^C`.
 
-use crate::linear::Linear;
+use crate::linear::{FusedActivation, Linear};
 use crate::param::Param;
-use bioformer_tensor::ops::{softmax_rows, softmax_rows_backward};
-use bioformer_tensor::Tensor;
+use bioformer_tensor::ops::{softmax_rows, softmax_rows_backward, softmax_rows_slice};
+use bioformer_tensor::pack::{gemm_packed, pack_b, pack_b_t, packed_len, Epilogue};
+use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
 
 /// Multi-head self-attention over `[batch, seq, embed]` tensors.
@@ -157,36 +158,104 @@ impl MultiHeadSelfAttention {
     /// same arithmetic as `forward(x, false)`, no cache writes, so one
     /// attention layer can serve concurrent readers without cloning.
     ///
+    /// Implemented as [`MultiHeadSelfAttention::forward_infer_in`] over a
+    /// throwaway arena, so the two paths cannot drift.
+    ///
     /// # Panics
     ///
     /// Panics if `x` is not 3-D with the configured embedding width.
     pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.forward_infer_in(x, &mut TensorArena::new())
+    }
+
+    /// Copies head `h` of sample `b` from a `[batch·seq, heads·head_dim]`
+    /// projection buffer into a dense `[seq, head_dim]` scratch slice.
+    fn gather_head(&self, proj: &[f32], b: usize, h: usize, seq: usize, dst: &mut [f32]) {
+        let inner = self.heads * self.head_dim;
+        let p = self.head_dim;
+        for s in 0..seq {
+            let at = (b * seq + s) * inner + h * p;
+            dst[s * p..(s + 1) * p].copy_from_slice(&proj[at..at + p]);
+        }
+    }
+
+    /// Arena variant of [`MultiHeadSelfAttention::forward_infer`]: every
+    /// intermediate (projections, per-head slices, attention scores, packed
+    /// panels) is drawn from `arena` and recycled before returning;
+    /// projections run on the layers' cached packed weights with the bias
+    /// fused into the GEMM, and the `1/√P` scaling is fused into the score
+    /// GEMM's store loop. Bit-identical logits to the plain path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 3-D with the configured embedding width.
+    pub fn forward_infer_in(&self, x: &Tensor, arena: &mut TensorArena) -> Tensor {
         assert_eq!(x.shape().rank(), 3, "MHSA: input must be [B, S, C]");
         let (batch, seq, embed) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert_eq!(embed, self.embed, "MHSA: embedding width mismatch");
         let rows = batch * seq;
-        let x2 = x.reshape(&[rows, embed]);
-
-        let q = self.wq.forward_infer(&x2);
-        let k = self.wk.forward_infer(&x2);
-        let v = self.wv.forward_infer(&x2);
-
         let inner = self.heads * self.head_dim;
-        let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut concat = Tensor::zeros(&[rows, inner]);
+        let (s, p) = (seq, self.head_dim);
+        let scale = 1.0 / (p as f32).sqrt();
+
+        // Projections straight off the [B,S,E] buffer (row-major [rows, E]
+        // by layout — no reshape copy).
+        let project = |lin: &Linear, arena: &mut TensorArena| {
+            let mut t = arena.alloc(rows * inner);
+            lin.infer_into(x.data(), rows, &mut t, FusedActivation::None);
+            t
+        };
+        let q = project(&self.wq, arena);
+        let k = project(&self.wk, arena);
+        let v = project(&self.wv, arena);
+
+        let mut concat = arena.tensor(&[rows, inner]);
+        // Per-head scratch, reused across every (batch, head) pair.
+        let mut qh = arena.alloc(s * p);
+        let mut kh = arena.alloc(s * p);
+        let mut vh = arena.alloc(s * p);
+        let mut kh_packed = arena.alloc(packed_len(p, s));
+        let mut vh_packed = arena.alloc(packed_len(s, p));
+        let mut scores = arena.alloc(s * s);
+        let mut oh = arena.alloc(s * p);
         for b in 0..batch {
             for h in 0..self.heads {
-                let qh = self.head_slice(&q, b, h, seq);
-                let kh = self.head_slice(&k, b, h, seq);
-                let vh = self.head_slice(&v, b, h, seq);
-                let mut scores = qh.matmul_nt(&kh);
-                scores.scale_in_place(scale);
-                let a = softmax_rows(&scores);
-                let oh = a.matmul(&vh);
-                self.head_scatter(&mut concat, &oh, b, h, seq);
+                self.gather_head(&q, b, h, seq, &mut qh);
+                self.gather_head(&k, b, h, seq, &mut kh);
+                self.gather_head(&v, b, h, seq, &mut vh);
+                // scores[s,s] = (qh · khᵀ) · scale, scale fused into store.
+                pack_b_t(&kh, s, p, &mut kh_packed);
+                gemm_packed(
+                    &qh,
+                    s,
+                    p,
+                    &kh_packed,
+                    s,
+                    &mut scores,
+                    Epilogue::Scale(scale),
+                );
+                softmax_rows_slice(&mut scores, s);
+                // oh[s,p] = probs · vh.
+                pack_b(&vh, s, p, &mut vh_packed);
+                gemm_packed(&scores, s, s, &vh_packed, p, &mut oh, Epilogue::None);
+                // Scatter into head h's columns of concat.
+                let cd = concat.data_mut();
+                for si in 0..seq {
+                    let at = (b * seq + si) * inner + h * p;
+                    cd[at..at + p].copy_from_slice(&oh[si * p..(si + 1) * p]);
+                }
             }
         }
-        self.wo.forward_infer(&concat).reshape(&[batch, seq, embed])
+        for buf in [q, k, v, qh, kh, vh, kh_packed, vh_packed, scores, oh] {
+            arena.recycle_vec(buf);
+        }
+
+        let mut out = arena.tensor(&[rows, embed]);
+        self.wo
+            .infer_into(concat.data(), rows, out.data_mut(), FusedActivation::None);
+        arena.recycle(concat);
+        out.reshape_in_place(&[batch, seq, embed]);
+        out
     }
 
     /// Backward pass: accumulates projection gradients, returns `dx` of

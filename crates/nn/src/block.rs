@@ -4,9 +4,9 @@ use crate::activation::Gelu;
 use crate::attention::MultiHeadSelfAttention;
 use crate::dropout::Dropout;
 use crate::layernorm::LayerNorm;
-use crate::linear::Linear;
+use crate::linear::{FusedActivation, Linear};
 use crate::param::Param;
-use bioformer_tensor::Tensor;
+use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
 
 /// One transformer encoder block in the pre-LN arrangement used by ViT
@@ -116,29 +116,62 @@ impl TransformerBlock {
     /// inference and is skipped outright), no cache writes, so one block
     /// can serve concurrent readers without cloning.
     ///
+    /// Implemented as [`TransformerBlock::forward_infer_in`] over a
+    /// throwaway arena, so the two paths cannot drift.
+    ///
     /// # Panics
     ///
     /// Panics on embedding-width mismatch.
     pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.forward_infer_in(x, &mut TensorArena::new())
+    }
+
+    /// Arena variant of [`TransformerBlock::forward_infer`]: intermediates
+    /// come from `arena` and are recycled as consumed, the FFN's GELU is
+    /// fused into `fc1`'s GEMM epilogue, and both residual adds run in
+    /// place on arena buffers. Bit-identical output (the GELU fusion and
+    /// in-place adds change where values live, not how they are computed).
+    ///
+    /// The returned tensor is arena-owned; recycle it when consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on embedding-width mismatch.
+    pub fn forward_infer_in(&self, x: &Tensor, arena: &mut TensorArena) -> Tensor {
         let (batch, seq, embed) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert_eq!(embed, self.embed, "TransformerBlock: width mismatch");
         let rows = batch * seq;
-        let x2 = x.reshape(&[rows, embed]);
 
         // Attention branch (dropout skipped: identity at inference).
-        let a = self.ln1.forward_infer(&x2);
-        let a3 = a.reshape(&[batch, seq, embed]);
-        let at = self.attn.forward_infer(&a3);
-        let at2 = at.reshape(&[rows, embed]);
-        let r1 = x2.add(&at2);
+        // x's [B,S,E] buffer doubles as the [rows, E] row view — the
+        // layers below work on flattened rows, so no reshape copy is made.
+        let mut a = arena.tensor(&[rows, embed]);
+        self.ln1.infer_into(x.data(), a.data_mut());
+        a.reshape_in_place(&[batch, seq, embed]);
+        let at = self.attn.forward_infer_in(&a, arena);
+        arena.recycle(a);
+        // r1 = x + attn_out, in place on the attention output's buffer.
+        let mut r1 = at;
+        r1.reshape_in_place(&[rows, embed]);
+        for (o, &xv) in r1.data_mut().iter_mut().zip(x.data().iter()) {
+            *o += xv;
+        }
 
-        // FFN branch.
-        let f = self.ln2.forward_infer(&r1);
-        let f = self.fc1.forward_infer(&f);
-        let f = self.gelu.forward_infer(&f);
-        let f = self.fc2.forward_infer(&f);
-        let out = r1.add(&f);
-        out.reshape(&[batch, seq, embed])
+        // FFN branch: GELU fused into fc1's store loop.
+        let mut f = arena.tensor(&[rows, embed]);
+        self.ln2.infer_into(r1.data(), f.data_mut());
+        let h = self.fc1.forward_infer_in(&f, FusedActivation::Gelu, arena);
+        arena.recycle(f);
+        let f2 = self.fc2.forward_infer_in(&h, FusedActivation::None, arena);
+        arena.recycle(h);
+        // out = r1 + ffn_out, in place on r1's buffer.
+        let mut out = r1;
+        for (o, &fv) in out.data_mut().iter_mut().zip(f2.data().iter()) {
+            *o += fv;
+        }
+        arena.recycle(f2);
+        out.reshape_in_place(&[batch, seq, embed]);
+        out
     }
 
     /// Backward pass; returns `dx` of shape `[batch, seq, embed]`.

@@ -3,15 +3,23 @@
 use crate::init;
 use crate::param::Param;
 use bioformer_tensor::conv::{
-    conv1d_backward_input, conv1d_backward_params_cols, conv1d_forward_cols, im2col, Conv1dSpec,
+    conv1d_backward_input, conv1d_backward_params_cols, conv1d_forward_cols, im2col, im2col_into,
+    Conv1dSpec,
 };
-use bioformer_tensor::Tensor;
+use bioformer_tensor::pack::{gemm_packed, Epilogue, PackedB};
+use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// A batched 1-D convolution over `[batch, in_channels, length]` tensors.
 ///
 /// The Bioformer front-end uses this with `stride == kernel` (non-overlapping
 /// patch embedding, paper §III-A); TEMPONet uses dilated variants.
+///
+/// The inference path lowers each sample to im2col + packed GEMM with the
+/// flattened `[out, in·kernel]` weight packed once and cached (same
+/// freshness rule as [`crate::Linear`]: `&mut self` entry points
+/// invalidate, `&self` paths rebuild lazily).
 #[derive(Debug, Clone)]
 pub struct Conv1d {
     weight: Param,
@@ -23,6 +31,8 @@ pub struct Conv1d {
     /// Per-sample im2col matrices cached during a training forward pass
     /// (reused for both weight and input gradients) plus the input length.
     cached_cols: Option<(Vec<Tensor>, usize)>,
+    /// Lazily-built packed image of the flattened weight for inference.
+    packed: OnceLock<PackedB>,
 }
 
 impl Conv1d {
@@ -49,6 +59,7 @@ impl Conv1d {
             out_channels,
             kernel,
             cached_cols: None,
+            packed: OnceLock::new(),
         }
     }
 
@@ -105,6 +116,9 @@ impl Conv1d {
     ///
     /// Panics on shape mismatch.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        // Weights may have been mutated since the last call through this
+        // `&mut` entry point; drop the packed cache (rebuilt lazily).
+        self.packed.take();
         if !train {
             return self.forward_infer(x);
         }
@@ -135,19 +149,65 @@ impl Conv1d {
     ///
     /// Panics on shape mismatch.
     pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.forward_infer_in(x, &mut TensorArena::new())
+    }
+
+    /// The packed image of the flattened `[out, in·kernel]` weight, built
+    /// on first use after any invalidation.
+    fn packed_weight(&self) -> &PackedB {
+        self.packed.get_or_init(|| {
+            PackedB::from_b_t(
+                self.weight.value.data(),
+                self.out_channels,
+                self.in_channels * self.kernel,
+            )
+        })
+    }
+
+    /// Arena variant of [`Conv1d::forward_infer`]: each sample is lowered
+    /// into an arena im2col buffer and multiplied against the cached packed
+    /// weight with the bias fused into the GEMM store; the `[out_len, out]`
+    /// product is then transposed into the `[out, out_len]` output layout.
+    /// Bit-identical to the training-path arithmetic.
+    ///
+    /// The returned tensor is arena-owned; recycle it when consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward_infer_in(&self, x: &Tensor, arena: &mut TensorArena) -> Tensor {
         assert_eq!(x.shape().rank(), 3, "Conv1d: input must be [B, C, L]");
         let (b, c, len) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert_eq!(c, self.in_channels, "Conv1d: channel mismatch");
         let out_len = self.out_len(len);
-        let mut y = Tensor::zeros(&[b, self.out_channels, out_len]);
+        let (c_out, ck) = (self.out_channels, c * self.kernel);
+        let mut y = arena.tensor(&[b, c_out, out_len]);
         let sample = c * len;
-        let out_sample = self.out_channels * out_len;
+        let out_sample = c_out * out_len;
+        let mut cols = arena.alloc(out_len * ck);
+        let mut yt = arena.alloc(out_len * c_out);
         for i in 0..b {
-            let xi = Tensor::from_vec(x.data()[i * sample..(i + 1) * sample].to_vec(), &[c, len]);
-            let cols = im2col(&xi, self.kernel, self.spec);
-            let yi = conv1d_forward_cols(&cols, &self.weight.value, &self.bias.value);
-            y.data_mut()[i * out_sample..(i + 1) * out_sample].copy_from_slice(yi.data());
+            let xi = &x.data()[i * sample..(i + 1) * sample];
+            im2col_into(xi, c, len, self.kernel, self.spec, &mut cols);
+            gemm_packed(
+                &cols,
+                out_len,
+                ck,
+                self.packed_weight().as_slice(),
+                c_out,
+                &mut yt,
+                Epilogue::Bias(self.bias.value.data()),
+            );
+            // Transpose [out_len, out] → the conv layout [out, out_len].
+            let yi = &mut y.data_mut()[i * out_sample..(i + 1) * out_sample];
+            for ot in 0..out_len {
+                for oc in 0..c_out {
+                    yi[oc * out_len + ot] = yt[ot * c_out + oc];
+                }
+            }
         }
+        arena.recycle_vec(cols);
+        arena.recycle_vec(yt);
         y
     }
 
@@ -187,8 +247,10 @@ impl Conv1d {
         dx
     }
 
-    /// Visits the layer's parameters in deterministic order.
+    /// Visits the layer's parameters in deterministic order. The visitor
+    /// may rewrite the weights, so the packed cache is invalidated.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.packed.take();
         f(&mut self.weight);
         f(&mut self.bias);
     }

@@ -1,8 +1,10 @@
 //! LayerNorm layer with trainable affine parameters.
 
 use crate::param::Param;
-use bioformer_tensor::ops::{layernorm_backward, layernorm_forward, LayerNormCache};
-use bioformer_tensor::Tensor;
+use bioformer_tensor::ops::{
+    layernorm_backward, layernorm_forward, layernorm_rows_into, LayerNormCache,
+};
+use bioformer_tensor::{Tensor, TensorArena};
 
 /// Row-wise layer normalisation `y = γ ⊙ x̂ + β` over `[rows, features]`.
 ///
@@ -84,6 +86,33 @@ impl LayerNorm {
         layernorm_forward(x, &self.gamma.value, &self.beta.value).0
     }
 
+    /// Arena variant of [`LayerNorm::forward_infer`]: skips the backward
+    /// cache entirely (no `x̂`/`1/σ` tensors) and draws the output from
+    /// `arena`. Bit-identical to the cached forward.
+    pub fn forward_infer_in(&self, x: &Tensor, arena: &mut TensorArena) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.features,
+            "LayerNorm {}: width mismatch",
+            self.gamma.name
+        );
+        let mut out = arena.tensor(x.dims());
+        self.infer_into(x.data(), out.data_mut());
+        out
+    }
+
+    /// Slice-level inference entry: normalises `gamma`-width rows of `x`
+    /// into `out` with no allocation (see
+    /// [`bioformer_tensor::ops::layernorm_rows_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of the feature width or the
+    /// buffer lengths disagree.
+    pub fn infer_into(&self, x: &[f32], out: &mut [f32]) {
+        layernorm_rows_into(x, self.gamma.value.data(), self.beta.value.data(), out);
+    }
+
     /// Backward pass: accumulates `dγ`, `dβ`, returns `dx`.
     ///
     /// # Panics
@@ -132,6 +161,25 @@ mod tests {
             let m: f32 = y.row(r).iter().sum::<f32>() / 8.0;
             assert!(m.abs() < 1e-4);
         }
+    }
+
+    /// infer == eval pin for the arena path (satellite: allocation-free
+    /// layernorm must not change a single bit).
+    #[test]
+    fn arena_forward_matches_eval_bitwise() {
+        let mut ln = LayerNorm::new("ln", 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        for v in ln.gamma.value.data_mut() {
+            *v = rng.gen_range(0.5..1.5);
+        }
+        for v in ln.beta.value.data_mut() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        let x = filled(&[6, 10], 6).scale(4.0);
+        let eval = ln.forward(&x, false);
+        let mut arena = TensorArena::new();
+        let infer = ln.forward_infer_in(&x, &mut arena);
+        assert!(infer.allclose(&eval, 0.0), "arena layernorm diverges");
     }
 
     #[test]

@@ -2,8 +2,23 @@
 
 use crate::init;
 use crate::param::Param;
-use bioformer_tensor::Tensor;
+use bioformer_tensor::pack::{gemm_packed, Epilogue, PackedB};
+use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
+use std::sync::OnceLock;
+
+/// An activation fused into a [`Linear`] forward's GEMM epilogue: the
+/// nonlinearity is applied as each output tile is stored, instead of in a
+/// separate pass over the activations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedActivation {
+    /// Plain affine output.
+    None,
+    /// tanh-approximated GELU (transformer FFN).
+    Gelu,
+    /// (Leaky) ReLU with the given negative-side slope.
+    Relu(f32),
+}
 
 /// An affine layer `y = x · Wᵀ + b` with weight layout `[out, in]`
 /// (PyTorch convention, so int8 export in `bioformer-quant` maps 1:1).
@@ -11,6 +26,18 @@ use rand::Rng;
 /// Inputs are 2-D `[rows, in_features]`; the layer is shape-agnostic in the
 /// row count, so callers flatten `[batch, seq, features]` to
 /// `[batch·seq, features]` before applying it.
+///
+/// # Weight packing
+///
+/// The inference path runs on the panel-packed GEMM of
+/// [`bioformer_tensor::pack`], and the packed image of `W` is cached inside
+/// the layer so serving packs each weight matrix **once**, not per call.
+/// The cache follows a simple freshness rule: any `&mut self` entry point
+/// that could have observed a weight mutation ([`Linear::forward`],
+/// [`Linear::visit_params`]) drops it, and the `&self` inference paths
+/// rebuild it lazily. External code can only mutate weights through
+/// `visit_params` (the optimizer and the state-dict loader both do), so a
+/// shared `&self` instance behind an `Arc` always sees a fresh pack.
 #[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param,
@@ -18,6 +45,8 @@ pub struct Linear {
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
+    /// Lazily-built packed image of `weight` for the inference GEMM.
+    packed: OnceLock<PackedB>,
 }
 
 impl Linear {
@@ -34,6 +63,7 @@ impl Linear {
             in_features,
             out_features,
             cached_input: None,
+            packed: OnceLock::new(),
         }
     }
 
@@ -62,13 +92,32 @@ impl Linear {
         self.weight.len() + self.bias.len()
     }
 
+    /// The packed image of the weight matrix, built on first use after any
+    /// invalidation. `&self`-safe and thread-safe (`OnceLock` arbitrates
+    /// concurrent first calls).
+    fn packed_weight(&self) -> &PackedB {
+        self.packed.get_or_init(|| {
+            PackedB::from_b_t(
+                self.weight.value.data(),
+                self.out_features,
+                self.in_features,
+            )
+        })
+    }
+
     /// Forward pass. When `train` is set, the input is cached for
     /// [`Linear::backward`].
+    ///
+    /// Taking `&mut self`, this entry point assumes the weights may have
+    /// been mutated since the last call (gradient steps, direct pokes) and
+    /// re-packs them; the `&self` paths assume frozen weights and reuse the
+    /// pack.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not `[rows, in_features]`.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.packed.take();
         let y = self.forward_infer(x);
         if train {
             self.cached_input = Some(x.clone());
@@ -78,7 +127,8 @@ impl Linear {
 
     /// Inference-only forward pass over shared state: identical arithmetic
     /// to `forward(x, false)` but through `&self`, so a single layer
-    /// instance can serve concurrent readers without cloning.
+    /// instance can serve concurrent readers without cloning. Runs on the
+    /// cached packed weights with the bias fused into the GEMM store loop.
     ///
     /// # Panics
     ///
@@ -92,16 +142,66 @@ impl Linear {
             x.dims()[1],
             self.in_features
         );
-        let mut y = x.matmul_nt(&self.weight.value);
-        let rows = y.dims()[0];
-        let cols = self.out_features;
-        for r in 0..rows {
-            let row = &mut y.data_mut()[r * cols..(r + 1) * cols];
-            for (v, b) in row.iter_mut().zip(self.bias.value.data().iter()) {
-                *v += b;
-            }
-        }
-        y
+        let rows = x.dims()[0];
+        let mut out = vec![0.0f32; rows * self.out_features];
+        self.infer_into(x.data(), rows, &mut out, FusedActivation::None);
+        Tensor::from_vec(out, &[rows, self.out_features])
+    }
+
+    /// Arena variant of [`Linear::forward_infer`]: the output tensor is
+    /// drawn from `arena` (recycle it when consumed) and `act` is fused
+    /// into the GEMM epilogue.
+    pub fn forward_infer_in(
+        &self,
+        x: &Tensor,
+        act: FusedActivation,
+        arena: &mut TensorArena,
+    ) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.in_features,
+            "Linear {}: input width {} != {}",
+            self.weight.name,
+            x.dims()[1],
+            self.in_features
+        );
+        let rows = x.dims()[0];
+        let mut out = arena.tensor(&[rows, self.out_features]);
+        self.infer_into(x.data(), rows, out.data_mut(), act);
+        out
+    }
+
+    /// Lowest-level inference entry: `out = act(x · Wᵀ + b)` over `rows`
+    /// rows of `in_features` floats, written into a caller-provided buffer.
+    /// This is what both `forward_infer*` wrappers and the attention layer
+    /// (which works on flattened `[batch·seq, features]` slices) call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `rows` and the layer
+    /// widths.
+    pub fn infer_into(&self, x: &[f32], rows: usize, out: &mut [f32], act: FusedActivation) {
+        assert_eq!(
+            x.len(),
+            rows * self.in_features,
+            "Linear {}: input size mismatch",
+            self.weight.name
+        );
+        let bias = self.bias.value.data();
+        let epi = match act {
+            FusedActivation::None => Epilogue::Bias(bias),
+            FusedActivation::Gelu => Epilogue::BiasGelu(bias),
+            FusedActivation::Relu(slope) => Epilogue::BiasRelu(bias, slope),
+        };
+        gemm_packed(
+            x,
+            rows,
+            self.in_features,
+            self.packed_weight().as_slice(),
+            self.out_features,
+            out,
+            epi,
+        );
     }
 
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
@@ -131,12 +231,18 @@ impl Linear {
     }
 
     /// Visits the layer's parameters in deterministic order.
+    ///
+    /// The visitor receives `&mut Param` and may rewrite the weights
+    /// (optimizer steps, state-dict loads), so the packed-weight cache is
+    /// dropped up front and rebuilt lazily on the next inference call.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.packed.take();
         f(&mut self.weight);
         f(&mut self.bias);
     }
 
     /// Drops the forward cache (used when cloning models for inference).
+    /// The packed-weight cache survives: it depends only on the weights.
     pub fn clear_cache(&mut self) {
         self.cached_input = None;
     }
@@ -243,6 +349,54 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let l = Linear::new("l", 64, 256, &mut rng);
         assert_eq!(l.num_params(), 64 * 256 + 256);
+    }
+
+    #[test]
+    fn arena_forward_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let l = Linear::new("l", 12, 7, &mut rng);
+        let x = filled(&[5, 12], 10);
+        let want = l.forward_infer(&x);
+        let mut arena = TensorArena::new();
+        let got = l.forward_infer_in(&x, FusedActivation::None, &mut arena);
+        assert!(got.allclose(&want, 0.0), "arena path diverges");
+    }
+
+    #[test]
+    fn fused_gelu_matches_separate_activation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let l = Linear::new("l", 8, 6, &mut rng);
+        let x = filled(&[3, 8], 12);
+        let mut arena = TensorArena::new();
+        let fused = l.forward_infer_in(&x, FusedActivation::Gelu, &mut arena);
+        let separate = l.forward_infer(&x).map(bioformer_tensor::ops::gelu);
+        assert!(fused.allclose(&separate, 0.0), "fused GELU diverges");
+    }
+
+    /// The packed-weight cache must never serve stale weights: mutations
+    /// through `visit_params` (the only external mutation path) and calls
+    /// through `forward` (&mut) both invalidate it.
+    #[test]
+    fn weight_mutation_invalidates_packed_cache() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut l = Linear::new("l", 6, 4, &mut rng);
+        let x = filled(&[2, 6], 14);
+        let before = l.forward_infer(&x); // builds the pack
+        l.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                p.value.scale_in_place(2.0);
+            }
+        });
+        let after = l.forward_infer(&x);
+        // Bias is zero-initialised, so doubling W must double the output.
+        assert!(
+            after.allclose(&before.scale(2.0), 1e-5),
+            "stale packed weights served after visit_params mutation"
+        );
+        // And &mut forward repacks too (covers direct in-module pokes).
+        l.weight.value.scale_in_place(0.5);
+        let half = l.forward(&x, false);
+        assert!(half.allclose(&before, 1e-5), "forward served stale pack");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! optimizers, protocols and the serving layer.
 
 use crate::param::Param;
-use bioformer_tensor::Tensor;
+use bioformer_tensor::{Tensor, TensorArena};
 
 /// An inference-only forward pass over shared model state.
 ///
@@ -20,6 +20,25 @@ pub trait InferForward {
     /// Eval-mode forward pass:
     /// `[batch, channels, samples] → [batch, classes]`.
     fn forward_infer(&self, x: &Tensor) -> Tensor;
+
+    /// Eval-mode forward pass drawing every intermediate tensor from
+    /// `arena` and recycling it before returning, so repeated calls with
+    /// the same warmed arena perform **zero heap allocations** (see
+    /// [`bioformer_tensor::arena`]).
+    ///
+    /// Must return logits bit-identical to [`InferForward::forward_infer`]
+    /// — the arena changes where buffers come from, never what is computed.
+    /// The returned tensor's buffer is arena-owned: callers that want the
+    /// allocation-free steady state copy the logits out and
+    /// [`TensorArena::recycle`] it.
+    ///
+    /// The default implementation ignores the arena and delegates to
+    /// `forward_infer`, so models without an arena-threaded path (e.g.
+    /// integer-only backends with their own scratch story) stay correct.
+    fn forward_infer_in(&self, x: &Tensor, arena: &mut TensorArena) -> Tensor {
+        let _ = arena;
+        self.forward_infer(x)
+    }
 }
 
 /// A trainable classifier over sEMG windows.

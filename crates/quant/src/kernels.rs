@@ -1,17 +1,109 @@
 //! Integer GEMM and convolution kernels (i8 operands, i32 accumulation).
 //!
 //! All activations in the converted Bioformer use **symmetric** int8
-//! quantization (zero-point 0), so the kernels are plain dot products with
-//! no offset-correction terms — matching the PULP-NN/`MCU-Transformer`
+//! quantization (zero-point 0), so the hot kernels are plain dot products
+//! with no offset-correction terms — matching the PULP-NN/`MCU-Transformer`
 //! kernels of the paper's deployment flow (the paper's reference \[25\]).
+//! For asymmetric grids, [`qgemm_i32_zp`] folds the zero points in via
+//! precomputed per-row/per-column correction sums instead of widening every
+//! operand in the inner loop.
+//!
+//! # Kernel structure
+//!
+//! The GEMM core walks each `A` row against [`QNR`]-wide tiles of `B` rows
+//! with `i32` register accumulators and hands each finished accumulator to
+//! a store callback. The dot itself stays the plain reduction idiom —
+//! LLVM already turns it into packed widen–multiply–add vector code, and
+//! measured attempts at manual column interleaving or lane-split partial
+//! sums came out *slower* (see the `qdot` comment in the source). Integer
+//! addition is
+//! associative, so the tiled kernel is **bit-for-bit** identical to a
+//! naive triple loop — pinned by property tests.
+//!
+//! Requantization fuses into the store loop ([`qgemm_requant_into`]): each
+//! `i32` accumulator goes straight to an `i8` code while still in a
+//! register, with no intermediate `Vec<i32>` materialised per output tile.
 
 use crate::qtensor::{QParams, QTensor};
 use crate::requant::FixedMultiplier;
 
-/// `C[m,n] = A[m,k] · B[n,k]ᵀ (+ bias)`, returning raw i32 accumulators.
+/// Output columns processed per blocked-kernel step (one `A`-row pass feeds
+/// this many `i32` register accumulators).
+pub const QNR: usize = 4;
+
+/// The blocked int8 GEMM core: for row `a_row` (`k` codes) and the column
+/// tile starting at `B` row `j`, accumulates `QNR` dot products and hands
+/// each `(local_column, accumulator)` pair to `store`.
+/// Int8 dot product with an `i32` register accumulator. Deliberately the
+/// plain reduction idiom: LLVM recognises it and emits packed
+/// widen–multiply–add vector code; hand-blocked variants (column
+/// interleaving, lane-split partial sums) were measured *slower* on
+/// AVX2/AVX-512 because they break that pattern. Integer addition is
+/// associative, so any interleaving the compiler picks is bit-exact.
+#[inline(always)]
+fn qdot(a: &[i8], b: &[i8]) -> i32 {
+    let mut s = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        s += x as i32 * y as i32;
+    }
+    s
+}
+
+#[inline(always)]
+fn qdot_tile(
+    a_row: &[i8],
+    b: &[i8],
+    k: usize,
+    j: usize,
+    jw: usize,
+    mut store: impl FnMut(usize, i32),
+) {
+    for lj in 0..jw {
+        store(lj, qdot(a_row, &b[(j + lj) * k..(j + lj + 1) * k]));
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ (+ bias)` into a caller-provided accumulator
+/// buffer — the allocation-free core of [`qgemm_i32`].
 ///
 /// `B` is row-major `[n, k]` — the natural layout both for linear-layer
 /// weights (`[out, in]`) and for attention keys.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+pub fn qgemm_i32_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) {
+    assert_eq!(a.len(), m * k, "qgemm: A size");
+    assert_eq!(b.len(), n * k, "qgemm: B size");
+    assert_eq!(out.len(), m * n, "qgemm: out size");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "qgemm: bias size");
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0usize;
+        while j < n {
+            let jw = (n - j).min(QNR);
+            qdot_tile(a_row, b, k, j, jw, |lj, s| {
+                out_row[j + lj] = s + bias.map_or(0, |bias| bias[j + lj]);
+            });
+            j += jw;
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ (+ bias)`, returning raw i32 accumulators.
+///
+/// Allocating wrapper over [`qgemm_i32_into`].
 ///
 /// # Panics
 ///
@@ -24,25 +116,59 @@ pub fn qgemm_i32(
     k: usize,
     n: usize,
 ) -> Vec<i32> {
-    assert_eq!(a.len(), m * k, "qgemm: A size");
-    assert_eq!(b.len(), n * k, "qgemm: B size");
-    if let Some(bias) = bias {
-        assert_eq!(bias.len(), n, "qgemm: bias size");
-    }
     let mut out = vec![0i32; m * n];
+    qgemm_i32_into(a, b, bias, m, k, n, &mut out);
+    out
+}
+
+/// Zero-point-corrected int8 GEMM for **asymmetric** grids:
+/// `C[i,j] = Σ_k (A[i,k] − za)(B[j,k] − zb) (+ bias[j])`.
+///
+/// Instead of widening and offsetting both operands inside the inner loop,
+/// the raw products are accumulated as in [`qgemm_i32`] and the offsets are
+/// folded in afterwards via the algebraic expansion
+///
+/// ```text
+/// Σ (a−za)(b−zb) = Σ a·b − zb·Σa_row − za·Σb_col + k·za·zb
+/// ```
+///
+/// with `Σa_row` (per output row) and `Σb_col` (per output column, i.e. per
+/// `B` row) each precomputed **once** — `O(m·k + n·k)` extra work instead
+/// of `O(m·n·k)` extra inner-loop arithmetic. With `za = zb = 0` this
+/// degenerates to exactly [`qgemm_i32`] (the symmetric grids the Bioformer
+/// deployment uses).
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_i32_zp(
+    a: &[i8],
+    za: i32,
+    b: &[i8],
+    zb: i32,
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i32> {
+    let mut out = qgemm_i32(a, b, bias, m, k, n);
+    if za == 0 && zb == 0 {
+        return out;
+    }
+    // Correction sums, each computed once.
+    let row_sums: Vec<i32> = (0..m)
+        .map(|i| a[i * k..(i + 1) * k].iter().map(|&v| v as i32).sum())
+        .collect();
+    let col_sums: Vec<i32> = (0..n)
+        .map(|j| b[j * k..(j + 1) * k].iter().map(|&v| v as i32).sum())
+        .collect();
+    let kzz = k as i32 * za * zb;
     for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
+        let rs = row_sums[i];
         let out_row = &mut out[i * n..(i + 1) * n];
         for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = match bias {
-                Some(bias) => bias[j],
-                None => 0,
-            };
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x as i32 * y as i32;
-            }
-            *o = acc;
+            *o += kzz - zb * rs - za * col_sums[j];
         }
     }
     out
@@ -55,7 +181,49 @@ pub fn requantize_vec(acc: &[i32], mult: FixedMultiplier, zero_point: i32) -> Ve
         .collect()
 }
 
-/// Full int8 GEMM: accumulate then requantize to the output grid.
+/// int8 GEMM with the requantization **fused into the store loop**: each
+/// accumulator tile is scaled to the output grid while still in registers —
+/// no intermediate `Vec<i32>` is materialised. Bit-for-bit identical to
+/// [`qgemm_i32`] followed by [`requantize_vec`].
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_requant_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    mult: FixedMultiplier,
+    zero_point: i32,
+    out: &mut [i8],
+) {
+    assert_eq!(a.len(), m * k, "qgemm: A size");
+    assert_eq!(b.len(), n * k, "qgemm: B size");
+    assert_eq!(out.len(), m * n, "qgemm: out size");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "qgemm: bias size");
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0usize;
+        while j < n {
+            let jw = (n - j).min(QNR);
+            qdot_tile(a_row, b, k, j, jw, |lj, s| {
+                let acc = s + bias.map_or(0, |bias| bias[j + lj]);
+                out_row[j + lj] = mult.requantize_to_i8(acc, zero_point);
+            });
+            j += jw;
+        }
+    }
+}
+
+/// Full int8 GEMM: accumulate and requantize to the output grid in one
+/// fused pass.
 pub fn qgemm(
     a: &QTensor,
     b: &QTensor,
@@ -66,12 +234,19 @@ pub fn qgemm(
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let n = b.dims()[0];
     assert_eq!(b.dims()[1], k, "qgemm: inner dimension mismatch");
-    let acc = qgemm_i32(a.data(), b.data(), bias, m, k, n);
-    QTensor::from_raw(
-        requantize_vec(&acc, mult, out_params.zero_point),
-        &[m, n],
-        out_params,
-    )
+    let mut out = vec![0i8; m * n];
+    qgemm_requant_into(
+        a.data(),
+        b.data(),
+        bias,
+        m,
+        k,
+        n,
+        mult,
+        out_params.zero_point,
+        &mut out,
+    );
+    QTensor::from_raw(out, &[m, n], out_params)
 }
 
 /// int8 1-D convolution over `[in_ch, len]` with i32 accumulation.
@@ -155,6 +330,108 @@ mod tests {
         // row0·b0 = 2+0+3 = 5 ; row0·b1 = -3+2+3 = 2
         // row1·b0 = -2+0+2 = 0 ; row1·b1 = 3+0+2 = 5
         assert_eq!(acc, vec![5, 2, 0, 5]);
+    }
+
+    /// Naive reference for the blocked kernels (no column blocking, no
+    /// fusion) — what `qgemm_i32` was before the rework.
+    fn qgemm_reference(
+        a: &[i8],
+        b: &[i8],
+        bias: Option<&[i32]>,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<i32> {
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = bias.map_or(0, |bias| bias[j]);
+                for kk in 0..k {
+                    acc += a[i * k + kk] as i32 * b[j * k + kk] as i32;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn qfilled(len: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as i8
+            })
+            .collect()
+    }
+
+    /// The blocked kernel must be bit-for-bit the naive triple loop,
+    /// including the column tail (n not a multiple of QNR) and degenerate
+    /// dims.
+    #[test]
+    fn blocked_qgemm_is_bit_exact_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 4),
+            (2, 7, 9),
+            (4, 16, 3),
+            (5, 0, 6),
+            (0, 4, 4),
+            (6, 31, 17),
+        ] {
+            let a = qfilled(m * k, 1 + m as u64);
+            let b = qfilled(n * k, 2 + n as u64);
+            let bias: Vec<i32> = (0..n as i32).map(|j| j * 7 - 3).collect();
+            assert_eq!(
+                qgemm_i32(&a, &b, Some(&bias), m, k, n),
+                qgemm_reference(&a, &b, Some(&bias), m, k, n),
+                "shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    /// Fused requantize-at-store must match accumulate-then-requantize
+    /// bit-for-bit.
+    #[test]
+    fn fused_requant_matches_two_pass() {
+        let (m, k, n) = (5, 19, 11);
+        let a = qfilled(m * k, 3);
+        let b = qfilled(n * k, 4);
+        let bias: Vec<i32> = (0..n as i32).map(|j| j * 100 - 500).collect();
+        let mult = FixedMultiplier::encode(0.0173);
+        let two_pass = requantize_vec(&qgemm_i32(&a, &b, Some(&bias), m, k, n), mult, -5);
+        let mut fused = vec![0i8; m * n];
+        qgemm_requant_into(&a, &b, Some(&bias), m, k, n, mult, -5, &mut fused);
+        assert_eq!(fused, two_pass);
+    }
+
+    /// The precomputed-correction-sum path must equal offsetting every
+    /// operand in the inner loop, and degenerate to the plain kernel at
+    /// zero offsets.
+    #[test]
+    fn zero_point_corrections_match_widened_reference() {
+        let (m, k, n) = (4, 13, 6);
+        let a = qfilled(m * k, 5);
+        let b = qfilled(n * k, 6);
+        let (za, zb) = (-3i32, 7i32);
+        let mut want = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    acc += (a[i * k + kk] as i64 - za as i64) * (b[j * k + kk] as i64 - zb as i64);
+                }
+                want[i * n + j] = acc as i32;
+            }
+        }
+        assert_eq!(qgemm_i32_zp(&a, za, &b, zb, None, m, k, n), want);
+        assert_eq!(
+            qgemm_i32_zp(&a, 0, &b, 0, None, m, k, n),
+            qgemm_i32(&a, &b, None, m, k, n),
+            "zero offsets must degenerate to the symmetric kernel"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Quantized layer building blocks (Linear, Conv1d).
 
-use crate::kernels::{qconv1d_i32, qgemm_i32, requantize_vec};
+use crate::kernels::{qconv1d_i32, qgemm_i32, qgemm_requant_into, requantize_vec};
 use crate::qtensor::{QParams, QTensor};
 use crate::requant::FixedMultiplier;
 use bioformer_tensor::Tensor;
@@ -61,15 +61,26 @@ impl QLinear {
         self.weight.dims()[0]
     }
 
-    /// int8 forward over `[rows, in]`, requantized to the output grid.
+    /// int8 forward over `[rows, in]`, requantized to the output grid in a
+    /// single fused pass (no intermediate i32 buffer; see
+    /// [`qgemm_requant_into`]).
     pub fn forward(&self, x: &QTensor) -> QTensor {
-        let acc = self.forward_acc(x);
-        let rows = x.dims()[0];
-        QTensor::from_raw(
-            requantize_vec(&acc, self.mult, self.out_params.zero_point),
-            &[rows, self.out_features()],
-            self.out_params,
-        )
+        let (rows, k) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(k, self.weight.dims()[1], "QLinear: input width mismatch");
+        let n = self.out_features();
+        let mut out = vec![0i8; rows * n];
+        qgemm_requant_into(
+            x.data(),
+            self.weight.data(),
+            Some(&self.bias),
+            rows,
+            k,
+            n,
+            self.mult,
+            self.out_params.zero_point,
+            &mut out,
+        );
+        QTensor::from_raw(out, &[rows, n], self.out_params)
     }
 
     /// Raw i32 accumulators (at [`QLinear::acc_scale`]) — used by the

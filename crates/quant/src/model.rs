@@ -17,7 +17,7 @@
 //! only when dequantizing the final logits for reporting.
 
 use crate::ibert::{IGelu, ILayerNorm, ISoftmax};
-use crate::kernels::{qadd, qgemm_i32, requantize_vec};
+use crate::kernels::{qadd, qgemm_i32, qgemm_requant_into};
 use crate::layers::{QConv1d, QLinear};
 use crate::observer::MinMaxObserver;
 use crate::qtensor::{QParams, QTensor};
@@ -426,15 +426,26 @@ impl QuantBioformer {
                         .apply_row(&scores[r * s..(r + 1) * s], &mut probs[r * s..(r + 1) * s]);
                 }
                 // AV: probs [S, S] · vh [S, P] — qgemm wants Bᵀ, i.e. vh
-                // transposed to [P, S].
+                // transposed to [P, S]. Accumulate and requantize in one
+                // fused pass (no i32 intermediate).
                 let mut vt = vec![0i8; p * s];
                 for si in 0..s {
                     for pi in 0..p {
                         vt[pi * s + si] = vh[si * p + pi];
                     }
                 }
-                let av = qgemm_i32(&probs, &vt, None, s, s, p);
-                let av8 = requantize_vec(&av, blk.av_mult, blk.att_params.zero_point);
+                let mut av8 = vec![0i8; s * p];
+                qgemm_requant_into(
+                    &probs,
+                    &vt,
+                    None,
+                    s,
+                    s,
+                    p,
+                    blk.av_mult,
+                    blk.att_params.zero_point,
+                    &mut av8,
+                );
                 for si in 0..s {
                     att[si * inner + hi * p..si * inner + (hi + 1) * p]
                         .copy_from_slice(&av8[si * p..(si + 1) * p]);
@@ -463,14 +474,36 @@ impl QuantBioformer {
             .collect()
     }
 
+    /// Runs windows `start..end` of `x` (`[n, channels, window]`) through
+    /// the integer pipeline, returning their fp32 logits concatenated —
+    /// the shared per-range loop behind both branches of
+    /// [`QuantBioformer::forward_batch`].
+    fn forward_range(&self, x: &Tensor, start: usize, end: usize) -> Vec<f32> {
+        let sample = self.cfg.channels * self.cfg.window;
+        let mut buf = Vec::with_capacity((end - start) * self.cfg.classes);
+        for i in start..end {
+            let w = Tensor::from_vec(
+                x.data()[i * sample..(i + 1) * sample].to_vec(),
+                &[self.cfg.channels, self.cfg.window],
+            );
+            buf.extend_from_slice(&self.forward_window(&w));
+        }
+        buf
+    }
+
     /// Integer inference over a batch `[n, channels, window]`; returns fp32
     /// logits `[n, classes]`. Windows are processed on parallel threads.
     pub fn forward_batch(&self, x: &Tensor) -> Tensor {
         let n = x.dims()[0];
-        let sample = self.cfg.channels * self.cfg.window;
         let classes = self.cfg.classes;
         let mut out = Tensor::zeros(&[n, classes]);
         let threads = bioformer_tensor::parallel::hardware_threads().min(n.max(1));
+        // Single-shard fast path: spawning even one scoped thread costs
+        // tens of microseconds — a measurable tax on batch-1 latency.
+        if threads <= 1 || n <= 1 {
+            out.data_mut().copy_from_slice(&self.forward_range(x, 0, n));
+            return out;
+        }
         let chunk = n.div_ceil(threads.max(1));
         let results: Vec<(usize, Vec<f32>)> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -478,18 +511,7 @@ impl QuantBioformer {
             while start < n {
                 let end = (start + chunk).min(n);
                 let this = &*self;
-                let xd = x.data();
-                handles.push(scope.spawn(move || {
-                    let mut buf = Vec::with_capacity((end - start) * classes);
-                    for i in start..end {
-                        let w = Tensor::from_vec(
-                            xd[i * sample..(i + 1) * sample].to_vec(),
-                            &[this.cfg.channels, this.cfg.window],
-                        );
-                        buf.extend_from_slice(&this.forward_window(&w));
-                    }
-                    (start, buf)
-                }));
+                handles.push(scope.spawn(move || (start, this.forward_range(x, start, end))));
                 start = end;
             }
             handles

@@ -80,25 +80,52 @@ pub fn im2col(x: &Tensor, kernel: usize, spec: Conv1dSpec) -> Tensor {
         .unwrap_or_else(|| panic!("im2col: input of length {len} too short for kernel {kernel}"));
     let ck = c_in * kernel;
     let mut cols = Tensor::zeros(&[out_len, ck]);
-    let xd = x.data();
-    let cd = cols.data_mut();
+    im2col_into(x.data(), c_in, len, kernel, spec, cols.data_mut());
+    cols
+}
+
+/// Slice-level [`im2col`] into a caller-provided buffer (the allocation-free
+/// primitive behind it): lowers `x` (`c_in · len` floats, `[in_ch, len]`
+/// layout) into `dst` (`out_len · c_in · kernel` floats). Every element of
+/// `dst` is written (padding taps write zero), so recycled scratch buffers
+/// need no pre-clearing.
+///
+/// # Panics
+///
+/// Panics if the input is shorter than the dilated kernel extent or the
+/// buffer lengths disagree.
+pub fn im2col_into(
+    x: &[f32],
+    c_in: usize,
+    len: usize,
+    kernel: usize,
+    spec: Conv1dSpec,
+    dst: &mut [f32],
+) {
+    assert_eq!(x.len(), c_in * len, "im2col: input size");
+    let out_len = spec
+        .out_len(len, kernel)
+        .unwrap_or_else(|| panic!("im2col: input of length {len} too short for kernel {kernel}"));
+    let ck = c_in * kernel;
+    assert_eq!(dst.len(), out_len * ck, "im2col: destination size");
     for ot in 0..out_len {
         let start = ot * spec.stride;
-        let row = &mut cd[ot * ck..(ot + 1) * ck];
+        let row = &mut dst[ot * ck..(ot + 1) * ck];
         for ic in 0..c_in {
-            let x_row = &xd[ic * len..(ic + 1) * len];
+            let x_row = &x[ic * len..(ic + 1) * len];
             for kk in 0..kernel {
                 let pos = start + kk * spec.dilation;
+                let mut v = 0.0;
                 if pos >= spec.padding {
                     let xi = pos - spec.padding;
                     if xi < len {
-                        row[ic * kernel + kk] = x_row[xi];
+                        v = x_row[xi];
                     }
                 }
+                row[ic * kernel + kk] = v;
             }
         }
     }
-    cols
 }
 
 /// Scatter-adds an im2col-shaped gradient `[out_len, in_ch · kernel]` back

@@ -6,11 +6,16 @@
 //!
 //! * [`Tensor`] — a contiguous, row-major `f32` tensor with shape metadata,
 //!   element-wise arithmetic and reshaping ([`tensor`]).
-//! * Blocked, cache-friendly and (for large problems) multi-threaded matrix
-//!   multiplication ([`matmul`]).
+//! * Panel-packed, register-tiled, cache-blocked and (for large problems)
+//!   multi-threaded matrix multiplication ([`matmul`], [`pack`]), with
+//!   fused bias/activation epilogues for the inference hot path.
+//! * A recycling scratch allocator ([`arena::TensorArena`]) so repeated
+//!   inference forwards reuse buffers instead of hitting the global
+//!   allocator.
 //! * 1-D convolution forward and backward primitives ([`conv`]).
 //! * Neural-network math primitives — softmax, log-softmax, GELU, LayerNorm —
-//!   with their analytic derivatives ([`ops`]).
+//!   with their analytic derivatives ([`ops`]), including in-place variants
+//!   for allocation-free inference.
 //!
 //! # Design notes
 //!
@@ -33,13 +38,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod conv;
 pub mod matmul;
 pub mod ops;
+pub mod pack;
 pub mod parallel;
 pub mod shape;
 pub mod tensor;
 
+pub use arena::TensorArena;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

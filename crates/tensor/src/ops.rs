@@ -21,11 +21,44 @@ const GELU_COEF: f32 = 0.044_715;
 ///
 /// Panics if `x` is not 2-D.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
-    assert_eq!(x.shape().rank(), 2, "softmax_rows requires a 2-D tensor");
-    let (m, n) = (x.dims()[0], x.dims()[1]);
     let mut out = x.clone();
-    for r in 0..m {
-        let row = &mut out.data_mut()[r * n..(r + 1) * n];
+    softmax_rows_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax_rows`]: overwrites `x` with its row-wise
+/// softmax without allocating. Used by the inference hot path (attention
+/// scores are scratch tensors that die immediately after the `A·V`
+/// product, so there is nothing worth preserving).
+///
+/// Bit-identical to [`softmax_rows`] — the out-of-place form is implemented
+/// on top of this one.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D.
+pub fn softmax_rows_in_place(x: &mut Tensor) {
+    assert_eq!(x.shape().rank(), 2, "softmax_rows requires a 2-D tensor");
+    let n = x.dims()[1];
+    softmax_rows_slice(x.data_mut(), n);
+}
+
+/// Slice-level softmax over consecutive `n`-wide rows of `data`, in place.
+/// The zero-allocation primitive behind [`softmax_rows_in_place`], usable
+/// on raw scratch buffers (attention scores in the arena hot path).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `n` (for `n > 0`).
+pub fn softmax_rows_slice(data: &mut [f32], n: usize) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        n > 0 && data.len().is_multiple_of(n),
+        "softmax: rows must be n-wide"
+    );
+    for row in data.chunks_mut(n) {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -37,7 +70,6 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
             *v *= inv;
         }
     }
-    out
 }
 
 /// Backward pass of [`softmax_rows`].
@@ -153,6 +185,38 @@ pub fn layernorm_forward(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, 
     (y, LayerNormCache { xhat, inv_std })
 }
 
+/// Inference-only LayerNorm into a caller-provided buffer: computes the
+/// same `y = γ ⊙ (x − μ)/√(σ² + ε) + β` as [`layernorm_forward`] but skips
+/// the backward cache (`x̂`, `1/σ`) entirely and writes into `out`, so the
+/// serving hot path allocates nothing.
+///
+/// `out` may be a recycled scratch buffer of any prior content; every
+/// element is overwritten. Bit-identical to the `y` returned by
+/// [`layernorm_forward`].
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a multiple of `gamma.len()`, if `beta` and
+/// `gamma` disagree, or if `out.len() != x.len()`.
+pub fn layernorm_rows_into(x: &[f32], gamma: &[f32], beta: &[f32], out: &mut [f32]) {
+    let n = gamma.len();
+    assert_eq!(beta.len(), n, "layernorm: beta must match gamma");
+    assert!(n > 0, "layernorm: zero feature width");
+    assert_eq!(x.len() % n, 0, "layernorm: rows must be gamma-width");
+    assert_eq!(out.len(), x.len(), "layernorm: out size mismatch");
+    let m = x.len() / n;
+    for r in 0..m {
+        let row = &x[r * n..(r + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let istd = 1.0 / (var + LAYERNORM_EPS).sqrt();
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for i in 0..n {
+            out_row[i] = gamma[i] * ((row[i] - mean) * istd) + beta[i];
+        }
+    }
+}
+
 /// Backward pass of [`layernorm_forward`].
 ///
 /// Returns `(dx, dgamma, dbeta)`.
@@ -225,6 +289,26 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
             assert!(y.row(r).iter().all(|&v| v >= 0.0));
         }
+    }
+
+    #[test]
+    fn softmax_in_place_is_bit_identical() {
+        let x = filled(&[5, 9], 21).scale(4.0);
+        let want = softmax_rows(&x);
+        let mut got = x.clone();
+        softmax_rows_in_place(&mut got);
+        assert!(got.allclose(&want, 0.0), "in-place softmax diverges");
+    }
+
+    #[test]
+    fn layernorm_into_is_bit_identical_to_forward() {
+        let x = filled(&[4, 12], 22).scale(3.0);
+        let gamma = filled(&[12], 23).map(|v| v + 1.0);
+        let beta = filled(&[12], 24);
+        let (want, _) = layernorm_forward(&x, &gamma, &beta);
+        let mut out = vec![f32::NAN; x.len()];
+        layernorm_rows_into(x.data(), gamma.data(), beta.data(), &mut out);
+        assert_eq!(out, want.data(), "arena layernorm diverges from forward");
     }
 
     #[test]

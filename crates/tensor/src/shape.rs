@@ -2,11 +2,23 @@
 
 use std::fmt;
 
+/// Maximum supported tensor rank.
+///
+/// Nothing in a 1-D-signal transformer stack needs more than
+/// `[batch, seq, heads·dim]`-style rank-3 tensors (rank 4 leaves headroom
+/// for one more axis), and capping the rank lets [`Shape`] store its
+/// dimensions **inline** instead of in a heap `Vec` — constructing a
+/// tensor must not allocate anything beyond its element buffer, or the
+/// allocation-free inference arena would leak one small heap allocation
+/// per intermediate tensor.
+pub const MAX_RANK: usize = 4;
+
 /// The dimensions of a [`crate::Tensor`], stored outermost-first
 /// (row-major / C order).
 ///
-/// `Shape` is a thin wrapper over a `Vec<usize>` that provides element
-/// counting, flat-index computation and human-readable formatting.
+/// `Shape` stores up to [`MAX_RANK`] dimensions inline (no heap
+/// allocation) and provides element counting, flat-index computation and
+/// human-readable formatting.
 ///
 /// # Example
 ///
@@ -18,30 +30,49 @@ use std::fmt;
 /// assert_eq!(s.rank(), 3);
 /// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
 /// ```
+// Invariant: dims[rank..] is always zero, so the derived equality/hash
+// over the full array agree with comparing `dims()` slices.
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Shape(Vec<usize>);
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
     /// Creates a shape from a dimension slice.
     ///
     /// A zero-rank shape (`&[]`) denotes a scalar with one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len()` exceeds [`MAX_RANK`].
     pub fn new(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        assert!(
+            dims.len() <= MAX_RANK,
+            "shape rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len() as u8,
+        }
     }
 
     /// Returns the dimensions as a slice, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// Total number of elements (product of dimensions; 1 for scalars).
     pub fn len(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Returns `true` when the shape contains zero elements.
@@ -55,7 +86,12 @@ impl Shape {
     ///
     /// Panics if `axis >= self.rank()`.
     pub fn dim(&self, axis: usize) -> usize {
-        self.0[axis]
+        assert!(
+            axis < self.rank(),
+            "axis {axis} out of bounds for rank {}",
+            self.rank()
+        );
+        self.dims[axis]
     }
 
     /// Row-major strides: `strides[i]` is the flat distance between
@@ -63,7 +99,7 @@ impl Shape {
     pub fn strides(&self) -> Vec<usize> {
         let mut strides = vec![1usize; self.rank()];
         for i in (0..self.rank().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+            strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
     }
@@ -87,12 +123,12 @@ impl Shape {
         for axis in (0..self.rank()).rev() {
             let coord = index[axis];
             assert!(
-                coord < self.0[axis],
+                coord < self.dims[axis],
                 "index {coord} out of bounds for axis {axis} with size {}",
-                self.0[axis]
+                self.dims[axis]
             );
             flat += coord * stride;
-            stride *= self.0[axis];
+            stride *= self.dims[axis];
         }
         flat
     }
@@ -100,20 +136,20 @@ impl Shape {
     /// Returns `true` when both shapes describe 2-D matrices that can be
     /// multiplied (`self` is `[m, k]`, `rhs` is `[k, n]`).
     pub fn matmul_compatible(&self, rhs: &Shape) -> bool {
-        self.rank() == 2 && rhs.rank() == 2 && self.0[1] == rhs.0[0]
+        self.rank() == 2 && rhs.rank() == 2 && self.dims[1] == rhs.dims[0]
     }
 }
 
 impl fmt::Debug for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Shape{:?}", self.0)
+        write!(f, "Shape{:?}", self.dims())
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "×")?;
             }
@@ -125,7 +161,7 @@ impl fmt::Display for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::new(&dims)
     }
 }
 
@@ -206,5 +242,30 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Shape::new(&[2, 3]).to_string(), "[2×3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn over_max_rank_rejected() {
+        Shape::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds for rank")]
+    fn dim_past_rank_panics() {
+        // The inline array physically holds MAX_RANK entries; reading past
+        // the logical rank must still be an error, not a silent zero.
+        Shape::new(&[2, 3]).dim(2);
+    }
+
+    /// Shapes with equal dims compare equal however they were built, and
+    /// the padding tail never leaks into equality or hashing.
+    #[test]
+    fn equality_ignores_padding() {
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::from(vec![2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
+        assert_ne!(Shape::new(&[2]), Shape::new(&[2, 0]));
     }
 }

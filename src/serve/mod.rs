@@ -56,8 +56,8 @@ use bioformer_core::{Bioformer, TempoNet};
 use bioformer_nn::InferForward;
 use bioformer_quant::QuantBioformer;
 use bioformer_semg::GESTURE_CLASSES;
-use bioformer_tensor::Tensor;
-use std::sync::Arc;
+use bioformer_tensor::{Tensor, TensorArena};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// An inference-only gesture classifier: maps a batch of sEMG windows
@@ -71,6 +71,20 @@ pub trait GestureClassifier: Send + Sync {
     /// Runs inference on `windows` (`[n, channels, samples]`, `n` may be 0)
     /// and returns logits `[n, classes]`.
     fn predict_batch(&self, windows: &Tensor) -> Tensor;
+
+    /// Arena variant of [`GestureClassifier::predict_batch`]: scratch
+    /// tensors come from `arena` so a worker that reuses one arena across
+    /// batches performs no steady-state heap allocations inside the model
+    /// forward. The returned logits may be arena-owned — callers that keep
+    /// them past the next call must copy them out (engines recycle them
+    /// after scattering per-request responses).
+    ///
+    /// The default ignores the arena and delegates, so backends with their
+    /// own scratch management (e.g. the integer pipeline) stay correct.
+    fn predict_batch_in(&self, windows: &Tensor, arena: &mut TensorArena) -> Tensor {
+        let _ = arena;
+        self.predict_batch(windows)
+    }
 
     /// Number of output classes (the width of the logit rows).
     fn num_classes(&self) -> usize;
@@ -95,6 +109,10 @@ impl<T: GestureClassifier + ?Sized> GestureClassifier for Arc<T> {
         (**self).predict_batch(windows)
     }
 
+    fn predict_batch_in(&self, windows: &Tensor, arena: &mut TensorArena) -> Tensor {
+        (**self).predict_batch_in(windows, arena)
+    }
+
     fn num_classes(&self) -> usize {
         (**self).num_classes()
     }
@@ -114,6 +132,12 @@ impl GestureClassifier for Bioformer {
     /// copying weights.
     fn predict_batch(&self, windows: &Tensor) -> Tensor {
         self.forward_infer(windows)
+    }
+
+    /// Arena-threaded forward: packed weights plus recycled scratch make
+    /// steady-state forwards allocation-free.
+    fn predict_batch_in(&self, windows: &Tensor, arena: &mut TensorArena) -> Tensor {
+        self.forward_infer_in(windows, arena)
     }
 
     fn num_classes(&self) -> usize {
@@ -274,6 +298,10 @@ pub struct ServeOutcome {
 pub struct InferenceEngine {
     backend: Box<dyn GestureClassifier>,
     micro_batch: usize,
+    /// Scratch arena reused across `serve` calls (one caller at a time, so
+    /// a mutex — workers in the async engines own per-thread arenas
+    /// instead).
+    arena: Mutex<TensorArena>,
 }
 
 impl InferenceEngine {
@@ -282,6 +310,7 @@ impl InferenceEngine {
         InferenceEngine {
             backend,
             micro_batch: DEFAULT_MICRO_BATCH,
+            arena: Mutex::new(TensorArena::new()),
         }
     }
 
@@ -314,6 +343,11 @@ impl InferenceEngine {
     /// Serves a request batch `[n, channels, samples]` (`n` may be 0, and
     /// need not divide the micro-batch size).
     ///
+    /// Concurrent callers run their backend forwards in parallel: the
+    /// engine's shared scratch arena is taken with `try_lock`, and a
+    /// contending caller falls back to a throwaway arena (paying that
+    /// call's allocations) rather than serialising on the lock.
+    ///
     /// # Panics
     ///
     /// Panics if `windows` is not rank-3 or the backend returns logits of
@@ -326,8 +360,19 @@ impl InferenceEngine {
             windows.dims()
         );
         let n = windows.dims()[0];
+        // Reuse the engine arena when free; never block a concurrent
+        // caller on it — scratch reuse is an optimisation, not a
+        // serialisation point.
+        let mut guard = match self.arena.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        let mut local = TensorArena::new();
+        let arena = guard.as_deref_mut().unwrap_or(&mut local);
         let (logits, mut latencies) =
-            predict_chunked(self.backend.as_ref(), windows, self.micro_batch);
+            predict_chunked(self.backend.as_ref(), windows, self.micro_batch, arena);
+        drop(guard);
         let predictions = if n == 0 {
             Vec::new()
         } else {
@@ -346,6 +391,11 @@ impl InferenceEngine {
 /// one backend latency sample per chunk. Shared by the sync engine and the
 /// async worker pool so both have identical micro-batch semantics.
 ///
+/// Scratch (chunk copies, per-chunk logits, and the backend's internal
+/// intermediates) comes from `arena`; the returned logits tensor may be
+/// arena-owned, so callers that hold it past their next arena use should
+/// copy it out and [`TensorArena::recycle`] it.
+///
 /// # Panics
 ///
 /// Panics if the backend returns logits of the wrong shape.
@@ -353,6 +403,7 @@ pub(crate) fn predict_chunked(
     backend: &dyn GestureClassifier,
     windows: &Tensor,
     micro: usize,
+    arena: &mut TensorArena,
 ) -> (Tensor, Vec<Duration>) {
     let n = windows.dims()[0];
     let (channels, samples) = (windows.dims()[1], windows.dims()[2]);
@@ -363,7 +414,7 @@ pub(crate) fn predict_chunked(
     // serve it from the caller's tensor without the chunk copy.
     if n > 0 && n <= micro {
         let t0 = Instant::now();
-        let out = backend.predict_batch(windows);
+        let out = backend.predict_batch_in(windows, arena);
         let latencies = vec![t0.elapsed()];
         assert_eq!(
             out.dims(),
@@ -374,27 +425,31 @@ pub(crate) fn predict_chunked(
         return (out, latencies);
     }
 
-    let mut logits = Tensor::zeros(&[n, classes]);
+    let mut logits = arena.tensor(&[n, classes]);
     let mut latencies = Vec::with_capacity(n.div_ceil(micro.max(1)));
+    let mut chunk_buf = arena.alloc(micro.min(n) * sample_len);
     let mut start = 0usize;
     while start < n {
         let end = (start + micro).min(n);
-        let chunk = Tensor::from_vec(
-            windows.data()[start * sample_len..end * sample_len].to_vec(),
-            &[end - start, channels, samples],
-        );
+        let rows = end - start;
+        chunk_buf.truncate(rows * sample_len);
+        chunk_buf.copy_from_slice(&windows.data()[start * sample_len..end * sample_len]);
+        let chunk = Tensor::from_vec(std::mem::take(&mut chunk_buf), &[rows, channels, samples]);
         let t0 = Instant::now();
-        let out = backend.predict_batch(&chunk);
+        let out = backend.predict_batch_in(&chunk, arena);
         latencies.push(t0.elapsed());
+        chunk_buf = chunk.into_vec();
         assert_eq!(
             out.dims(),
-            &[end - start, classes],
+            &[rows, classes],
             "backend {} returned bad logits shape",
             backend.name()
         );
         logits.data_mut()[start * classes..end * classes].copy_from_slice(out.data());
+        arena.recycle(out);
         start = end;
     }
+    arena.recycle_vec(chunk_buf);
     (logits, latencies)
 }
 

@@ -13,7 +13,7 @@
 
 use super::queue::{PendingResponse, Request, RequestOutput, RequestQueue, ServeError};
 use super::{predict_chunked, GestureClassifier, LatencyStats, DEFAULT_MICRO_BATCH};
-use bioformer_tensor::Tensor;
+use bioformer_tensor::{Tensor, TensorArena};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -901,6 +901,11 @@ fn worker_loop(
     shared: &ReplicaShared,
 ) {
     let micro_batch = cfg.micro_batch;
+    // One scratch arena per worker thread, reused across every batch this
+    // worker ever executes: after the first batch of a given shape, model
+    // forwards draw all their intermediates from the pool instead of the
+    // global allocator.
+    let mut arena = TensorArena::new();
     while let Some(first) = queue.pop() {
         let mut batch = Vec::new();
         let mut total = 0usize;
@@ -939,7 +944,7 @@ fn worker_loop(
             shared.busy_workers.fetch_add(1, Ordering::Relaxed);
             shared.executing.fetch_add(batch.len(), Ordering::Relaxed);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_batch(backend, micro_batch, &batch, total, exec_start)
+                run_batch(backend, micro_batch, &batch, total, exec_start, &mut arena)
             }));
             shared.executing.fetch_sub(batch.len(), Ordering::Relaxed);
             shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
@@ -1020,12 +1025,18 @@ fn admit(
 
 /// Executes one coalesced batch and responds to every request in it;
 /// returns the per-micro-batch backend latencies.
+///
+/// All execution scratch (the gather tensor, model intermediates, the
+/// shared logits) lives in the worker's `arena` and is recycled before
+/// returning — only the per-request response tensors, which escape to the
+/// clients, are freshly allocated.
 fn run_batch(
     backend: &dyn GestureClassifier,
     micro_batch: usize,
     batch: &[Request],
     total: usize,
     exec_start: Instant,
+    arena: &mut TensorArena,
 ) -> Vec<Duration> {
     let classes = backend.num_classes();
     let (channels, samples) = {
@@ -1037,11 +1048,9 @@ fn run_batch(
     // Gather every request's windows into one shared tensor — unless the
     // batch is a single request, which can be served from its own tensor
     // without the extra copy (the common case under sparse traffic).
-    let gathered;
-    let all: &Tensor = if batch.len() == 1 {
-        &batch[0].windows
-    } else {
-        let mut buf = Tensor::zeros(&[total, channels, samples]);
+    let mut gathered: Option<Tensor> = None;
+    if batch.len() > 1 {
+        let mut buf = arena.tensor(&[total, channels, samples]);
         let mut row = 0usize;
         for req in batch {
             let n = req.windows.dims()[0];
@@ -1049,11 +1058,11 @@ fn run_batch(
                 .copy_from_slice(req.windows.data());
             row += n;
         }
-        gathered = buf;
-        &gathered
-    };
+        gathered = Some(buf);
+    }
+    let all = gathered.as_ref().unwrap_or(&batch[0].windows);
 
-    let (logits, latencies) = predict_chunked(backend, all, micro_batch);
+    let (logits, latencies) = predict_chunked(backend, all, micro_batch, arena);
     let batch_latency: Duration = latencies.iter().sum();
 
     // Scatter logits back, one response per request.
@@ -1078,6 +1087,10 @@ fn run_batch(
             batch_latency,
         }));
         row += n;
+    }
+    arena.recycle(logits);
+    if let Some(g) = gathered {
+        arena.recycle(g);
     }
     latencies
 }
@@ -1524,7 +1537,14 @@ mod tests {
                 row += n;
             }
 
-            let latencies = run_batch(backend, micro, &batch, total, Instant::now());
+            let latencies = run_batch(
+                backend,
+                micro,
+                &batch,
+                total,
+                Instant::now(),
+                &mut TensorArena::new(),
+            );
             assert_eq!(latencies.len(), total.div_ceil(micro));
 
             for (rx, row, n) in receivers {

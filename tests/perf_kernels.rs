@@ -1,0 +1,215 @@
+//! Property tests pinning the packed/blocked inference kernels against
+//! naive references, and the arena-threaded forwards against the plain
+//! ones.
+//!
+//! The perf rework rebuilt the fp32 GEMM (panel packing + register tiling +
+//! fused epilogues), the int8 GEMM (tiled accumulators + fused requantize)
+//! and every `forward_infer` path (arena scratch). These tests are the
+//! contract that none of it changed the numbers:
+//!
+//! * packed fp32 == naive triple loop within 1e-4 over random shapes,
+//!   including 0/1/non-tile-multiple dims;
+//! * blocked int8 == naive triple loop **bit-for-bit** (integer arithmetic
+//!   is associative);
+//! * arena forwards == plain forwards bit-for-bit, including across arena
+//!   reuse (no buffer contamination between calls).
+
+use bioformers::core::{Bioformer, BioformerConfig};
+use bioformers::nn::InferForward;
+use bioformers::quant::kernels::{qgemm_i32, qgemm_i32_zp, qgemm_requant_into, requantize_vec};
+use bioformers::quant::requant::FixedMultiplier;
+use bioformers::tensor::matmul::{matmul, matmul_naive, matmul_nt, matmul_nt_naive, matvec};
+use bioformers::tensor::{Tensor, TensorArena};
+use proptest::prelude::*;
+
+fn filled(dims: &[usize], seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Tensor::from_fn(dims, |_| {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        ((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    })
+}
+
+fn qfilled(len: usize, seed: u64) -> Vec<i8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as i8
+        })
+        .collect()
+}
+
+/// Reference int8 GEMM: the plain triple loop the blocked kernel replaced.
+fn qgemm_reference(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = bias.map_or(0, |bias| bias[j]);
+            for kk in 0..k {
+                acc += a[i * k + kk] as i32 * b[j * k + kk] as i32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed fp32 `A·B` tracks the naive kernel within 1e-4 over random
+    /// shapes, including empty and sub-tile dims (the tile size is 4×16,
+    /// so 0, 1 and 17-ish dims exercise every remainder path).
+    #[test]
+    fn packed_matmul_matches_naive(m in 0usize..40, k in 0usize..70, n in 0usize..40, seed in 0u64..1000) {
+        let a = filled(&[m, k], seed);
+        let b = filled(&[k, n], seed.wrapping_add(1));
+        let packed = matmul(&a, &b);
+        let naive = matmul_naive(&a, &b);
+        prop_assert!(packed.allclose(&naive, 1e-4), "({m},{k},{n}) diverges");
+    }
+
+    /// Packed fp32 `A·Bᵀ` (the linear-layer layout) tracks its naive
+    /// reference within 1e-4.
+    #[test]
+    fn packed_matmul_nt_matches_naive(m in 0usize..40, k in 0usize..70, n in 0usize..40, seed in 0u64..1000) {
+        let a = filled(&[m, k], seed);
+        let bt = filled(&[n, k], seed.wrapping_add(2));
+        let packed = matmul_nt(&a, &bt);
+        let naive = matmul_nt_naive(&a, &bt);
+        prop_assert!(packed.allclose(&naive, 1e-4), "({m},{k},{n}) diverges");
+    }
+
+    /// `matvec` agrees with `matmul` against a column vector (the
+    /// satellite fix: it now shares the unrolled dot kernel).
+    #[test]
+    fn matvec_matches_matmul_column(m in 1usize..40, k in 1usize..70, seed in 0u64..1000) {
+        let a = filled(&[m, k], seed);
+        let v = filled(&[k], seed.wrapping_add(3));
+        let mv = matvec(&a, &v);
+        let mm = matmul(&a, &v.reshape(&[k, 1]));
+        for i in 0..m {
+            prop_assert!((mv.data()[i] - mm.data()[i]).abs() < 1e-4, "row {i}");
+        }
+    }
+
+    /// Blocked int8 GEMM is bit-for-bit the naive triple loop, bias
+    /// included, over random shapes with 0/1/non-tile-multiple dims.
+    #[test]
+    fn blocked_int8_gemm_is_bit_exact(m in 0usize..24, k in 0usize..48, n in 0usize..24, seed in 0u64..1000) {
+        let a = qfilled(m * k, seed);
+        let b = qfilled(n * k, seed.wrapping_add(4));
+        let bias: Vec<i32> = (0..n as i32).map(|j| j * 31 - 64).collect();
+        prop_assert_eq!(
+            qgemm_i32(&a, &b, Some(&bias), m, k, n),
+            qgemm_reference(&a, &b, Some(&bias), m, k, n)
+        );
+    }
+
+    /// Fused requantize-at-store is bit-for-bit accumulate-then-requantize
+    /// for arbitrary multipliers and zero points.
+    #[test]
+    fn fused_requant_is_bit_exact(
+        m in 1usize..16, k in 1usize..48, n in 1usize..24,
+        mult in 1e-4f64..0.5, zp in -20i32..20, seed in 0u64..1000,
+    ) {
+        let a = qfilled(m * k, seed);
+        let b = qfilled(n * k, seed.wrapping_add(5));
+        let fm = FixedMultiplier::encode(mult);
+        let two_pass = requantize_vec(&qgemm_i32(&a, &b, None, m, k, n), fm, zp);
+        let mut fused = vec![0i8; m * n];
+        qgemm_requant_into(&a, &b, None, m, k, n, fm, zp, &mut fused);
+        prop_assert_eq!(fused, two_pass);
+    }
+
+    /// The zero-point correction-sum expansion equals offsetting every
+    /// operand in the inner loop.
+    #[test]
+    fn zero_point_sums_are_exact(
+        m in 1usize..12, k in 1usize..32, n in 1usize..12,
+        za in -128i32..128, zb in -128i32..128, seed in 0u64..1000,
+    ) {
+        let a = qfilled(m * k, seed);
+        let b = qfilled(n * k, seed.wrapping_add(6));
+        let got = qgemm_i32_zp(&a, za, &b, zb, None, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0i64;
+                for kk in 0..k {
+                    want += (a[i * k + kk] as i64 - za as i64) * (b[j * k + kk] as i64 - zb as i64);
+                }
+                prop_assert_eq!(got[i * n + j] as i64, want, "({},{})", i, j);
+            }
+        }
+    }
+}
+
+fn tiny_cfg() -> BioformerConfig {
+    BioformerConfig {
+        channels: 3,
+        window: 20,
+        classes: 4,
+        embed: 8,
+        filter: 5,
+        heads: 2,
+        depth: 2,
+        head_dim: 4,
+        hidden: 16,
+        dropout: 0.0,
+        seed: 21,
+    }
+}
+
+/// The arena must be invisible in the numbers: logits with and without it
+/// are identical, for a fresh arena and for a reused (warmed, possibly
+/// dirty) one.
+#[test]
+fn arena_forward_logits_are_identical() {
+    let model = Bioformer::new(&tiny_cfg());
+    let mut arena = TensorArena::new();
+    for trial in 0..4 {
+        let x = filled(&[1 + trial % 3, 3, 20], 100 + trial as u64);
+        let plain = model.forward_infer(&x);
+        let arena_out = model.forward_infer_in(&x, &mut arena);
+        assert!(
+            arena_out.allclose(&plain, 0.0),
+            "trial {trial}: arena logits diverge from plain forward_infer"
+        );
+        arena.recycle(arena_out);
+    }
+}
+
+/// After a warm-up pass the arena pool serves every intermediate: repeated
+/// forwards of the same shape hit the pool only (`misses == 0`), which is
+/// the arena-level statement of "steady-state forwards do not allocate"
+/// (the allocator-level proof lives in `tests/arena_alloc.rs`).
+#[test]
+fn warmed_arena_serves_all_intermediates_from_pool() {
+    let model = Bioformer::new(&tiny_cfg());
+    let x = filled(&[2, 3, 20], 7);
+    let mut arena = TensorArena::new();
+    for _ in 0..2 {
+        let y = model.forward_infer_in(&x, &mut arena);
+        arena.recycle(y);
+    }
+    arena.reset_stats();
+    for _ in 0..5 {
+        let y = model.forward_infer_in(&x, &mut arena);
+        arena.recycle(y);
+    }
+    let stats = arena.stats();
+    assert_eq!(stats.misses, 0, "steady-state forward allocated: {stats:?}");
+    assert!(stats.hits > 0, "arena was never used");
+}

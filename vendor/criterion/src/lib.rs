@@ -27,7 +27,10 @@
 //!   and print the relative change;
 //! * `--fail-threshold <pct>` — with `--baseline`, exit non-zero if any
 //!   benchmark regressed by more than `pct` percent: the regression gate
-//!   for CI.
+//!   for CI;
+//! * `--json <path>` — additionally write every measurement as a JSON
+//!   array of `{"id", "low_s", "median_s", "high_s"}` objects, for CI
+//!   artifacts and perf-trajectory tracking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +58,10 @@ pub struct Criterion {
     fail_threshold: Option<f64>,
     /// Worst observed regression in percent (positive = slower).
     worst_regression: f64,
+    /// `--json`: measurement records written here on drop.
+    json_out: Option<String>,
+    /// Collected `(id, low, median, high)` seconds for the JSON report.
+    json_entries: Vec<(String, f64, f64, f64)>,
 }
 
 impl Default for Criterion {
@@ -72,12 +79,14 @@ impl Criterion {
         let mut save_baseline = None;
         let mut baseline_name = None;
         let mut fail_threshold = None;
+        let mut json_out = None;
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--smoke" => smoke = true,
                 "--save-baseline" => save_baseline = args.next(),
                 "--baseline" => baseline_name = args.next(),
+                "--json" => json_out = args.next(),
                 "--fail-threshold" => {
                     fail_threshold = args.next().and_then(|v| v.parse::<f64>().ok());
                 }
@@ -108,6 +117,8 @@ impl Criterion {
             baseline,
             fail_threshold,
             worst_regression: f64::NEG_INFINITY,
+            json_out,
+            json_entries: Vec::new(),
         }
     }
 
@@ -143,6 +154,12 @@ impl Drop for Criterion {
             match store_baseline(name, &self.saved) {
                 Ok(path) => println!("\nbaseline '{name}' saved to {}", path.display()),
                 Err(e) => eprintln!("\nfailed to save baseline '{name}': {e}"),
+            }
+        }
+        if let (Some(path), false) = (&self.json_out, self.json_entries.is_empty()) {
+            match write_json_report(path, &self.json_entries) {
+                Ok(()) => println!("JSON report written to {path}"),
+                Err(e) => eprintln!("failed to write JSON report {path}: {e}"),
             }
         }
         if let (Some(threshold), Some(name)) = (self.fail_threshold, &self.baseline_name) {
@@ -390,9 +407,38 @@ fn run_benchmark(
         fmt_time(median),
         fmt_time(hi)
     );
+    if c.json_out.is_some() {
+        c.json_entries.push((full.clone(), lo, median, hi));
+    }
     if c.save_baseline.is_some() {
         c.saved.push((full, median));
     }
+}
+
+/// Writes measurements as a JSON array of
+/// `{"id", "low_s", "median_s", "high_s"}` objects. `f64::to_string`
+/// output is valid JSON for finite values, and ids are escaped minimally
+/// (quotes and backslashes — benchmark ids are plain identifiers in
+/// practice).
+fn write_json_report(path: &str, entries: &[(String, f64, f64, f64)]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "[")?;
+    for (i, (id, lo, median, hi)) in entries.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|ch| match ch {
+                '"' | '\\' => vec!['\\', ch],
+                _ => vec![ch],
+            })
+            .collect();
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(
+            file,
+            "  {{\"id\": \"{escaped}\", \"low_s\": {lo:e}, \"median_s\": {median:e}, \"high_s\": {hi:e}}}{comma}"
+        )?;
+    }
+    writeln!(file, "]")?;
+    Ok(())
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -513,6 +559,36 @@ mod tests {
         let mut few = vec![1.0, 2.0, 100.0];
         assert_eq!(reject_outliers(&mut few), 0);
         assert_eq!(few.len(), 3);
+    }
+
+    #[test]
+    fn json_report_is_written_and_well_formed() {
+        let path = std::env::temp_dir().join(format!("criterion-json-{}.json", std::process::id()));
+        let entries = vec![
+            ("grp/fast".to_string(), 1.0e-6, 1.2e-6, 1.5e-6),
+            ("grp/\"quoted\"".to_string(), 2.0e-3, 2.5e-3, 3.0e-3),
+        ];
+        write_json_report(path.to_str().unwrap(), &entries).expect("write json");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"id\": \"grp/fast\""));
+        assert!(text.contains("\"median_s\": 1.2e-6"));
+        assert!(text.contains("grp/\\\"quoted\\\""));
+        // Exactly one comma between the two records, none trailing.
+        assert_eq!(
+            text.matches("}},\n").count() + text.matches("},\n").count(),
+            1
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_flag_is_parsed() {
+        let mut c = Criterion::from_args(["--json", "out.json"].into_iter().map(String::from));
+        assert_eq!(c.json_out.as_deref(), Some("out.json"));
+        // Disarm Drop: no measurements were taken, but belt and braces.
+        c.json_out = None;
     }
 
     #[test]
