@@ -181,6 +181,25 @@ impl Normalizer {
         Normalizer { mean: mean_f, std }
     }
 
+    /// Builds a normalizer from precomputed channel statistics — e.g.
+    /// stats shipped to an edge device alongside the quantized weights, or
+    /// a channel count different from [`CHANNELS`] in tests. Arithmetic is
+    /// identical to a fitted normalizer with the same statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, are zero, or any std is not a
+    /// strictly positive finite number.
+    pub fn from_stats(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        assert_eq!(mean.len(), std.len(), "Normalizer: mean/std length");
+        assert!(!mean.is_empty(), "Normalizer: need at least one channel");
+        assert!(
+            std.iter().all(|s| s.is_finite() && *s > 0.0),
+            "Normalizer: stds must be positive and finite"
+        );
+        Normalizer { mean, std }
+    }
+
     /// Channel means.
     pub fn mean(&self) -> &[f32] {
         &self.mean
@@ -189,6 +208,34 @@ impl Normalizer {
     /// Channel standard deviations.
     pub fn std(&self) -> &[f32] {
         &self.std
+    }
+
+    /// Standardises one channel-major window `[channels × samples]` in
+    /// place. This is the streaming-path twin of [`Normalizer::apply`]:
+    /// the per-element arithmetic (`(v − mean) × (1/std)`) is the same
+    /// f32 expression, so a window normalised online is **bit-identical**
+    /// to the same window inside a normalised offline dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len()` is not a multiple of the channel count.
+    pub fn apply_window(&self, window: &mut [f32]) {
+        let channels = self.mean.len();
+        assert_eq!(
+            window.len() % channels,
+            0,
+            "window of {} samples is not channel-major over {} channels",
+            window.len(),
+            channels
+        );
+        let samples = window.len() / channels;
+        for c in 0..channels {
+            let inv = 1.0 / self.std[c];
+            let m = self.mean[c];
+            for v in &mut window[c * samples..(c + 1) * samples] {
+                *v = (*v - m) * inv;
+            }
+        }
     }
 
     /// Returns a standardised copy of `data`.
@@ -290,6 +337,40 @@ mod tests {
             v0 > 2.0,
             "test variance under train stats should stay large"
         );
+    }
+
+    /// The streaming-path contract: normalising a window in place must be
+    /// bit-identical to slicing the same window out of a dataset-level
+    /// `apply` — this is one link in the stream/offline equivalence chain.
+    #[test]
+    fn apply_window_bit_matches_dataset_apply() {
+        let d = toy_dataset(6, 2.5);
+        let norm = Normalizer::fit(&d);
+        let nd = norm.apply(&d);
+        let sample = CHANNELS * WINDOW;
+        for i in 0..d.len() {
+            let mut w = d.x().data()[i * sample..(i + 1) * sample].to_vec();
+            norm.apply_window(&mut w);
+            assert_eq!(
+                w,
+                &nd.x().data()[i * sample..(i + 1) * sample],
+                "window {i} diverges from dataset-level normalisation"
+            );
+        }
+    }
+
+    #[test]
+    fn from_stats_matches_fit() {
+        let d = toy_dataset(4, 1.5);
+        let fitted = Normalizer::fit(&d);
+        let rebuilt = Normalizer::from_stats(fitted.mean().to_vec(), fitted.std().to_vec());
+        assert_eq!(fitted, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn from_stats_rejects_zero_std() {
+        Normalizer::from_stats(vec![0.0; 2], vec![1.0, 0.0]);
     }
 
     #[test]

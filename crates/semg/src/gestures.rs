@@ -81,6 +81,12 @@ impl Gesture {
         ALL_GESTURES[label]
     }
 
+    /// Gesture for a class label, or `None` when the label is outside the
+    /// DB6 vocabulary (serving backends may expose other class counts).
+    pub fn try_from_label(label: usize) -> Option<Gesture> {
+        ALL_GESTURES.get(label).copied()
+    }
+
     /// Mean synergy activation vector of this gesture.
     pub fn synergy(self) -> &'static [f32; MUSCLES] {
         &SYNERGY[self as usize]

@@ -99,6 +99,55 @@ impl NinaproDb6 {
         )
     }
 
+    /// The continuous `[CHANNELS, samples]` recording of one
+    /// `(subject, session)` — every gesture repetition concatenated in
+    /// protocol order — plus the gesture label of each repetition's frame
+    /// span. This is the raw stream a live deployment would see; feed it
+    /// to the serving layer's streaming session (or to
+    /// [`extract_all_into`] for the offline batch path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subject` or `session` are out of range.
+    #[allow(clippy::type_complexity)]
+    pub fn session_signal(
+        &self,
+        subject: usize,
+        session: usize,
+    ) -> (Tensor, Vec<(usize, std::ops::Range<usize>)>) {
+        assert!(
+            subject < self.spec.subjects,
+            "subject {subject} out of range"
+        );
+        assert!(
+            session < self.spec.sessions,
+            "session {session} out of range"
+        );
+        let subj = &self.subjects[subject];
+        let sess = SessionModel::generate(&self.spec, subj, session);
+        let rep_len = self.spec.rep_samples();
+        let reps = GESTURE_CLASSES * self.spec.reps_per_gesture;
+        let total = reps * rep_len;
+        let mut chans: Vec<Vec<f32>> = (0..CHANNELS).map(|_| Vec::with_capacity(total)).collect();
+        let mut spans = Vec::with_capacity(reps);
+        let mut at = 0usize;
+        for gesture in 0..GESTURE_CLASSES {
+            for rep in 0..self.spec.reps_per_gesture {
+                let signal = synthesize_repetition(&self.spec, subj, &sess, gesture, rep);
+                for (ch, buf) in chans.iter_mut().enumerate() {
+                    buf.extend_from_slice(&signal.data()[ch * rep_len..(ch + 1) * rep_len]);
+                }
+                spans.push((gesture, at..at + rep_len));
+                at += rep_len;
+            }
+        }
+        let mut data = Vec::with_capacity(CHANNELS * total);
+        for buf in chans {
+            data.extend_from_slice(&buf);
+        }
+        (Tensor::from_vec(data, &[CHANNELS, total]), spans)
+    }
+
     /// Concatenated windows of several sessions of one subject.
     pub fn sessions_dataset(&self, subject: usize, sessions: &[usize]) -> SemgDataset {
         let parts: Vec<SemgDataset> = sessions
@@ -187,6 +236,44 @@ mod tests {
         // Only training sessions present.
         let max_train = (db.spec().sessions / 2) as u16;
         assert!(pre.sessions().iter().all(|&k| k < max_train));
+    }
+
+    /// The continuous session recording is the same signal the per-rep
+    /// dataset windows come from: windows re-extracted from each labelled
+    /// span match the dataset windows of the same (gesture, rep).
+    #[test]
+    fn session_signal_concatenates_repetitions_in_protocol_order() {
+        let db = tiny_db();
+        let (signal, spans) = db.session_signal(0, 1);
+        let rep_len = db.spec().rep_samples();
+        assert_eq!(
+            signal.dims(),
+            &[
+                CHANNELS,
+                GESTURE_CLASSES * db.spec().reps_per_gesture * rep_len
+            ]
+        );
+        assert_eq!(spans.len(), GESTURE_CLASSES * db.spec().reps_per_gesture);
+        assert_eq!(spans[0], (0, 0..rep_len));
+        // The first repetition's samples equal a direct synthesis call.
+        let subj = &db.subjects()[0];
+        let sess = SessionModel::generate(db.spec(), subj, 1);
+        let rep = synthesize_repetition(db.spec(), subj, &sess, 0, 0);
+        let total = signal.dims()[1];
+        for ch in 0..CHANNELS {
+            assert_eq!(
+                &signal.data()[ch * total..ch * total + rep_len],
+                &rep.data()[ch * rep_len..(ch + 1) * rep_len],
+                "channel {ch} of the first span diverges"
+            );
+        }
+        // Labels cover the whole recording back-to-back.
+        let mut expect_start = 0;
+        for (_, range) in &spans {
+            assert_eq!(range.start, expect_start);
+            expect_start = range.end;
+        }
+        assert_eq!(expect_start, total);
     }
 
     #[test]

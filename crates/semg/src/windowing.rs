@@ -1,4 +1,6 @@
-//! Sliding-window extraction from continuous recordings.
+//! Sliding-window extraction from continuous recordings — offline (whole
+//! recording in memory) and online (samples arriving incrementally, as the
+//! streaming serving layer sees them).
 
 use crate::WINDOW;
 use bioformer_tensor::Tensor;
@@ -6,12 +8,11 @@ use bioformer_tensor::Tensor;
 /// Start offsets of all full windows of length [`WINDOW`] in a recording of
 /// `len` samples with the given `slide`.
 ///
-/// # Panics
-///
-/// Panics if `slide == 0`.
+/// Returns an empty vector when the recording is shorter than one window
+/// **or** when `slide == 0` (a zero slide would repeat offset 0 forever;
+/// there is no useful window set to return).
 pub fn window_offsets(len: usize, slide: usize) -> Vec<usize> {
-    assert!(slide > 0, "window slide must be positive");
-    if len < WINDOW {
+    if slide == 0 || len < WINDOW {
         return Vec::new();
     }
     (0..=(len - WINDOW)).step_by(slide).collect()
@@ -20,26 +21,26 @@ pub fn window_offsets(len: usize, slide: usize) -> Vec<usize> {
 /// Extracts the window starting at `offset` from a `[channels, len]`
 /// recording into a `[channels, WINDOW]` tensor.
 ///
-/// # Panics
-///
-/// Panics if the window would run past the end of the recording.
-pub fn extract_window(signal: &Tensor, offset: usize) -> Tensor {
+/// Returns `None` when the window would run past the end of the recording
+/// (`offset + WINDOW > len`), so callers iterating near the tail of a
+/// signal can stop cleanly instead of panicking.
+pub fn extract_window(signal: &Tensor, offset: usize) -> Option<Tensor> {
     let (c, len) = (signal.dims()[0], signal.dims()[1]);
-    assert!(
-        offset + WINDOW <= len,
-        "window at {offset} overruns recording of {len} samples"
-    );
+    if offset + WINDOW > len {
+        return None;
+    }
     let mut out = Tensor::zeros(&[c, WINDOW]);
     for ch in 0..c {
         out.data_mut()[ch * WINDOW..(ch + 1) * WINDOW]
             .copy_from_slice(&signal.data()[ch * len + offset..ch * len + offset + WINDOW]);
     }
-    out
+    Some(out)
 }
 
 /// Extracts all windows of a recording, appending them (row-major) into
 /// `dst`, which must be laid out as consecutive `[channels × WINDOW]`
-/// samples. Returns the number of windows written.
+/// samples. Returns the number of windows written — 0 when the recording
+/// is shorter than one window or `slide == 0` (never panics).
 pub fn extract_all_into(signal: &Tensor, slide: usize, dst: &mut Vec<f32>) -> usize {
     let (c, len) = (signal.dims()[0], signal.dims()[1]);
     let offsets = window_offsets(len, slide);
@@ -49,6 +50,149 @@ pub fn extract_all_into(signal: &Tensor, slide: usize, dst: &mut Vec<f32>) -> us
         }
     }
     offsets.len()
+}
+
+/// Online sliding-window extraction over a live sample stream.
+///
+/// The offline functions above assume the whole `[channels, len]` recording
+/// is in memory; a real-time gesture recogniser instead sees **interleaved
+/// frames** arriving a few samples at a time (`[c0, c1, …, c_{C-1}]` per
+/// time step, the layout an ADC DMA buffer delivers). `OnlineWindower`
+/// buffers just enough signal to emit each window exactly once, in channel-
+/// major `[channels × window]` layout — **bit-identical** to what
+/// [`extract_all_into`] produces for the same concatenated signal, no
+/// matter how the stream is chunked (1 sample at a time, whole-signal
+/// pushes, partial frames that split a time step across two pushes).
+///
+/// Memory is bounded: at most one window plus one slide of samples per
+/// channel is retained, independent of stream length.
+///
+/// ```
+/// use bioformer_semg::windowing::OnlineWindower;
+///
+/// let mut w = OnlineWindower::new(2, 4, 2); // 2 channels, window 4, slide 2
+/// w.push_interleaved(&[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]); // 3 frames
+/// assert!(w.next_window().is_none()); // only 3 of 4 frames buffered
+/// w.push_interleaved(&[3.0, 13.0, 4.0, 14.0]); // frames 3 and 4
+/// // First window covers frames 0..4, channel-major.
+/// assert_eq!(
+///     w.next_window().unwrap(),
+///     &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]
+/// );
+/// assert!(w.next_window().is_none()); // next window needs frame 5
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineWindower {
+    channels: usize,
+    window: usize,
+    slide: usize,
+    /// Per-channel sample buffers, all the same length, holding the stream
+    /// from absolute frame position `start`.
+    chans: Vec<Vec<f32>>,
+    /// Absolute frame position of `chans[*][0]`.
+    start: usize,
+    /// Absolute frame position of the next window to emit.
+    next: usize,
+    /// Buffered partial frame (fewer than `channels` samples of one step).
+    partial: Vec<f32>,
+    /// Channel-major scratch the emitted window is assembled into.
+    scratch: Vec<f32>,
+    emitted: usize,
+    frames: usize,
+}
+
+impl OnlineWindower {
+    /// Creates a windower emitting `[channels × window]` windows every
+    /// `slide` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is 0.
+    pub fn new(channels: usize, window: usize, slide: usize) -> Self {
+        assert!(channels > 0, "OnlineWindower: channels must be >= 1");
+        assert!(window > 0, "OnlineWindower: window must be >= 1");
+        assert!(slide > 0, "OnlineWindower: slide must be >= 1");
+        OnlineWindower {
+            channels,
+            window,
+            slide,
+            chans: vec![Vec::new(); channels],
+            start: 0,
+            next: 0,
+            partial: Vec::with_capacity(channels),
+            scratch: vec![0.0; channels * window],
+            emitted: 0,
+            frames: 0,
+        }
+    }
+
+    /// The configured channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The configured window length in frames.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The configured slide in frames.
+    pub fn slide(&self) -> usize {
+        self.slide
+    }
+
+    /// Complete frames absorbed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.frames
+    }
+
+    /// Windows emitted so far via [`OnlineWindower::next_window`].
+    pub fn windows_emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Absorbs interleaved samples: `samples[k]` belongs to channel
+    /// `k % channels` of the stream (continuing any partial frame left by
+    /// the previous push). Any chunk length is accepted, including lengths
+    /// that split a frame across pushes.
+    pub fn push_interleaved(&mut self, samples: &[f32]) {
+        for &s in samples {
+            self.partial.push(s);
+            if self.partial.len() == self.channels {
+                for (ch, &v) in self.partial.iter().enumerate() {
+                    self.chans[ch].push(v);
+                }
+                self.partial.clear();
+                self.frames += 1;
+            }
+        }
+    }
+
+    /// Emits the next full window in channel-major `[channels × window]`
+    /// layout, or `None` until enough frames have been pushed. The returned
+    /// slice is valid until the next call on the windower.
+    pub fn next_window(&mut self) -> Option<&[f32]> {
+        let buffered = self.chans[0].len();
+        if self.start + buffered < self.next + self.window {
+            return None;
+        }
+        let at = self.next - self.start;
+        for ch in 0..self.channels {
+            self.scratch[ch * self.window..(ch + 1) * self.window]
+                .copy_from_slice(&self.chans[ch][at..at + self.window]);
+        }
+        self.emitted += 1;
+        self.next += self.slide;
+        // Drop frames no window will ever need again (those before `next`).
+        let drop = (self.next - self.start).min(buffered);
+        if drop > 0 {
+            for ch in &mut self.chans {
+                ch.drain(..drop);
+            }
+            self.start += drop;
+        }
+        Some(&self.scratch)
+    }
 }
 
 #[cfg(test)]
@@ -72,9 +216,18 @@ mod tests {
     }
 
     #[test]
+    fn zero_slide_yields_no_offsets_instead_of_panicking() {
+        assert!(window_offsets(2000, 0).is_empty());
+        let signal = Tensor::zeros(&[2, 900]);
+        let mut buf = Vec::new();
+        assert_eq!(extract_all_into(&signal, 0, &mut buf), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn extract_window_copies_channels() {
         let signal = Tensor::from_fn(&[2, 600], |i| i as f32);
-        let w = extract_window(&signal, 100);
+        let w = extract_window(&signal, 100).expect("in range");
         assert_eq!(w.dims(), &[2, WINDOW]);
         assert_eq!(w.at(&[0, 0]), 100.0);
         assert_eq!(w.at(&[1, 0]), 700.0);
@@ -82,10 +235,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overruns")]
-    fn extract_past_end_panics() {
+    fn extract_past_end_returns_none() {
         let signal = Tensor::zeros(&[1, 400]);
-        extract_window(&signal, 200);
+        // 200 + 300 > 400: overrun.
+        assert!(extract_window(&signal, 200).is_none());
+        // Exact fit at the last valid offset still works.
+        assert!(extract_window(&signal, 100).is_some());
+        // A recording shorter than one window has no valid offset at all.
+        let short = Tensor::zeros(&[1, WINDOW - 1]);
+        assert!(extract_window(&short, 0).is_none());
+    }
+
+    #[test]
+    fn extract_all_handles_boundary_lengths() {
+        let mut buf = Vec::new();
+        // len < window: nothing extracted.
+        let short = Tensor::zeros(&[2, WINDOW - 1]);
+        assert_eq!(extract_all_into(&short, 10, &mut buf), 0);
+        // Exact fit: exactly one window.
+        let exact = Tensor::from_fn(&[2, WINDOW], |i| i as f32);
+        assert_eq!(extract_all_into(&exact, 10, &mut buf), 1);
+        assert_eq!(buf.len(), 2 * WINDOW);
+        assert_eq!(buf[..WINDOW], exact.data()[..WINDOW]);
+        // slide > len: still just the offset-0 window.
+        buf.clear();
+        assert_eq!(extract_all_into(&exact, 10 * WINDOW, &mut buf), 1);
     }
 
     #[test]
@@ -97,9 +271,105 @@ mod tests {
         assert_eq!(n, offs.len());
         assert_eq!(buf.len(), n * 3 * WINDOW);
         for (wi, &off) in offs.iter().enumerate() {
-            let w = extract_window(&signal, off);
+            let w = extract_window(&signal, off).expect("offset in range");
             let got = &buf[wi * 3 * WINDOW..(wi + 1) * 3 * WINDOW];
             assert_eq!(got, w.data(), "window {wi} mismatch");
         }
+    }
+
+    /// Interleaves a `[channels, len]` channel-major recording into the
+    /// frame stream an ADC would deliver.
+    fn interleave(signal: &Tensor) -> Vec<f32> {
+        let (c, len) = (signal.dims()[0], signal.dims()[1]);
+        let mut out = Vec::with_capacity(c * len);
+        for t in 0..len {
+            for ch in 0..c {
+                out.push(signal.data()[ch * len + t]);
+            }
+        }
+        out
+    }
+
+    /// Streams `stream` through a windower in chunks of `chunk` samples and
+    /// collects every emitted window.
+    fn stream_windows(
+        channels: usize,
+        window: usize,
+        slide: usize,
+        stream: &[f32],
+        chunk: usize,
+    ) -> Vec<Vec<f32>> {
+        let mut w = OnlineWindower::new(channels, window, slide);
+        let mut out = Vec::new();
+        for part in stream.chunks(chunk.max(1)) {
+            w.push_interleaved(part);
+            while let Some(win) = w.next_window() {
+                out.push(win.to_vec());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn online_matches_offline_for_any_chunking() {
+        let signal = Tensor::from_fn(&[3, 900], |i| ((i * 31) % 113) as f32 - 50.0);
+        let stream = interleave(&signal);
+        for slide in [1, 7, 150, 300, 450] {
+            let mut offline = Vec::new();
+            let n = {
+                // Offline path at WINDOW=300 only works for the crate
+                // window; emulate arbitrary slide via window_offsets.
+                let offs = window_offsets(900, slide);
+                for &off in &offs {
+                    let w = extract_window(&signal, off).unwrap();
+                    offline.extend_from_slice(w.data());
+                }
+                offs.len()
+            };
+            for chunk in [1, 2, 3, 5, 41, 2700] {
+                let online = stream_windows(3, WINDOW, slide, &stream, chunk);
+                assert_eq!(online.len(), n, "slide {slide} chunk {chunk} count");
+                let flat: Vec<f32> = online.into_iter().flatten().collect();
+                assert_eq!(flat, offline, "slide {slide} chunk {chunk} content");
+            }
+        }
+    }
+
+    #[test]
+    fn online_handles_slide_larger_than_window() {
+        // window 4, slide 7 over 20 frames: offsets 0, 7, 14 fit (14+4=18).
+        let channels = 2;
+        let frames = 20;
+        let stream: Vec<f32> = (0..frames * channels).map(|i| i as f32).collect();
+        let wins = stream_windows(channels, 4, 7, &stream, 3);
+        assert_eq!(wins.len(), 3);
+        // Window k starts at frame 7k; channel 0 sample = frame * 2.
+        for (k, w) in wins.iter().enumerate() {
+            assert_eq!(w[0], (7 * k * channels) as f32, "window {k} start");
+            assert_eq!(w[4], (7 * k * channels + 1) as f32, "window {k} ch1");
+        }
+    }
+
+    #[test]
+    fn online_memory_stays_bounded() {
+        let mut w = OnlineWindower::new(2, 8, 4);
+        for i in 0..10_000 {
+            w.push_interleaved(&[i as f32, -(i as f32)]);
+            while w.next_window().is_some() {}
+            assert!(
+                w.chans[0].len() <= 8 + 4,
+                "buffer grew to {} frames",
+                w.chans[0].len()
+            );
+        }
+        assert_eq!(w.frames_pushed(), 10_000);
+        // (10000 - 8)/4 + 1 windows
+        assert_eq!(w.windows_emitted(), (10_000 - 8) / 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must be >= 1")]
+    fn online_rejects_zero_slide() {
+        let _ = OnlineWindower::new(2, 4, 0);
     }
 }

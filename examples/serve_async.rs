@@ -14,10 +14,12 @@ use bioformers::quant::QuantBioformer;
 use bioformers::semg::{DatasetSpec, NinaproDb6, Normalizer, CHANNELS, WINDOW};
 use bioformers::serve::{AsyncEngine, AsyncEngineConfig, ServeError};
 use bioformers::tensor::Tensor;
-use std::sync::Arc;
 use std::time::Duration;
 
 const CLIENTS: usize = 8;
+
+mod common;
+use common::drive_clients;
 
 fn main() {
     // 1. Data + a quickly-trained Bioformer, quantized to int8 (same flow
@@ -72,42 +74,9 @@ fn main() {
     let mut predictions: Vec<Vec<usize>> = Vec::new();
     for backend in backends {
         let name = backend.name().to_string();
-        let engine = Arc::new(AsyncEngine::with_config(backend, cfg.clone()));
-        let sample = CHANNELS * WINDOW;
-
-        // Closed-loop clients: each owns an interleaved slice of the test
-        // windows and submits them one at a time.
-        let mut preds = vec![0usize; n];
-        let outputs: Vec<(usize, usize)> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for c in 0..CLIENTS {
-                let engine = Arc::clone(&engine);
-                let windows = &windows;
-                handles.push(scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    let mut i = c;
-                    while i < n {
-                        let w = Tensor::from_vec(
-                            windows.data()[i * sample..(i + 1) * sample].to_vec(),
-                            &[1, CHANNELS, WINDOW],
-                        );
-                        let out = engine.classify(w).expect("serve");
-                        mine.push((i, out.predictions[0]));
-                        i += CLIENTS;
-                    }
-                    mine
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().unwrap())
-                .collect()
-        });
-        for (i, p) in outputs {
-            preds[i] = p;
-        }
-
-        let stats = Arc::into_inner(engine).unwrap().shutdown();
+        let engine = AsyncEngine::with_config(backend, cfg.clone());
+        let preds = drive_clients(&engine, &windows, CLIENTS);
+        let stats = engine.shutdown();
         let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
         println!(
             "{:<16} {:>7} {:>9.1} {:>9.2?} {:>9.2?} {:>10} {:>12.0} {:>8.1}%",

@@ -1,6 +1,7 @@
 //! Batched serving demo: one trained Bioformer answering through the
 //! [`InferenceEngine`] as fp32 and as the fully-integer int8 pipeline,
-//! plus the TEMPONet baseline, with per-backend latency statistics.
+//! plus the TEMPONet baseline — all driven through the unified
+//! [`Engine`] trait, with per-backend latency statistics.
 //!
 //! ```text
 //! cargo run --release --example serve_batch
@@ -11,7 +12,7 @@ use bioformers::core::{Bioformer, BioformerConfig, TempoNet};
 use bioformers::nn::serialize::state_dict;
 use bioformers::quant::QuantBioformer;
 use bioformers::semg::{DatasetSpec, NinaproDb6, Normalizer, CHANNELS, WINDOW};
-use bioformers::serve::InferenceEngine;
+use bioformers::serve::{Engine, InferenceEngine};
 use bioformers::tensor::Tensor;
 
 fn main() {
@@ -52,11 +53,12 @@ fn main() {
     let n = windows.dims()[0];
     println!("request batch: {n} windows of [{CHANNELS} x {WINDOW}]\n");
 
-    // 4. Serve through the one engine API, per backend.
-    let engines = [
-        InferenceEngine::new(Box::new(model)).with_micro_batch(16),
-        InferenceEngine::new(Box::new(qmodel)).with_micro_batch(16),
-        InferenceEngine::new(Box::new(TempoNet::new(0))).with_micro_batch(16),
+    // 4. Serve through the unified `Engine` trait, per backend: the same
+    //    generic calls would drive an `AsyncEngine` or a `ShardedEngine`.
+    let engines: [Box<dyn Engine>; 3] = [
+        Box::new(InferenceEngine::new(Box::new(model)).with_micro_batch(16)),
+        Box::new(InferenceEngine::new(Box::new(qmodel)).with_micro_batch(16)),
+        Box::new(InferenceEngine::new(Box::new(TempoNet::new(0))).with_micro_batch(16)),
     ];
 
     println!(
@@ -65,25 +67,26 @@ fn main() {
     );
     let mut predictions = Vec::new();
     for engine in &engines {
-        let out = engine.serve(&windows);
+        let out = engine.classify(windows.clone()).expect("serve");
         let correct = out
             .predictions
             .iter()
             .zip(test.labels())
             .filter(|(p, l)| p == l)
             .count();
+        let stats = engine.engine_stats();
         println!(
             "{:<16} {:>8} {:>7} {:>9.2?} {:>9.2?} {:>9.2?} {:>12.0} {:>8.1}%",
-            engine.backend_name(),
-            out.stats.windows,
-            out.stats.micro_batches,
-            out.stats.mean,
-            out.stats.p50,
-            out.stats.p95,
-            out.stats.throughput(),
+            stats.backends.join("+"),
+            stats.windows,
+            stats.latency.micro_batches,
+            stats.latency.mean,
+            stats.latency.p50,
+            stats.latency.p95,
+            stats.throughput(),
             correct as f32 / n as f32 * 100.0,
         );
-        predictions.push((engine.backend_name().to_string(), out.predictions));
+        predictions.push((stats.backends.join("+"), out.predictions));
     }
 
     // 5. fp32 vs int8: same weights, two precisions, one trait.

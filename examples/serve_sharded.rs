@@ -14,9 +14,11 @@ use bioformers::quant::QuantBioformer;
 use bioformers::semg::{DatasetSpec, NinaproDb6, Normalizer, CHANNELS, WINDOW};
 use bioformers::serve::{GestureClassifier, PoolStats, RoutingPolicy, ShardedEngine};
 use bioformers::tensor::Tensor;
-use std::sync::Arc;
 
 const CLIENTS: usize = 8;
+
+mod common;
+use common::drive_clients;
 
 fn print_pool(stats: &PoolStats) {
     println!(
@@ -89,52 +91,21 @@ fn main() {
     //    The int8 replica serves the same gestures faster — the router
     //    discovers that from observed batch latencies, nobody configures
     //    a speed ranking by hand.
-    let pool = Arc::new(
-        ShardedEngine::builder()
-            .with_policy(RoutingPolicy::LatencyAware)
-            .add_replica(Box::new(model))
-            .add_replica(Box::new(qmodel))
-            .build(),
-    );
+    let pool = ShardedEngine::builder()
+        .with_policy(RoutingPolicy::LatencyAware)
+        .add_replica(Box::new(model))
+        .add_replica(Box::new(qmodel))
+        .build();
     println!(
         "{CLIENTS} concurrent clients streaming {n} windows of [{CHANNELS} x {WINDOW}] \
          through a {} pool\n",
         pool.num_replicas()
     );
 
-    let sample = CHANNELS * WINDOW;
-    let mut preds = vec![0usize; n];
-    let outputs: Vec<(usize, usize)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for c in 0..CLIENTS {
-            let pool = Arc::clone(&pool);
-            let windows = &windows;
-            handles.push(scope.spawn(move || {
-                let mut mine = Vec::new();
-                let mut i = c;
-                while i < n {
-                    let w = Tensor::from_vec(
-                        windows.data()[i * sample..(i + 1) * sample].to_vec(),
-                        &[1, CHANNELS, WINDOW],
-                    );
-                    let out = pool.classify(w).expect("serve");
-                    mine.push((i, out.predictions[0]));
-                    i += CLIENTS;
-                }
-                mine
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
-    });
-    for (i, p) in outputs {
-        preds[i] = p;
-    }
+    let preds = drive_clients(&pool, &windows, CLIENTS);
     let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
 
-    let stats = Arc::into_inner(pool).unwrap().shutdown();
+    let stats = pool.shutdown();
     print_pool(&stats);
     println!(
         "\npool accuracy under mixed-precision serving: {:.1}% ({correct}/{n})",

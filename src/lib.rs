@@ -37,7 +37,12 @@
 //! backpressure and graceful shutdown (`examples/serve_async.rs`); and
 //! the multi-replica [`serve::ShardedEngine`] — one submission API over N
 //! heterogeneous replicas with latency-aware routing, adaptive linger,
-//! quarantine and pool-level stats (`examples/serve_sharded.rs`).
+//! quarantine with canary-probe re-admission and pool-level stats
+//! (`examples/serve_sharded.rs`). All three implement the unified
+//! [`serve::Engine`] trait, so clients are generic over topology, and the
+//! [`serve::StreamSession`] layer turns a **raw sEMG sample stream** into
+//! debounced [`serve::GestureEvent`] decisions through any engine —
+//! bit-matching the offline batch path (`examples/serve_stream.rs`).
 //! `docs/serving.md` is the architecture guide.
 //!
 //! See `examples/` for end-to-end training, quantization and deployment.

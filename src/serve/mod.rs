@@ -25,32 +25,59 @@
 //!   failing replicas, adaptive per-replica linger, and pool-level
 //!   statistics rollup.
 //!
+//! All three engines implement the unified [`Engine`] trait
+//! (submit / classify / stats / shutdown over one [`ServeError`] surface),
+//! so callers can be generic over topology; the [`StreamSession`] layer
+//! builds on that to turn a **raw sEMG sample stream** into debounced
+//! [`GestureEvent`] decisions through any engine.
+//!
 //! `docs/serving.md` is the end-to-end architecture guide for this module.
 //!
 //! ```
 //! use bioformers::core::{Bioformer, BioformerConfig};
-//! use bioformers::serve::InferenceEngine;
+//! use bioformers::serve::{Engine, InferenceEngine};
 //! use bioformers::tensor::Tensor;
 //!
 //! let engine = InferenceEngine::new(Box::new(Bioformer::new(&BioformerConfig::bio1())))
 //!     .with_micro_batch(8);
-//! let windows = Tensor::zeros(&[3, 14, 300]);
-//! let out = engine.serve(&windows);
+//! let out = engine.classify(Tensor::zeros(&[3, 14, 300])).unwrap();
 //! assert_eq!(out.logits.dims(), &[3, 8]);
 //! assert_eq!(out.predictions.len(), 3);
-//! assert_eq!(out.stats.micro_batches, 1);
+//! assert_eq!(engine.engine_stats().requests, 1);
 //! ```
 
+pub mod engine;
 pub mod queue;
 pub mod router;
+pub mod stream;
 pub mod worker;
 
+pub use engine::{Engine, EngineStats};
 pub use queue::{PendingResponse, RequestOutput, ServeError};
 pub use router::{
     PoolStats, ReplicaStats, RoutingPolicy, ShardedEngine, ShardedEngineBuilder,
     ShardedEngineConfig,
 };
+pub use stream::{
+    DecisionPolicy, DecisionSmoother, GestureEvent, StreamConfig, StreamSession, StreamSummary,
+};
 pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy, WorkerStats};
+
+/// The serving prelude: one `use` for engine-generic code.
+///
+/// ```
+/// use bioformers::serve::prelude::*;
+/// ```
+pub mod prelude {
+    pub use super::engine::{Engine, EngineStats};
+    pub use super::queue::{PendingResponse, RequestOutput, ServeError};
+    pub use super::router::{PoolStats, RoutingPolicy, ShardedEngine};
+    pub use super::stream::{
+        DecisionPolicy, DecisionSmoother, GestureEvent, StreamConfig, StreamSession, StreamSummary,
+    };
+    pub use super::worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy};
+    pub use super::{GestureClassifier, InferenceEngine, LatencyStats, ServeOutcome};
+}
 
 use bioformer_core::{Bioformer, TempoNet};
 use bioformer_nn::InferForward;
@@ -293,8 +320,15 @@ pub struct ServeOutcome {
 ///
 /// Requests of any size are split into micro-batches of at most
 /// [`InferenceEngine::micro_batch`] windows; results are reassembled in
-/// request order, so `serve` is batch-size invariant: the logits equal a
+/// request order, so serving is batch-size invariant: the logits equal a
 /// single full-batch `predict_batch` call bar float associativity.
+///
+/// This is the synchronous member of the [`Engine`] family: requests are
+/// served **inline on the calling thread** ([`Engine::submit`] returns an
+/// already-resolved handle), which makes it the right engine for offline
+/// evaluation, batch jobs, and single-caller streaming. Use
+/// [`InferenceEngine::serve_checked`] directly when you want the
+/// per-request [`ServeOutcome`] with micro-batch latency statistics.
 pub struct InferenceEngine {
     backend: Box<dyn GestureClassifier>,
     micro_batch: usize,
@@ -302,6 +336,9 @@ pub struct InferenceEngine {
     /// a mutex — workers in the async engines own per-thread arenas
     /// instead).
     arena: Mutex<TensorArena>,
+    /// Lifetime counters behind the [`Engine::engine_stats`] view; the
+    /// per-call [`ServeOutcome::stats`] stay per-call.
+    totals: Mutex<worker::WorkerInner>,
 }
 
 impl InferenceEngine {
@@ -311,6 +348,7 @@ impl InferenceEngine {
             backend,
             micro_batch: DEFAULT_MICRO_BATCH,
             arena: Mutex::new(TensorArena::new()),
+            totals: Mutex::new(worker::WorkerInner::default()),
         }
     }
 
@@ -340,26 +378,55 @@ impl InferenceEngine {
         self.backend.num_classes()
     }
 
+    /// The `[channels, samples]` window shape this engine serves, when the
+    /// backend declares one.
+    pub fn input_shape(&self) -> Option<(usize, usize)> {
+        self.backend.input_shape()
+    }
+
     /// Serves a request batch `[n, channels, samples]` (`n` may be 0, and
-    /// need not divide the micro-batch size).
+    /// need not divide the micro-batch size), returning the per-request
+    /// [`ServeOutcome`] with micro-batch latency statistics.
     ///
     /// Concurrent callers run their backend forwards in parallel: the
     /// engine's shared scratch arena is taken with `try_lock`, and a
     /// contending caller falls back to a throwaway arena (paying that
     /// call's allocations) rather than serialising on the lock.
     ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when `windows` is not rank-3 or its
+    /// `[channels, samples]` differ from the backend's declared
+    /// [`GestureClassifier::input_shape`] — the same validation surface as
+    /// the concurrent engines.
+    ///
     /// # Panics
     ///
-    /// Panics if `windows` is not rank-3 or the backend returns logits of
-    /// the wrong shape (backend contract violation).
-    pub fn serve(&self, windows: &Tensor) -> ServeOutcome {
-        assert_eq!(
-            windows.dims().len(),
-            3,
-            "InferenceEngine: windows must be [n, channels, samples], got {:?}",
-            windows.dims()
-        );
-        let n = windows.dims()[0];
+    /// Panics if the backend returns logits of the wrong shape (backend
+    /// contract violation).
+    pub fn serve_checked(&self, windows: &Tensor) -> Result<ServeOutcome, ServeError> {
+        if windows.dims().len() != 3 {
+            self.totals
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .note_rejected();
+            return Err(ServeError::BadRequest(format!(
+                "windows must be [n, channels, samples], got {:?}",
+                windows.dims()
+            )));
+        }
+        let (n, c, s) = (windows.dims()[0], windows.dims()[1], windows.dims()[2]);
+        if let Some((ec, es)) = self.backend.input_shape() {
+            if (c, s) != (ec, es) {
+                self.totals
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .note_rejected();
+                return Err(ServeError::BadRequest(format!(
+                    "window shape [{c}, {s}] does not match engine shape [{ec}, {es}]"
+                )));
+            }
+        }
         // Reuse the engine arena when free; never block a concurrent
         // caller on it — scratch reuse is an optimisation, not a
         // serialisation point.
@@ -378,11 +445,44 @@ impl InferenceEngine {
         } else {
             logits.argmax_rows()
         };
-        ServeOutcome {
+        self.totals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .note_served(n, &latencies);
+        Ok(ServeOutcome {
             logits,
             predictions,
             stats: LatencyStats::from_samples(&mut latencies, n),
-        }
+        })
+    }
+
+    /// Serves a request batch, panicking on malformed input.
+    ///
+    /// This is the pre-[`Engine`]-trait entry point, kept as a thin shim
+    /// for one release so downstream callers migrate gradually.
+    #[deprecated(
+        note = "use the `Engine` trait (`engine.classify(windows)`) or `serve_checked` \
+                for the same outcome with a `Result` instead of a panic"
+    )]
+    pub fn serve(&self, windows: &Tensor) -> ServeOutcome {
+        self.serve_checked(windows)
+            .unwrap_or_else(|e| panic!("InferenceEngine::serve: {e}"))
+    }
+
+    /// Lifetime serving statistics in the unified [`EngineStats`] schema
+    /// (each `serve_checked`/`classify` call that reached the backend is
+    /// one request and one executed batch).
+    pub fn stats(&self) -> EngineStats {
+        let inner = self
+            .totals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        engine::stats_from_async(
+            "inference",
+            vec![self.backend.name().to_string()],
+            inner.into_stats(Vec::new()),
+        )
     }
 }
 
@@ -505,7 +605,7 @@ mod tests {
     #[test]
     fn splits_non_divisible_batches() {
         let (engine, seen) = probe_engine(3);
-        let out = engine.serve(&Tensor::zeros(&[7, 2, 5]));
+        let out = engine.serve_checked(&Tensor::zeros(&[7, 2, 5])).unwrap();
         assert_eq!(*seen.lock().unwrap(), vec![3, 3, 1]);
         assert_eq!(out.stats.micro_batches, 3);
         assert_eq!(out.stats.windows, 7);
@@ -517,7 +617,7 @@ mod tests {
     #[test]
     fn empty_batch_is_served_without_backend_calls() {
         let (engine, seen) = probe_engine(4);
-        let out = engine.serve(&Tensor::zeros(&[0, 2, 5]));
+        let out = engine.serve_checked(&Tensor::zeros(&[0, 2, 5])).unwrap();
         assert!(seen.lock().unwrap().is_empty());
         assert_eq!(out.logits.dims(), &[0, 4]);
         assert!(out.predictions.is_empty());
@@ -528,7 +628,7 @@ mod tests {
     #[test]
     fn batch_smaller_than_micro_batch_is_one_call() {
         let (engine, seen) = probe_engine(100);
-        let out = engine.serve(&Tensor::zeros(&[5, 2, 5]));
+        let out = engine.serve_checked(&Tensor::zeros(&[5, 2, 5])).unwrap();
         assert_eq!(*seen.lock().unwrap(), vec![5]);
         assert_eq!(out.stats.micro_batches, 1);
         assert_eq!(out.predictions.len(), 5);
@@ -541,10 +641,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "windows must be [n, channels, samples]")]
     fn non_rank3_requests_are_rejected() {
         let (engine, _seen) = probe_engine(4);
+        let err = engine.serve_checked(&Tensor::zeros(&[4, 10])).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "got {err:?}");
+        assert_eq!(engine.stats().rejected, 1);
+    }
+
+    /// The deprecated `serve` shim preserves the historical contract:
+    /// malformed input panics (with the validation message) instead of
+    /// returning the `Engine`-trait `ServeError`.
+    #[test]
+    #[should_panic(expected = "windows must be [n, channels, samples]")]
+    fn deprecated_serve_shim_panics_on_bad_request() {
+        let (engine, _seen) = probe_engine(4);
+        #[allow(deprecated)]
         let _ = engine.serve(&Tensor::zeros(&[4, 10]));
+    }
+
+    /// The shim serves exactly like `serve_checked` on well-formed input.
+    #[test]
+    fn deprecated_serve_shim_still_serves() {
+        let (engine, _seen) = probe_engine(4);
+        #[allow(deprecated)]
+        let out = engine.serve(&Tensor::zeros(&[3, 2, 5]));
+        assert_eq!(out.logits.dims(), &[3, 4]);
+        assert_eq!(engine.stats().requests, 1);
+        assert_eq!(engine.stats().windows, 3);
+    }
+
+    /// Lifetime stats accumulate across calls in the unified schema.
+    #[test]
+    fn inference_engine_stats_accumulate() {
+        let (engine, _seen) = probe_engine(2);
+        for n in [3usize, 0, 5] {
+            let _ = engine.serve_checked(&Tensor::zeros(&[n, 2, 5])).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.engine, "inference");
+        assert_eq!(stats.backends, vec!["probe".to_string()]);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.windows, 8);
+        // The n=0 request never invoked the backend: 2 executed batches.
+        assert_eq!(stats.batches, 2);
+        // ceil(3/2) + ceil(5/2) micro-batches.
+        assert_eq!(stats.latency.micro_batches, 5);
     }
 
     /// Regression (percentile off-by-one): the old `(n·q) as usize` index

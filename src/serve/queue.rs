@@ -117,6 +117,23 @@ impl PendingResponse {
     pub fn wait(self) -> Result<RequestOutput, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::Cancelled))
     }
+
+    /// Non-blocking poll: `Ok` with the response if the request has been
+    /// served (or rejected), `Err(self)` with the still-usable handle if it
+    /// is still in flight. A dead engine reads as
+    /// [`ServeError::Cancelled`], exactly like [`PendingResponse::wait`].
+    ///
+    /// This is what lets a pipelining client (e.g. a streaming session
+    /// with bounded lookahead) drain completed responses opportunistically
+    /// without stalling on the oldest one.
+    #[allow(clippy::result_large_err)]
+    pub fn try_wait(self) -> Result<Result<RequestOutput, ServeError>, PendingResponse> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(result),
+            Err(mpsc::TryRecvError::Empty) => Err(self),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(Err(ServeError::Cancelled)),
+        }
+    }
 }
 
 /// Queue interior: the deque plus the closed flag, under one mutex.

@@ -18,7 +18,8 @@ use super::worker::{AsyncEngineConfig, AsyncStats, Replica, WorkerInner};
 use super::{GestureClassifier, LatencyStats};
 use bioformer_tensor::Tensor;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// How the router picks a replica for each submission. Only healthy
 /// (non-quarantined) replicas are ever candidates.
@@ -58,6 +59,15 @@ pub struct ShardedEngineConfig {
     /// Maximum times [`ShardedEngine::classify`] re-routes a request to
     /// another replica after a [`ServeError::Cancelled`] response.
     pub max_reroutes: usize,
+    /// How often a quarantined replica is probed with a canary request
+    /// (a single zero window of the replica's served shape). On a
+    /// successful canary answer the replica is **re-admitted** to the
+    /// routing pool, so a transiently failing replica rejoins instead of
+    /// staying evicted forever. `None` restores the pre-recovery sticky
+    /// quarantine. Probing piggybacks on routing decisions — an idle pool
+    /// sends no canaries — and replicas whose workers have all died are
+    /// never probed (a dead worker pool cannot answer).
+    pub probe_interval: Option<Duration>,
 }
 
 impl Default for ShardedEngineConfig {
@@ -66,17 +76,32 @@ impl Default for ShardedEngineConfig {
             policy: RoutingPolicy::LatencyAware,
             quarantine_after: 2,
             max_reroutes: 3,
+            probe_interval: Some(Duration::from_millis(250)),
         }
     }
 }
 
-/// One replica plus its sticky quarantine flag. The flag is set by health
-/// refreshes on the routing path and never cleared: a quarantined replica
-/// stays out of rotation for the engine's lifetime (its queued work is
-/// still drained on shutdown).
+/// In-flight canary probe bookkeeping for one quarantined replica.
+#[derive(Default)]
+struct ProbeState {
+    /// The outstanding canary's response handle, polled (never blocked on)
+    /// during health refreshes.
+    inflight: Option<PendingResponse>,
+    /// When the last canary was submitted (or resolved unsuccessfully);
+    /// the next probe waits out `probe_interval` from here.
+    last: Option<Instant>,
+}
+
+/// One replica plus its quarantine flag and canary-probe state. The flag is
+/// set by health refreshes on the routing path; it is cleared again only by
+/// a successful canary probe (see [`ShardedEngineConfig::probe_interval`]),
+/// so a replica that keeps failing stays out of rotation while a
+/// transiently failing one rejoins. Queued work of a quarantined replica is
+/// still drained on shutdown.
 struct ReplicaSlot {
     replica: Replica,
     quarantined: AtomicBool,
+    probe: Mutex<ProbeState>,
 }
 
 /// A snapshot of one replica's serving state inside a [`PoolStats`].
@@ -190,6 +215,20 @@ impl ShardedEngineBuilder {
         self
     }
 
+    /// Sets how often quarantined replicas are probed with canary requests
+    /// for re-admission (see [`ShardedEngineConfig::probe_interval`]).
+    pub fn with_probe_interval(mut self, interval: Duration) -> Self {
+        self.cfg.probe_interval = Some(interval);
+        self
+    }
+
+    /// Disables canary probing: quarantine becomes sticky for the
+    /// engine's lifetime (the pre-recovery behaviour).
+    pub fn without_probe_recovery(mut self) -> Self {
+        self.cfg.probe_interval = None;
+        self
+    }
+
     /// Sets the default per-replica config used by
     /// [`ShardedEngineBuilder::add_replica`] (replicas already added keep
     /// theirs).
@@ -236,6 +275,7 @@ impl ShardedEngineBuilder {
             .map(|(backend, cfg)| ReplicaSlot {
                 replica: Replica::new(backend, cfg.unwrap_or_else(|| default_cfg.clone())),
                 quarantined: AtomicBool::new(false),
+                probe: Mutex::new(ProbeState::default()),
             })
             .collect();
         let classes = replicas[0].replica.num_classes();
@@ -316,20 +356,103 @@ impl ShardedEngine {
         self.classes
     }
 
-    /// Re-evaluates every replica's health and marks dead or persistently
-    /// failing replicas as quarantined. Runs on every routing decision;
-    /// cheap (a few atomic loads per replica).
+    /// The replica backend names, in `add_replica` order.
+    pub fn backend_names(&self) -> Vec<String> {
+        self.replicas
+            .iter()
+            .map(|s| s.replica.backend_name().to_string())
+            .collect()
+    }
+
+    /// The `[channels, samples]` window shape the pool serves, when every
+    /// replica agrees on one (declared by its backend or pinned by
+    /// traffic); `None` when unknown or inconsistent.
+    pub fn input_shape(&self) -> Option<(usize, usize)> {
+        let mut shape = None;
+        for slot in &self.replicas {
+            match (shape, slot.replica.served_shape()) {
+                (_, None) => return None,
+                (None, got) => shape = got,
+                (Some(expect), Some(got)) if expect != got => return None,
+                _ => {}
+            }
+        }
+        shape
+    }
+
+    /// Re-evaluates every replica's health: marks dead or persistently
+    /// failing replicas as quarantined, and drives the canary-probe cycle
+    /// that re-admits quarantined replicas once they answer again. Runs on
+    /// every routing decision; cheap (a few atomic loads per replica, and
+    /// canaries are only submitted every `probe_interval`).
     fn refresh_health(&self) {
         for slot in &self.replicas {
-            if slot.quarantined.load(Ordering::Relaxed) {
+            if !slot.quarantined.load(Ordering::Relaxed) {
+                let shared = slot.replica.shared();
+                if shared.alive_workers() == 0
+                    || shared.consecutive_failures() >= self.cfg.quarantine_after
+                {
+                    slot.quarantined.store(true, Ordering::Relaxed);
+                }
                 continue;
             }
-            let shared = slot.replica.shared();
-            if shared.alive_workers() == 0
-                || shared.consecutive_failures() >= self.cfg.quarantine_after
-            {
-                slot.quarantined.store(true, Ordering::Relaxed);
+            if let Some(interval) = self.cfg.probe_interval {
+                self.probe_quarantined(slot, interval);
             }
+        }
+    }
+
+    /// One non-blocking step of the canary cycle for a quarantined
+    /// replica: poll an outstanding canary (re-admit on success), or
+    /// submit a fresh one once `interval` has passed since the last.
+    fn probe_quarantined(&self, slot: &ReplicaSlot, interval: Duration) {
+        // A replica with no live workers can never answer a canary; it
+        // stays quarantined without wasting probe traffic.
+        if slot.replica.shared().alive_workers() == 0 {
+            return;
+        }
+        // Skip on contention: another router call is already probing.
+        let Ok(mut probe) = slot.probe.try_lock() else {
+            return;
+        };
+        if let Some(pending) = probe.inflight.take() {
+            match pending.try_wait() {
+                Ok(Ok(_)) => {
+                    // The backend answered. The canary's response is sent
+                    // from inside the batch, *before* the worker's own
+                    // success accounting resets the failure counter — so
+                    // clear it here, or the next health refresh would
+                    // re-quarantine the healthy replica off stale state.
+                    slot.replica.shared().reset_failures();
+                    slot.quarantined.store(false, Ordering::Relaxed);
+                    probe.last = Some(Instant::now());
+                }
+                Ok(Err(_)) => {
+                    // Canary failed or was cancelled: stay quarantined and
+                    // retry after the interval.
+                    probe.last = Some(Instant::now());
+                }
+                Err(pending) => {
+                    // Still in flight; keep polling on later refreshes.
+                    probe.inflight = Some(pending);
+                }
+            }
+            return;
+        }
+        let due = probe.last.is_none_or(|t| t.elapsed() >= interval);
+        if !due {
+            return;
+        }
+        // A canary needs the replica's served shape; a replica that never
+        // saw traffic and declares none cannot be probed (nothing could
+        // have been routed to it anyway, so it cannot be quarantined by
+        // backend failures — only by worker death, which is unrecoverable).
+        let Some((c, s)) = slot.replica.served_shape() else {
+            return;
+        };
+        match slot.replica.try_submit(Tensor::zeros(&[1, c, s])) {
+            Ok(pending) => probe.inflight = Some(pending),
+            Err(_) => probe.last = Some(Instant::now()),
         }
     }
 
@@ -466,7 +589,9 @@ impl ShardedEngine {
     ///
     /// The `quarantined` flags reflect the router's decisions so far (the
     /// flag is evaluated on the routing path, not here — a drained pool's
-    /// idle workers are not retroactively declared dead).
+    /// idle workers are not retroactively declared dead). Canary probe
+    /// requests sent to quarantined replicas are counted like client
+    /// requests in that replica's stats.
     pub fn stats(&self) -> PoolStats {
         let mut merged = WorkerInner::default();
         let mut per_replica = Vec::with_capacity(self.replicas.len());

@@ -207,6 +207,15 @@ impl ReplicaShared {
         self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Clears the consecutive-failure run. The router calls this when a
+    /// canary probe succeeds: the response is delivered from *inside* the
+    /// batch, before the worker's own `note_batch_success` accounting
+    /// lands, so without this reset a re-admitted replica could be
+    /// instantly re-quarantined by the stale counter.
+    pub(crate) fn reset_failures(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
     fn note_arrival(&self) {
         self.inflight.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
@@ -331,6 +340,24 @@ impl WorkerInner {
                 self.next = (self.next + 1) % LATENCY_WINDOW;
             }
         }
+    }
+
+    /// Accounts one served request of `windows` windows executed as
+    /// `latencies.len()` micro-batches (the synchronous engine's per-call
+    /// accounting; the async worker loop does the same bookkeeping inline
+    /// because its batch/request ratio differs).
+    pub(crate) fn note_served(&mut self, windows: usize, latencies: &[Duration]) {
+        self.requests += 1;
+        self.windows += windows;
+        if !latencies.is_empty() {
+            self.batches += 1;
+            self.record_latencies(latencies);
+        }
+    }
+
+    /// Accounts one request rejected by validation.
+    pub(crate) fn note_rejected(&mut self) {
+        self.rejected += 1;
     }
 
     /// Folds another worker's (or replica's) counters into this one. The
@@ -572,6 +599,14 @@ impl Replica {
 
     pub(crate) fn shared(&self) -> &ReplicaShared {
         &self.shared
+    }
+
+    /// The `[channels, samples]` shape this replica is currently serving:
+    /// the backend's declared shape, or the traffic-pinned one, or `None`
+    /// before any shape is known. Used by the streaming layer to size
+    /// windows and by the router to synthesise canary probes.
+    pub(crate) fn served_shape(&self) -> Option<(usize, usize)> {
+        self.shape.lock().unwrap_or_else(|e| e.into_inner()).shape
     }
 
     /// Validates `windows` against the replica's served shape — **and pins
@@ -828,6 +863,13 @@ impl AsyncEngine {
     /// The backend's class count.
     pub fn num_classes(&self) -> usize {
         self.replica.num_classes()
+    }
+
+    /// The `[channels, samples]` window shape this engine serves, when
+    /// known: the backend's declared shape, or the shape pinned by the
+    /// first accepted request; `None` before either.
+    pub fn input_shape(&self) -> Option<(usize, usize)> {
+        self.replica.served_shape()
     }
 
     /// Requests currently waiting in the queue (excludes in-flight batches).

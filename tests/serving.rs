@@ -48,7 +48,7 @@ fn engine_matches_direct_forward_for_all_micro_batch_sizes() {
     // only partitions rows, it never changes per-row arithmetic.
     for micro in [1, 3, 7, 64] {
         let engine = InferenceEngine::new(Box::new(model.clone())).with_micro_batch(micro);
-        let out = engine.serve(&windows);
+        let out = engine.serve_checked(&windows).expect("serve");
         assert_eq!(out.logits.dims(), direct.dims());
         assert!(
             out.logits.allclose(&direct, 1e-6),
@@ -64,7 +64,9 @@ fn engine_matches_direct_forward_for_all_micro_batch_sizes() {
 #[test]
 fn empty_request_yields_empty_logits() {
     let engine = InferenceEngine::new(Box::new(small_bioformer(12)));
-    let out = engine.serve(&Tensor::zeros(&[0, CHANNELS, WINDOW]));
+    let out = engine
+        .serve_checked(&Tensor::zeros(&[0, CHANNELS, WINDOW]))
+        .expect("serve");
     assert_eq!(out.logits.dims(), &[0, 8]);
     assert!(out.predictions.is_empty());
     assert_eq!(out.stats.micro_batches, 0);
@@ -73,7 +75,7 @@ fn empty_request_yields_empty_logits() {
 #[test]
 fn temponet_backend_serves_through_the_same_engine() {
     let engine = InferenceEngine::new(Box::new(TempoNet::new(3))).with_micro_batch(2);
-    let out = engine.serve(&tiny_windows(5));
+    let out = engine.serve_checked(&tiny_windows(5)).expect("serve");
     assert_eq!(engine.backend_name(), "temponet-fp32");
     assert_eq!(out.logits.dims(), &[5, 8]);
     assert_eq!(out.stats.micro_batches, 3);
@@ -114,8 +116,8 @@ fn fp32_and_int8_backends_agree_on_tiny_dataset() {
     let int8 = InferenceEngine::new(Box::new(qmodel)).with_micro_batch(16);
     assert_eq!(fp32.num_classes(), int8.num_classes());
 
-    let out32 = fp32.serve(&windows);
-    let out8 = int8.serve(&windows);
+    let out32 = fp32.serve_checked(&windows).expect("serve");
+    let out8 = int8.serve_checked(&windows).expect("serve");
     assert_eq!(out32.logits.dims(), out8.logits.dims());
 
     let agree = out32
@@ -180,7 +182,7 @@ fn smoke_train_quantize_serve() {
         InferenceEngine::new(Box::new(model)).with_micro_batch(4),
         InferenceEngine::new(Box::new(qmodel)).with_micro_batch(4),
     ] {
-        let out = engine.serve(&windows);
+        let out = engine.serve_checked(&windows).expect("serve");
         assert_eq!(out.logits.dims(), &[9, 8]);
         assert_eq!(out.predictions.len(), 9);
         assert_eq!(out.stats.micro_batches, 3);

@@ -231,6 +231,140 @@ fn panicking_replica_is_quarantined_and_traffic_rerouted() {
     assert_eq!(good_calls.load(Ordering::Relaxed), REQUESTS);
 }
 
+/// A backend that panics for its first `failures` batches, then serves.
+struct FlakyThenHealthy {
+    failures_left: AtomicUsize,
+    served: Arc<AtomicUsize>,
+}
+
+impl GestureClassifier for FlakyThenHealthy {
+    fn predict_batch(&self, windows: &Tensor) -> Tensor {
+        if self
+            .failures_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            panic!("transient fault");
+        }
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Tensor::zeros(&[windows.dims()[0], 4])
+    }
+
+    fn num_classes(&self) -> usize {
+        4
+    }
+
+    fn name(&self) -> &str {
+        "flaky-then-healthy"
+    }
+
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        Some((2, 5))
+    }
+}
+
+/// Regression for replica auto-recovery (ROADMAP): a transiently failing
+/// replica is quarantined, gets probed with canary requests, answers one
+/// successfully, and **rejoins the pool** — subsequently serving client
+/// traffic again. With probing disabled the quarantine stays sticky.
+#[test]
+fn transiently_failing_replica_rejoins_after_canary_probe() {
+    let served = Arc::new(AtomicUsize::new(0));
+    let good_calls = Arc::new(AtomicUsize::new(0));
+    let pool = ShardedEngine::builder()
+        .with_policy(RoutingPolicy::RoundRobin)
+        .with_quarantine_after(1)
+        .with_probe_interval(Duration::from_millis(2))
+        .add_replica(Box::new(FlakyThenHealthy {
+            failures_left: AtomicUsize::new(1),
+            served: Arc::clone(&served),
+        }))
+        .add_replica(Box::new(Delayed {
+            delay: Duration::ZERO,
+            calls: Arc::clone(&good_calls),
+        }))
+        .build();
+
+    // Drive traffic until the flaky replica has failed once (re-routed
+    // transparently) and been quarantined.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !pool.stats().per_replica[0].quarantined {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flaky replica was never quarantined"
+        );
+        let out = pool.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+        assert_eq!(out.logits.dims(), &[1, 4]);
+    }
+
+    // Keep traffic flowing: routing drives the canary cycle, the backend
+    // is healthy now, so a canary succeeds and the replica is re-admitted.
+    let mut rejoined = false;
+    while std::time::Instant::now() < deadline {
+        let _ = pool.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+        let replica = &pool.stats().per_replica[0];
+        // Rejoined = flag lifted AND the replica served something (the
+        // canary at minimum; client traffic follows via round-robin).
+        if !replica.quarantined && replica.stats.requests > 0 {
+            rejoined = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(rejoined, "quarantined replica never rejoined the pool");
+
+    // After re-admission the replica takes real client traffic again.
+    let before = served.load(Ordering::Relaxed);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while served.load(Ordering::Relaxed) <= before {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "re-admitted replica got no client traffic"
+        );
+        let _ = pool.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+    }
+
+    let stats = pool.shutdown();
+    assert!(!stats.per_replica[0].quarantined, "rejoined for good");
+    assert_eq!(stats.failed, 1, "exactly the one transient fault");
+}
+
+/// With probing disabled (`without_probe_recovery`) quarantine is sticky:
+/// the pre-recovery behaviour is still available.
+#[test]
+fn disabled_probing_keeps_quarantine_sticky() {
+    let served = Arc::new(AtomicUsize::new(0));
+    let good_calls = Arc::new(AtomicUsize::new(0));
+    let pool = ShardedEngine::builder()
+        .with_policy(RoutingPolicy::RoundRobin)
+        .with_quarantine_after(1)
+        .without_probe_recovery()
+        .add_replica(Box::new(FlakyThenHealthy {
+            failures_left: AtomicUsize::new(1),
+            served: Arc::clone(&served),
+        }))
+        .add_replica(Box::new(Delayed {
+            delay: Duration::ZERO,
+            calls: Arc::clone(&good_calls),
+        }))
+        .build();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !pool.stats().per_replica[0].quarantined {
+        assert!(std::time::Instant::now() < deadline, "never quarantined");
+        pool.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+    }
+    // Plenty of traffic later the flag still stands and the (now healthy)
+    // flaky backend never serves again.
+    for _ in 0..20 {
+        pool.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    let stats = pool.shutdown();
+    assert!(stats.per_replica[0].quarantined, "sticky quarantine");
+    assert_eq!(served.load(Ordering::Relaxed), 0, "no canaries, no serves");
+}
+
 /// With every replica quarantined the pool reports `Unavailable` instead
 /// of hanging or panicking.
 #[test]
