@@ -1,18 +1,25 @@
 //! Criterion benchmarks of the inference hot path, with a committed
 //! baseline and a CI regression gate.
 //!
-//! Three groups:
+//! Four groups:
 //!
 //! * `gemm` — the bio1-shaped fp32 GEMMs, naive reference kernel vs the
 //!   panel-packed register-tiled kernel (pre-packed weights, as the
-//!   serving steady state runs them). This is the ≥2× single-thread
-//!   speedup claim of the packed-GEMM rework, measured directly.
+//!   serving steady state runs them), with the packed kernel measured
+//!   twice: through the portable (safe) tile and through the
+//!   runtime-dispatched SIMD tile (`packed_safe_*` vs `packed_*`).
+//! * `qgemm` — the bio1-shaped **int8** GEMMs, scalar dot tile vs the
+//!   production dispatched path (`scalar_*` vs `simd_*`) — on VNNI hosts
+//!   the latter is the whole-GEMM 4×4-blocked `vpdpbusd` kernel. This is
+//!   the ≥2× int8-kernel speedup claim of the SIMD layer, measured
+//!   directly.
 //! * `fp32_inference` — Bioformer bio1 per-window latency and per-batch
 //!   throughput at batch 1/8/32, through the arena-threaded
 //!   `forward_infer_in` path a serving worker uses (weights packed once,
 //!   scratch recycled). TEMPONet rides along as the CNN baseline.
-//! * `int8_inference` — the integer-only pipeline at batch 1/8/32, for the
-//!   int8-vs-fp32 per-window comparison.
+//! * `int8_inference` — the integer-only pipeline at batch 1/8/32 through
+//!   the same arena-threaded `forward_infer_in` path (zero steady-state
+//!   allocations), for the int8-vs-fp32 per-window comparison.
 //!
 //! Per-window numbers are the benchmark id's time divided by the batch
 //! size (batch ids are suffixed `_bN`; the printed time is per *batch*).
@@ -34,9 +41,11 @@
 use bioformer_core::{Bioformer, BioformerConfig, TempoNet};
 use bioformer_nn::serialize::state_dict;
 use bioformer_nn::{InferForward, Model};
+use bioformer_quant::kernels::{qgemm_i32_into, qgemm_i32_into_with};
 use bioformer_quant::QuantBioformer;
+use bioformer_simd::{kernels, select, Tier};
 use bioformer_tensor::matmul::{matmul_naive, matmul_nt_naive};
-use bioformer_tensor::pack::{gemm_packed, Epilogue, PackedB};
+use bioformer_tensor::pack::{gemm_packed_with, Epilogue, PackedB};
 use bioformer_tensor::{parallel, Tensor, TensorArena};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -74,27 +83,92 @@ fn bench_gemm(c: &mut Criterion) {
             b.iter(|| black_box(matmul_nt_naive(black_box(&a), black_box(&bt))))
         });
         // Steady-state serving: the weight is packed once per layer, so
-        // only the GEMM itself is on the clock.
+        // only the GEMM itself is on the clock. Measured through both the
+        // portable (safe) tile and the runtime-dispatched SIMD tile.
         let packed = PackedB::from_b_t(bt.data(), n, k);
         let mut out = vec![0.0f32; m * n];
-        g.bench_function(&format!("packed_{label}"), |b| {
-            b.iter(|| {
-                gemm_packed(
-                    black_box(a.data()),
-                    m,
-                    k,
-                    packed.as_slice(),
-                    n,
-                    &mut out,
-                    Epilogue::None,
-                );
-                black_box(out[0])
-            })
-        });
+        for (prefix, tile) in [
+            ("packed_safe", select(Some(Tier::Portable)).fp32_tile),
+            ("packed", kernels().fp32_tile),
+        ] {
+            g.bench_function(&format!("{prefix}_{label}"), |b| {
+                b.iter(|| {
+                    gemm_packed_with(
+                        tile,
+                        black_box(a.data()),
+                        m,
+                        k,
+                        packed.as_slice(),
+                        n,
+                        &mut out,
+                        Epilogue::None,
+                    );
+                    black_box(out[0])
+                })
+            });
+        }
         // The A·B orientation reference rides along for completeness.
         let bn = filled(&[k, n], 3);
         g.bench_function(&format!("naive_nn_{label}"), |b| {
             b.iter(|| black_box(matmul_naive(black_box(&a), black_box(&bn))))
+        });
+    }
+    g.finish();
+    parallel::set_max_threads(0);
+}
+
+/// Deterministic pseudo-random int8 codes.
+fn qcodes(len: usize, seed: u64) -> Vec<i8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 48) as i8
+        })
+        .collect()
+}
+
+/// Scalar-vs-SIMD at the int8 GEMM shapes a bio1 integer forward issues:
+/// the q/k/v projections, output projection and FFN (as in `bench_gemm`),
+/// plus the im2col-lowered patch convolution (`m=64, k=14·10, n=30`).
+fn bench_qgemm(c: &mut Criterion) {
+    parallel::set_max_threads(1);
+    let mut g = c.benchmark_group("qgemm");
+    for (label, m, k, n) in [
+        ("qkv_32x64x256", 32usize, 64usize, 256usize),
+        ("wo_32x256x64", 32, 256, 64),
+        ("ffn_32x64x128", 32, 64, 128),
+        ("conv_64x140x30", 64, 140, 30),
+    ] {
+        let a = qcodes(m * k, 1);
+        let bt = qcodes(n * k, 2);
+        let mut out = vec![0i32; m * n];
+        // `scalar` pins the portable tile through the generic driver;
+        // `simd` runs the production entry point, which dispatches to the
+        // whole-GEMM VNNI kernel (or the AVX2 tile) on capable hosts.
+        let scalar_tile = select(Some(Tier::Portable)).qdot_tile;
+        g.bench_function(&format!("scalar_{label}"), |b| {
+            b.iter(|| {
+                qgemm_i32_into_with(
+                    scalar_tile,
+                    black_box(&a),
+                    black_box(&bt),
+                    None,
+                    m,
+                    k,
+                    n,
+                    &mut out,
+                );
+                black_box(out[0])
+            })
+        });
+        g.bench_function(&format!("simd_{label}"), |b| {
+            b.iter(|| {
+                qgemm_i32_into(black_box(&a), black_box(&bt), None, m, k, n, &mut out);
+                black_box(out[0])
+            })
         });
     }
     g.finish();
@@ -149,15 +223,25 @@ fn bench_int8(c: &mut Criterion) {
     let dict = state_dict(&mut model);
     let calib = windows(4, 11);
     let qmodel = QuantBioformer::convert(&cfg, &dict, &calib).expect("convert");
+    let mut arena = TensorArena::new();
     for batch in [1usize, 8, 32] {
         let x = windows(batch, 13 + batch as u64);
+        // Warm the arena and the model's internal scratch pool outside the
+        // timer: the steady state is allocation-free.
+        let y = qmodel.forward_infer_in(&x, &mut arena);
+        arena.recycle(y);
         g.bench_function(&format!("bio1_f10_int8_b{batch}"), |b| {
-            b.iter(|| black_box(qmodel.forward_batch(black_box(&x))))
+            b.iter(|| {
+                let y = qmodel.forward_infer_in(black_box(&x), &mut arena);
+                let first = y.data()[0];
+                arena.recycle(y);
+                black_box(first)
+            })
         });
     }
     g.finish();
     parallel::set_max_threads(0);
 }
 
-criterion_group!(benches, bench_gemm, bench_fp32, bench_int8);
+criterion_group!(benches, bench_gemm, bench_qgemm, bench_fp32, bench_int8);
 criterion_main!(benches);

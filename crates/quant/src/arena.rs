@@ -1,0 +1,199 @@
+//! A recycling scratch allocator for the integer inference path.
+//!
+//! The int8 forward graph allocates the same ladder of intermediates as
+//! the fp32 one — quantized activations, attention scores, probability
+//! rows — but in `i8` codes and `i32` accumulators, which the f32
+//! `bioformer_tensor::TensorArena` cannot pool. [`QuantArena`] is its
+//! integer twin: two typed pools with the same best-fit recycle
+//! discipline, so a warmed [`crate::QuantBioformer`] forward performs
+//! **zero** heap allocations (pinned by the allocation-counting test in
+//! the umbrella crate).
+//!
+//! Not thread-safe by design: each worker owns one arena and `&mut`
+//! threading keeps the borrow checker, not a lock, in charge.
+
+/// Allocation counters of a [`QuantArena`] (both pools combined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantArenaStats {
+    /// Requests served from a pool without touching the heap.
+    pub hits: usize,
+    /// Requests that had to allocate a buffer on the heap.
+    pub misses: usize,
+    /// Buffers returned via the `recycle_*` methods.
+    pub recycled: usize,
+}
+
+/// A pool of reusable `i8`/`i32` buffers backing integer inference
+/// scratch.
+#[derive(Debug, Default)]
+pub struct QuantArena {
+    free_i8: Vec<Vec<i8>>,
+    free_i32: Vec<Vec<i32>>,
+    stats: QuantArenaStats,
+}
+
+/// Best-fit take from one pool: the smallest pooled buffer whose capacity
+/// suffices, so a small request does not burn the one big buffer a later
+/// large request needs.
+fn take_best<T: Copy + Default>(
+    free: &mut Vec<Vec<T>>,
+    len: usize,
+    stats: &mut QuantArenaStats,
+) -> Vec<T> {
+    let mut best: Option<(usize, usize)> = None; // (index, capacity)
+    for (i, buf) in free.iter().enumerate() {
+        let cap = buf.capacity();
+        if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+            best = Some((i, cap));
+        }
+    }
+    match best {
+        Some((i, _)) => {
+            stats.hits += 1;
+            let mut buf = free.swap_remove(i);
+            buf.clear();
+            buf.resize(len, T::default());
+            buf
+        }
+        None => {
+            stats.misses += 1;
+            vec![T::default(); len]
+        }
+    }
+}
+
+fn put_back<T>(free: &mut Vec<Vec<T>>, buf: Vec<T>, stats: &mut QuantArenaStats) {
+    if buf.capacity() > 0 {
+        stats.recycled += 1;
+        free.push(buf);
+    }
+}
+
+impl QuantArena {
+    /// An empty arena; buffers are acquired lazily on first use.
+    pub fn new() -> Self {
+        QuantArena::default()
+    }
+
+    /// Takes a zero-initialised `i8` buffer of exactly `len` codes.
+    pub fn alloc_i8(&mut self, len: usize) -> Vec<i8> {
+        take_best(&mut self.free_i8, len, &mut self.stats)
+    }
+
+    /// Takes a zero-initialised `i32` buffer of exactly `len` accumulators.
+    pub fn alloc_i32(&mut self, len: usize) -> Vec<i32> {
+        take_best(&mut self.free_i32, len, &mut self.stats)
+    }
+
+    /// Returns an `i8` buffer to the pool.
+    pub fn recycle_i8(&mut self, buf: Vec<i8>) {
+        put_back(&mut self.free_i8, buf, &mut self.stats);
+    }
+
+    /// Returns an `i32` buffer to the pool.
+    pub fn recycle_i32(&mut self, buf: Vec<i32>) {
+        put_back(&mut self.free_i32, buf, &mut self.stats);
+    }
+
+    /// Allocation counters since construction (or the last
+    /// [`QuantArena::reset_stats`]).
+    pub fn stats(&self) -> QuantArenaStats {
+        self.stats
+    }
+
+    /// Zeroes the counters, e.g. after a warm-up pass, so a later
+    /// [`QuantArenaStats::misses`] reading counts only steady state.
+    pub fn reset_stats(&mut self) {
+        self.stats = QuantArenaStats::default();
+    }
+
+    /// Number of buffers currently pooled (both pools).
+    pub fn pooled(&self) -> usize {
+        self.free_i8.len() + self.free_i32.len()
+    }
+
+    /// Drops every pooled buffer (frees the memory).
+    pub fn clear(&mut self) {
+        self.free_i8.clear();
+        self.free_i32.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_after_recycle_is_a_hit() {
+        let mut arena = QuantArena::new();
+        let b = arena.alloc_i8(16);
+        assert_eq!(arena.stats().misses, 1);
+        arena.recycle_i8(b);
+        let b2 = arena.alloc_i8(9);
+        assert_eq!(arena.stats().hits, 1);
+        assert_eq!(b2.len(), 9);
+        assert!(b2.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn pools_are_typed_and_independent() {
+        let mut arena = QuantArena::new();
+        let a = arena.alloc_i8(8);
+        arena.recycle_i8(a);
+        // An i32 request must not be served by the pooled i8 buffer.
+        let _ = arena.alloc_i32(4);
+        assert_eq!(arena.stats().misses, 2);
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn alloc_zeroes_previous_contents() {
+        let mut arena = QuantArena::new();
+        let mut b = arena.alloc_i32(4);
+        b.fill(-7);
+        arena.recycle_i32(b);
+        let b2 = arena.alloc_i32(4);
+        assert!(b2.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut arena = QuantArena::new();
+        let big = arena.alloc_i8(100);
+        let small = arena.alloc_i8(10);
+        arena.recycle_i8(big);
+        arena.recycle_i8(small);
+        let _ = arena.alloc_i8(10); // takes the 10-capacity buffer…
+        let _ = arena.alloc_i8(64); // …leaving the 100-capacity one.
+        assert_eq!(arena.stats().hits, 2);
+    }
+
+    #[test]
+    fn steady_state_has_no_misses() {
+        let mut arena = QuantArena::new();
+        for _ in 0..2 {
+            let a = arena.alloc_i8(256);
+            let b = arena.alloc_i32(64);
+            arena.recycle_i8(a);
+            arena.recycle_i32(b);
+        }
+        arena.reset_stats();
+        for _ in 0..10 {
+            let a = arena.alloc_i8(256);
+            let b = arena.alloc_i32(64);
+            arena.recycle_i8(a);
+            arena.recycle_i32(b);
+        }
+        assert_eq!(arena.stats().misses, 0, "steady state must not allocate");
+        assert_eq!(arena.stats().hits, 20);
+    }
+
+    #[test]
+    fn zero_len_buffers_are_fine() {
+        let mut arena = QuantArena::new();
+        let b = arena.alloc_i8(0);
+        assert!(b.is_empty());
+        arena.recycle_i8(b); // capacity 0: silently dropped
+        assert_eq!(arena.pooled(), 0);
+    }
+}

@@ -11,6 +11,41 @@
 use crate::qtensor::QParams;
 use crate::requant::FixedMultiplier;
 
+/// Exact unsigned division by a precomputed reciprocal.
+///
+/// The per-element hot loops of [`ISoftmax`] and [`ILayerNorm`] each
+/// divide by a value that is fixed for the whole row (or for the operator
+/// instance). A hardware 64-bit `div` costs tens of cycles; this replaces
+/// it with one widening multiply plus an at-most-two-step remainder
+/// correction, and is **bit-identical** to `x / d` for every `x`
+/// (`m = ⌊(2⁶⁴−1)/d⌋` never overestimates the quotient, and understates
+/// it by at most 2, which the correction loop repairs).
+#[derive(Debug, Clone, Copy)]
+struct Recip {
+    d: u64,
+    m: u64,
+}
+
+impl Recip {
+    /// Prepares the reciprocal of `d > 0` (one hardware divide).
+    fn new(d: u64) -> Self {
+        debug_assert!(d > 0, "Recip of zero divisor");
+        Recip { d, m: u64::MAX / d }
+    }
+
+    /// `x / d`, exactly.
+    #[inline(always)]
+    fn div(&self, x: u64) -> u64 {
+        let mut q = ((x as u128 * self.m as u128) >> 64) as u64;
+        let mut rem = x - q * self.d;
+        while rem >= self.d {
+            q += 1;
+            rem -= self.d;
+        }
+        q
+    }
+}
+
 /// Integer square root: `⌊√n⌋` via Newton iteration (I-BERT Alg. 4).
 ///
 /// # Panics
@@ -50,6 +85,8 @@ fn i_poly(q: i64, s: f64, a: f64, b: f64, c: f64) -> (i64, f64) {
 #[derive(Debug, Clone, Copy)]
 pub struct IExp {
     q_ln2: i64,
+    /// Reciprocal of `q_ln2` for the divide-free range reduction.
+    r_ln2: Recip,
     s_in: f64,
     /// Scale of the returned integer (`a·s²` of the exp polynomial).
     pub s_out: f64,
@@ -68,9 +105,11 @@ impl IExp {
     pub fn new(s_in: f64) -> Self {
         assert!(s_in > 0.0, "IExp scale must be positive");
         let q_ln2 = (std::f64::consts::LN_2 / s_in).floor() as i64;
+        let q_ln2 = q_ln2.max(1);
         let s_out = EXP_A * s_in * s_in;
         IExp {
-            q_ln2: q_ln2.max(1),
+            q_ln2,
+            r_ln2: Recip::new(q_ln2 as u64),
             s_in,
             s_out,
         }
@@ -79,7 +118,7 @@ impl IExp {
     /// `exp(q·s_in)` for `q ≤ 0`, as an integer at scale [`IExp::s_out`].
     pub fn apply(&self, q: i64) -> i64 {
         debug_assert!(q <= 0, "IExp argument must be non-positive");
-        let z = ((-q) / self.q_ln2).min(62);
+        let z = (self.r_ln2.div((-q) as u64) as i64).min(62);
         let p = q + z * self.q_ln2; // in (-ln2/s, 0]
         let (l, _) = i_poly(p, self.s_in, EXP_A, EXP_B, EXP_C);
         (l.max(0)) >> z
@@ -112,15 +151,26 @@ impl ISoftmax {
     }
 
     /// Applies softmax to one row of score accumulators.
+    ///
+    /// Allocation-free: exponentials are staged on the stack for rows up
+    /// to 128 wide (every attention row the Bioformer configs produce) and
+    /// recomputed in the normalisation pass beyond that — [`IExp::apply`]
+    /// is deterministic, so both strategies are bit-identical.
     pub fn apply_row(&self, scores: &[i32], out: &mut [i8]) {
         debug_assert_eq!(scores.len(), out.len());
         let max = scores.iter().copied().max().unwrap_or(0) as i64;
-        let mut exps = vec![0i64; scores.len()];
+        let mut inline = [0i64; 128];
+        let staged = scores.len() <= inline.len();
         let mut sum = 0i64;
-        for (i, &s) in scores.iter().enumerate() {
-            let e = self.exp.apply(s as i64 - max);
-            exps[i] = e;
-            sum += e;
+        if staged {
+            for (e, &s) in inline.iter_mut().zip(scores.iter()) {
+                *e = self.exp.apply(s as i64 - max);
+                sum += *e;
+            }
+        } else {
+            for &s in scores {
+                sum += self.exp.apply(s as i64 - max);
+            }
         }
         if sum <= 0 {
             // Degenerate row: fall back to uniform.
@@ -128,8 +178,18 @@ impl ISoftmax {
             out.fill(u);
             return;
         }
-        for (o, &e) in out.iter_mut().zip(exps.iter()) {
-            *o = ((e * 127) / sum).clamp(0, 127) as i8;
+        // `e ≤ sum`, so `e·127` fits u64 comfortably; the shared
+        // reciprocal replaces one hardware divide per element.
+        let r_sum = Recip::new(sum as u64);
+        if staged {
+            for (o, &e) in out.iter_mut().zip(inline.iter()) {
+                *o = (r_sum.div(e as u64 * 127) as i64).clamp(0, 127) as i8;
+            }
+        } else {
+            for (o, &s) in out.iter_mut().zip(scores.iter()) {
+                let e = self.exp.apply(s as i64 - max);
+                *o = (r_sum.div(e as u64 * 127) as i64).clamp(0, 127) as i8;
+            }
         }
     }
 }
@@ -275,9 +335,13 @@ impl ILayerNorm {
         }
         var /= n;
         let std = i_sqrt(var).max(1);
+        // One reciprocal per row replaces a hardware divide per element;
+        // signed truncating division is recovered via |c| and the sign.
+        let r_std = Recip::new(std as u64);
         for (i, (&v, o)) in row.iter().zip(out.iter_mut()).enumerate() {
             let c = v as i64 - mean;
-            let xhat = (c << FBITS) / std; // scale 2^-FBITS, dimensionless
+            // scale 2^-FBITS, dimensionless; == (c << FBITS) / std
+            let xhat = r_std.div(c.unsigned_abs() << FBITS) as i64 * c.signum();
             let acc = self.q_gamma[i] as i64 * xhat + self.q_beta[i];
             let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
             *o = ((self.mult.apply(acc32) + self.out_zp).clamp(-128, 127)) as i8;

@@ -12,45 +12,45 @@
 //!
 //! The GEMM core walks each `A` row against [`QNR`]-wide tiles of `B` rows
 //! with `i32` register accumulators and hands each finished accumulator to
-//! a store callback. The dot itself stays the plain reduction idiom —
-//! LLVM already turns it into packed widen–multiply–add vector code, and
-//! measured attempts at manual column interleaving or lane-split partial
-//! sums came out *slower* (see the `qdot` comment in the source). Integer
-//! addition is
-//! associative, so the tiled kernel is **bit-for-bit** identical to a
-//! naive triple loop — pinned by property tests.
+//! a store callback. The dot tile itself is **dispatched**: it comes from
+//! the [`bioformer_simd`] runtime-selected kernel table — a `vpdpbusd`
+//! (VNNI) tile where the CPU has one, an AVX2 widen–multiply–add
+//! (`vpmovsxbw` + `vpmaddwd`) tile otherwise, and the original scalar
+//! reduction as the portable fallback. An earlier revision kept the scalar
+//! reduction on purpose ("hand-blocking measured slower"): that held for
+//! safe-Rust blocking tricks, which only perturb what LLVM's
+//! auto-vectoriser sees, but not for explicit `std::arch` kernels — the
+//! widening instructions the quantized path needs are exactly the ones the
+//! auto-vectoriser won't reliably emit from scalar int8 code. Integer
+//! addition is associative, so every dispatch tier is **bit-for-bit**
+//! identical to a naive triple loop — pinned by property tests and the
+//! cross-tier parity suite (`tests/simd_kernels.rs`).
 //!
 //! Requantization fuses into the store loop ([`qgemm_requant_into`]): each
 //! `i32` accumulator goes straight to an `i8` code while still in a
 //! register, with no intermediate `Vec<i32>` materialised per output tile.
+//! The convolution ([`qconv1d_i32`]) lowers to im2col + the same GEMM
+//! core, so it inherits whichever tile the dispatch selected.
 
 use crate::qtensor::{QParams, QTensor};
 use crate::requant::FixedMultiplier;
+use bioformer_simd::QdotTileFn;
 
 /// Output columns processed per blocked-kernel step (one `A`-row pass feeds
 /// this many `i32` register accumulators).
 pub const QNR: usize = 4;
 
-/// The blocked int8 GEMM core: for row `a_row` (`k` codes) and the column
-/// tile starting at `B` row `j`, accumulates `QNR` dot products and hands
-/// each `(local_column, accumulator)` pair to `store`.
-/// Int8 dot product with an `i32` register accumulator. Deliberately the
-/// plain reduction idiom: LLVM recognises it and emits packed
-/// widen–multiply–add vector code; hand-blocked variants (column
-/// interleaving, lane-split partial sums) were measured *slower* on
-/// AVX2/AVX-512 because they break that pattern. Integer addition is
-/// associative, so any interleaving the compiler picks is bit-exact.
-#[inline(always)]
-fn qdot(a: &[i8], b: &[i8]) -> i32 {
-    let mut s = 0i32;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        s += x as i32 * y as i32;
-    }
-    s
-}
+// The tile width is shared with the microkernel crate; a mismatch would
+// scramble the B-tile slicing, so pin it at compile time.
+const _: () = assert!(QNR == bioformer_simd::QNR);
 
+/// The blocked int8 GEMM core: for row `a_row` (`k` codes) and the column
+/// tile starting at `B` row `j`, accumulates `QNR` dot products via the
+/// dispatched SIMD tile and hands each `(local_column, accumulator)` pair
+/// to `store`.
 #[inline(always)]
 fn qdot_tile(
+    tile: QdotTileFn,
     a_row: &[i8],
     b: &[i8],
     k: usize,
@@ -58,8 +58,10 @@ fn qdot_tile(
     jw: usize,
     mut store: impl FnMut(usize, i32),
 ) {
-    for lj in 0..jw {
-        store(lj, qdot(a_row, &b[(j + lj) * k..(j + lj + 1) * k]));
+    let mut acc = [0i32; QNR];
+    tile(a_row, &b[j * k..(j + jw) * k], k, jw, &mut acc);
+    for (lj, &s) in acc.iter().enumerate().take(jw) {
+        store(lj, s);
     }
 }
 
@@ -81,6 +83,48 @@ pub fn qgemm_i32_into(
     n: usize,
     out: &mut [i32],
 ) {
+    // Resolve the dispatched kernels once per GEMM, not once per tile.
+    let kernels = bioformer_simd::kernels();
+    if let Some(qg) = kernels.qgemm_i32 {
+        if n <= bioformer_simd::QGEMM_N_CAP && k <= bioformer_simd::QGEMM_K_CAP {
+            assert_eq!(a.len(), m * k, "qgemm: A size");
+            assert_eq!(b.len(), n * k, "qgemm: B size");
+            assert_eq!(out.len(), m * n, "qgemm: out size");
+            qg(a, b, m, k, n, out);
+            if let Some(bias) = bias {
+                assert_eq!(bias.len(), n, "qgemm: bias size");
+                if n > 0 {
+                    for row in out.chunks_exact_mut(n) {
+                        for (o, &bv) in row.iter_mut().zip(bias.iter()) {
+                            *o += bv;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+    }
+    qgemm_i32_into_with(kernels.qdot_tile, a, b, bias, m, k, n, out);
+}
+
+/// [`qgemm_i32_into`] with an explicitly chosen dot tile — the hook
+/// benches and tier-parity tests use to pin a [`bioformer_simd`] tier
+/// (e.g. the scalar oracle) instead of the runtime-dispatched one.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_i32_into_with(
+    tile: QdotTileFn,
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) {
     assert_eq!(a.len(), m * k, "qgemm: A size");
     assert_eq!(b.len(), n * k, "qgemm: B size");
     assert_eq!(out.len(), m * n, "qgemm: out size");
@@ -93,7 +137,7 @@ pub fn qgemm_i32_into(
         let mut j = 0usize;
         while j < n {
             let jw = (n - j).min(QNR);
-            qdot_tile(a_row, b, k, j, jw, |lj, s| {
+            qdot_tile(tile, a_row, b, k, j, jw, |lj, s| {
                 out_row[j + lj] = s + bias.map_or(0, |bias| bias[j + lj]);
             });
             j += jw;
@@ -207,13 +251,38 @@ pub fn qgemm_requant_into(
     if let Some(bias) = bias {
         assert_eq!(bias.len(), n, "qgemm: bias size");
     }
+    let kernels = bioformer_simd::kernels();
+    if let Some(qg) = kernels.qgemm_i32 {
+        if n <= bioformer_simd::QGEMM_N_CAP && k <= bioformer_simd::QGEMM_K_CAP {
+            // The whole-GEMM kernel produces i32 accumulators; requantize
+            // from a fixed stack scratch, a few rows at a time, so the
+            // fused entry point stays allocation-free.
+            const SCRATCH_ROWS: usize = 4;
+            let mut scratch = [0i32; SCRATCH_ROWS * bioformer_simd::QGEMM_N_CAP];
+            let mut i = 0usize;
+            while i < m {
+                let mr = (m - i).min(SCRATCH_ROWS);
+                qg(&a[i * k..(i + mr) * k], b, mr, k, n, &mut scratch[..mr * n]);
+                for r in 0..mr {
+                    let out_row = &mut out[(i + r) * n..(i + r + 1) * n];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let acc = scratch[r * n + j] + bias.map_or(0, |bias| bias[j]);
+                        *o = mult.requantize_to_i8(acc, zero_point);
+                    }
+                }
+                i += mr;
+            }
+            return;
+        }
+    }
+    let tile = kernels.qdot_tile;
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
         let mut j = 0usize;
         while j < n {
             let jw = (n - j).min(QNR);
-            qdot_tile(a_row, b, k, j, jw, |lj, s| {
+            qdot_tile(tile, a_row, b, k, j, jw, |lj, s| {
                 let acc = s + bias.map_or(0, |bias| bias[j + lj]);
                 out_row[j + lj] = mult.requantize_to_i8(acc, zero_point);
             });
@@ -249,11 +318,93 @@ pub fn qgemm(
     QTensor::from_raw(out, &[m, n], out_params)
 }
 
+/// Output length of a valid (unpadded) 1-D convolution.
+///
+/// # Panics
+///
+/// Panics when the input is shorter than the kernel.
+pub fn conv1d_out_len(len: usize, kernel: usize, stride: usize) -> usize {
+    assert!(len >= kernel, "qconv: input shorter than kernel");
+    (len - kernel) / stride + 1
+}
+
+/// Gathers the im2col image of an `[in_ch, len]` int8 input: row `ot` of
+/// `dst` holds the `in_ch·kernel` codes of output window `ot`, channel-major
+/// and tap-minor — the same order [`qconv1d_i32`]'s accumulation has always
+/// used, and exactly a `B[n, k]` right-hand side for the blocked GEMM.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+pub fn qconv1d_im2col(
+    x: &[i8],
+    in_ch: usize,
+    len: usize,
+    kernel: usize,
+    stride: usize,
+    dst: &mut [i8],
+) {
+    assert_eq!(x.len(), in_ch * len, "qconv: input size");
+    let out_len = conv1d_out_len(len, kernel, stride);
+    let patch = in_ch * kernel;
+    assert_eq!(dst.len(), out_len * patch, "qconv: im2col size");
+    for (ot, row) in dst.chunks_exact_mut(patch).enumerate() {
+        let start = ot * stride;
+        for ic in 0..in_ch {
+            row[ic * kernel..(ic + 1) * kernel]
+                .copy_from_slice(&x[ic * len + start..ic * len + start + kernel]);
+        }
+    }
+}
+
+/// int8 1-D convolution over `[in_ch, len]` with i32 accumulation, lowered
+/// to im2col + the blocked GEMM core (`A` = weights `[out_ch, in_ch·kernel]`,
+/// `B` = im2col patches) so it rides the dispatched SIMD dot tile. The
+/// allocation-free core of [`qconv1d_i32`]: the caller provides the im2col
+/// scratch (`out_len·in_ch·kernel` codes) and the `[out_ch, out_len]`
+/// accumulator buffer.
+///
+/// Bit-for-bit identical to the direct triple loop: the im2col row order
+/// matches the original channel-major/tap-minor accumulation order, and
+/// i32 addition is associative.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv1d_i32_into(
+    x: &[i8],
+    w: &[i8],
+    bias: &[i32],
+    in_ch: usize,
+    len: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    im2col: &mut [i8],
+    out: &mut [i32],
+) {
+    assert_eq!(w.len(), out_ch * in_ch * kernel, "qconv: weight size");
+    assert_eq!(bias.len(), out_ch, "qconv: bias size");
+    let out_len = conv1d_out_len(len, kernel, stride);
+    assert_eq!(out.len(), out_ch * out_len, "qconv: output size");
+    qconv1d_im2col(x, in_ch, len, kernel, stride, im2col);
+    qgemm_i32_into(w, im2col, None, out_ch, in_ch * kernel, out_len, out);
+    // The conv bias is per output *channel* — a GEMM row, not a GEMM
+    // column — so it cannot ride the qgemm bias argument.
+    for (row, &bv) in out.chunks_exact_mut(out_len).zip(bias.iter()) {
+        for o in row {
+            *o += bv;
+        }
+    }
+}
+
 /// int8 1-D convolution over `[in_ch, len]` with i32 accumulation.
 /// Out-of-range (padding) taps contribute zero, consistent with symmetric
 /// activation quantization where real 0 ↦ code 0.
 ///
-/// Returns `[out_ch, out_len]` accumulators.
+/// Returns `[out_ch, out_len]` accumulators. Allocating wrapper over
+/// [`qconv1d_i32_into`].
 ///
 /// # Panics
 ///
@@ -269,50 +420,65 @@ pub fn qconv1d_i32(
     kernel: usize,
     stride: usize,
 ) -> Vec<i32> {
-    assert_eq!(x.len(), in_ch * len, "qconv: input size");
-    assert_eq!(w.len(), out_ch * in_ch * kernel, "qconv: weight size");
-    assert_eq!(bias.len(), out_ch, "qconv: bias size");
-    assert!(len >= kernel, "qconv: input shorter than kernel");
-    let out_len = (len - kernel) / stride + 1;
+    let out_len = conv1d_out_len(len, kernel, stride);
+    let mut im2col = vec![0i8; out_len * in_ch * kernel];
     let mut y = vec![0i32; out_ch * out_len];
-    for oc in 0..out_ch {
-        for ot in 0..out_len {
-            let start = ot * stride;
-            let mut acc = bias[oc];
-            for ic in 0..in_ch {
-                let x_row = &x[ic * len + start..ic * len + start + kernel];
-                let w_row = &w[(oc * in_ch + ic) * kernel..(oc * in_ch + ic + 1) * kernel];
-                for (&xv, &wv) in x_row.iter().zip(w_row.iter()) {
-                    acc += xv as i32 * wv as i32;
-                }
-            }
-            y[oc * out_len + ot] = acc;
-        }
-    }
+    qconv1d_i32_into(
+        x,
+        w,
+        bias,
+        in_ch,
+        len,
+        out_ch,
+        kernel,
+        stride,
+        &mut im2col,
+        &mut y,
+    );
     y
 }
 
+/// Requantizes two int8 code slices onto a common output grid and adds
+/// them with saturation, into a caller-provided buffer — the
+/// allocation-free core of [`qadd`].
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree.
+pub fn qadd_into(
+    a: &[i8],
+    pa: QParams,
+    b: &[i8],
+    pb: QParams,
+    out_params: QParams,
+    out: &mut [i8],
+) {
+    assert_eq!(a.len(), b.len(), "qadd: length mismatch");
+    assert_eq!(a.len(), out.len(), "qadd: output length mismatch");
+    let ma = FixedMultiplier::encode(pa.scale as f64 / out_params.scale as f64);
+    let mb = FixedMultiplier::encode(pb.scale as f64 / out_params.scale as f64);
+    let (za, zb, zo) = (pa.zero_point, pb.zero_point, out_params.zero_point);
+    for ((o, &qa), &qb) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        let ra = ma.apply(qa as i32 - za);
+        let rb = mb.apply(qb as i32 - zb);
+        *o = (ra + rb + zo).clamp(-128, 127) as i8;
+    }
+}
+
 /// Requantizes two int8 tensors onto a common output grid and adds them
-/// with saturation — the integer residual connection.
+/// with saturation — the integer residual connection. Allocating wrapper
+/// over [`qadd_into`].
 pub fn qadd(a: &QTensor, b: &QTensor, out_params: QParams) -> QTensor {
     assert_eq!(a.dims(), b.dims(), "qadd: shape mismatch");
-    let ma = FixedMultiplier::encode(a.params().scale as f64 / out_params.scale as f64);
-    let mb = FixedMultiplier::encode(b.params().scale as f64 / out_params.scale as f64);
-    let (za, zb, zo) = (
-        a.params().zero_point,
-        b.params().zero_point,
-        out_params.zero_point,
+    let mut data = vec![0i8; a.data().len()];
+    qadd_into(
+        a.data(),
+        a.params(),
+        b.data(),
+        b.params(),
+        out_params,
+        &mut data,
     );
-    let data: Vec<i8> = a
-        .data()
-        .iter()
-        .zip(b.data().iter())
-        .map(|(&qa, &qb)| {
-            let ra = ma.apply(qa as i32 - za);
-            let rb = mb.apply(qb as i32 - zb);
-            (ra + rb + zo).clamp(-128, 127) as i8
-        })
-        .collect();
     QTensor::from_raw(data, a.dims(), out_params)
 }
 
@@ -462,6 +628,44 @@ mod tests {
                 "elem {i}: {} vs {}",
                 got.data()[i],
                 want.data()[i]
+            );
+        }
+    }
+
+    /// The im2col+GEMM lowering must be bit-for-bit the direct triple
+    /// loop, across ragged channel/length/stride combinations.
+    #[test]
+    fn im2col_conv_is_bit_exact_vs_direct_loop() {
+        for &(in_ch, len, out_ch, kernel, stride) in &[
+            (1usize, 4usize, 1usize, 2usize, 2usize),
+            (3, 17, 5, 4, 3),
+            (14, 300, 64, 30, 10), // bio1 patch-embedding shape
+            (2, 8, 3, 8, 1),       // kernel == len (single window)
+            (4, 9, 2, 3, 5),       // stride > kernel
+        ] {
+            let x = qfilled(in_ch * len, 71 + len as u64);
+            let w = qfilled(out_ch * in_ch * kernel, 72 + kernel as u64);
+            let bias: Vec<i32> = (0..out_ch as i32).map(|c| c * 11 - 4).collect();
+            let out_len = conv1d_out_len(len, kernel, stride);
+            // Direct reference: what qconv1d_i32 was before the lowering.
+            let mut want = vec![0i32; out_ch * out_len];
+            for oc in 0..out_ch {
+                for ot in 0..out_len {
+                    let start = ot * stride;
+                    let mut acc = bias[oc];
+                    for ic in 0..in_ch {
+                        for t in 0..kernel {
+                            acc += x[ic * len + start + t] as i32
+                                * w[(oc * in_ch + ic) * kernel + t] as i32;
+                        }
+                    }
+                    want[oc * out_len + ot] = acc;
+                }
+            }
+            assert_eq!(
+                qconv1d_i32(&x, &w, &bias, in_ch, len, out_ch, kernel, stride),
+                want,
+                "conv shape ({in_ch},{len},{out_ch},{kernel},{stride})"
             );
         }
     }

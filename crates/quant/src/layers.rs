@@ -1,6 +1,9 @@
 //! Quantized layer building blocks (Linear, Conv1d).
 
-use crate::kernels::{qconv1d_i32, qgemm_i32, qgemm_requant_into, requantize_vec};
+use crate::kernels::{
+    conv1d_out_len, qconv1d_i32, qconv1d_i32_into, qgemm_i32, qgemm_i32_into, qgemm_requant_into,
+    requantize_vec,
+};
 use crate::qtensor::{QParams, QTensor};
 use crate::requant::FixedMultiplier;
 use bioformer_tensor::Tensor;
@@ -61,33 +64,67 @@ impl QLinear {
         self.weight.dims()[0]
     }
 
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// int8 forward over raw `[rows, in]` codes into a caller-provided
+    /// `[rows, out]` buffer — the allocation-free core of
+    /// [`QLinear::forward`], requantized in a single fused pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with `rows` and the layer shape.
+    pub fn forward_into(&self, x: &[i8], rows: usize, out: &mut [i8]) {
+        qgemm_requant_into(
+            x,
+            self.weight.data(),
+            Some(&self.bias),
+            rows,
+            self.in_features(),
+            self.out_features(),
+            self.mult,
+            self.out_params.zero_point,
+            out,
+        );
+    }
+
     /// int8 forward over `[rows, in]`, requantized to the output grid in a
     /// single fused pass (no intermediate i32 buffer; see
     /// [`qgemm_requant_into`]).
     pub fn forward(&self, x: &QTensor) -> QTensor {
         let (rows, k) = (x.dims()[0], x.dims()[1]);
-        assert_eq!(k, self.weight.dims()[1], "QLinear: input width mismatch");
+        assert_eq!(k, self.in_features(), "QLinear: input width mismatch");
         let n = self.out_features();
         let mut out = vec![0i8; rows * n];
-        qgemm_requant_into(
-            x.data(),
+        self.forward_into(x.data(), rows, &mut out);
+        QTensor::from_raw(out, &[rows, n], self.out_params)
+    }
+
+    /// Raw i32 accumulators into a caller-provided `[rows, out]` buffer —
+    /// the allocation-free core of [`QLinear::forward_acc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with `rows` and the layer shape.
+    pub fn forward_acc_into(&self, x: &[i8], rows: usize, out: &mut [i32]) {
+        qgemm_i32_into(
+            x,
             self.weight.data(),
             Some(&self.bias),
             rows,
-            k,
-            n,
-            self.mult,
-            self.out_params.zero_point,
-            &mut out,
+            self.in_features(),
+            self.out_features(),
+            out,
         );
-        QTensor::from_raw(out, &[rows, n], self.out_params)
     }
 
     /// Raw i32 accumulators (at [`QLinear::acc_scale`]) — used by the
     /// classifier head, where full precision is kept for the argmax.
     pub fn forward_acc(&self, x: &QTensor) -> Vec<i32> {
         let (rows, k) = (x.dims()[0], x.dims()[1]);
-        assert_eq!(k, self.weight.dims()[1], "QLinear: input width mismatch");
+        assert_eq!(k, self.in_features(), "QLinear: input width mismatch");
         qgemm_i32(
             x.data(),
             self.weight.data(),
@@ -150,13 +187,66 @@ impl QConv1d {
         self.out_params
     }
 
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Output length for an input of `len` samples.
+    pub fn out_len(&self, len: usize) -> usize {
+        conv1d_out_len(len, self.kernel, self.stride)
+    }
+
+    /// Length of the im2col scratch buffer [`QConv1d::forward_into`] needs
+    /// for an `[in_ch, len]` input.
+    pub fn im2col_len(&self, in_ch: usize, len: usize) -> usize {
+        self.out_len(len) * in_ch * self.kernel
+    }
+
+    /// int8 forward over a raw `[in_ch, len]` sample into a caller-provided
+    /// `[out_ch, out_len]` buffer — the allocation-free core of
+    /// [`QConv1d::forward`]. `im2col` ([`QConv1d::im2col_len`] codes) and
+    /// `acc` (`out.len()` accumulators) are scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with the layer shape.
+    pub fn forward_into(
+        &self,
+        x: &[i8],
+        in_ch: usize,
+        len: usize,
+        im2col: &mut [i8],
+        acc: &mut [i32],
+        out: &mut [i8],
+    ) {
+        assert_eq!(in_ch, self.weight.dims()[1], "QConv1d: channel mismatch");
+        assert_eq!(out.len(), acc.len(), "QConv1d: out/acc length mismatch");
+        qconv1d_i32_into(
+            x,
+            self.weight.data(),
+            &self.bias,
+            in_ch,
+            len,
+            self.out_channels(),
+            self.kernel,
+            self.stride,
+            im2col,
+            acc,
+        );
+        let zp = self.out_params.zero_point;
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = self.mult.requantize_to_i8(a, zp);
+        }
+    }
+
     /// int8 forward over a single `[in_ch, len]` sample, producing
     /// `[out_ch, out_len]`.
     pub fn forward(&self, x: &QTensor) -> QTensor {
         let (in_ch, len) = (x.dims()[0], x.dims()[1]);
         assert_eq!(in_ch, self.weight.dims()[1], "QConv1d: channel mismatch");
-        let out_ch = self.weight.dims()[0];
-        let out_len = (len - self.kernel) / self.stride + 1;
+        let out_ch = self.out_channels();
+        let out_len = self.out_len(len);
         let acc = qconv1d_i32(
             x.data(),
             self.weight.data(),

@@ -8,7 +8,10 @@
 //! * [`observer`] — min/max range calibration over representative data.
 //! * [`requant`] — gemmlowp-style fixed-point requantization
 //!   (int32 multiplier + right shift; no floating point on the hot path).
-//! * [`kernels`] — integer GEMM/conv with i32 accumulation.
+//! * [`kernels`] — integer GEMM/conv with i32 accumulation, dispatched
+//!   through the runtime-selected SIMD tiles of `bioformer_simd`.
+//! * [`arena`] — [`arena::QuantArena`]: typed `i8`/`i32` buffer pools that
+//!   make warmed integer forwards allocation-free.
 //! * [`ibert`] — integer-only softmax (i-exp), GELU (i-erf) and LayerNorm
 //!   (integer Newton square root), after Kim et al., *I-BERT: Integer-only
 //!   BERT Quantization* (ICML 2021).
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod ibert;
 pub mod kernels;
 pub mod layers;
@@ -35,5 +39,6 @@ pub mod qat;
 pub mod qtensor;
 pub mod requant;
 
+pub use arena::QuantArena;
 pub use model::QuantBioformer;
 pub use qtensor::{QParams, QTensor};

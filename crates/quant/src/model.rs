@@ -16,19 +16,21 @@
 //! integer arithmetic** (i8 operands, i32/i64 accumulation); floats appear
 //! only when dequantizing the final logits for reporting.
 
+use crate::arena::QuantArena;
 use crate::ibert::{IGelu, ILayerNorm, ISoftmax};
-use crate::kernels::{qadd, qgemm_i32, qgemm_requant_into};
+use crate::kernels::{qadd_into, qgemm_i32_into, qgemm_requant_into};
 use crate::layers::{QConv1d, QLinear};
 use crate::observer::MinMaxObserver;
-use crate::qtensor::{QParams, QTensor};
+use crate::qtensor::QParams;
 use crate::requant::FixedMultiplier;
 use bioformer_core::BioformerConfig;
 use bioformer_nn::serialize::StateDict;
 use bioformer_tensor::conv::{conv1d_forward, Conv1dSpec};
 use bioformer_tensor::ops::{layernorm_forward, softmax_rows};
-use bioformer_tensor::Tensor;
+use bioformer_tensor::{Tensor, TensorArena};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Error returned by [`QuantBioformer::convert`].
 #[derive(Debug)]
@@ -216,9 +218,9 @@ impl FloatShadow {
 /// One quantized encoder block.
 #[derive(Debug, Clone)]
 struct QBlock {
+    /// `ln1` (its output grid — the projections' input grid — is baked
+    /// into the ILayerNorm multiplier).
     ln1: ILayerNorm,
-    /// Activation grid emitted by `ln1` (input grid of the projections).
-    ln1_params: QParams,
     wq: QLinear,
     wk: QLinear,
     wv: QLinear,
@@ -227,19 +229,18 @@ struct QBlock {
     att_params: QParams,
     wo: QLinear,
     res1_params: QParams,
+    /// `ln2` (output grid baked in, as for `ln1`).
     ln2: ILayerNorm,
-    /// Activation grid emitted by `ln2` (input grid of `fc1`).
-    ln2_params: QParams,
     fc1: QLinear,
+    /// Integer GELU (its output grid — `fc2`'s input grid — is baked into
+    /// the i-erf tables).
     gelu: IGelu,
-    /// Activation grid emitted by the integer GELU (input grid of `fc2`).
-    gelu_params: QParams,
     fc2: QLinear,
     res2_params: QParams,
 }
 
 /// A Bioformer converted to integer-only int8 inference.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QuantBioformer {
     cfg: BioformerConfig,
     input_params: QParams,
@@ -250,6 +251,33 @@ pub struct QuantBioformer {
     /// Activation grid emitted by the final LayerNorm (head input grid).
     lnf_params: QParams,
     head: QLinear,
+    /// Pool of integer scratch arenas backing the arena-less public
+    /// forward APIs: each call pops a warmed arena (or lazily creates one)
+    /// and pushes it back, so steady-state forwards through
+    /// `forward_window` / `forward_batch` / the serving path stay
+    /// allocation-free without any API change. A `Mutex` rather than a
+    /// thread-local so arenas warmed by one worker thread are reusable by
+    /// the next.
+    scratch: Mutex<Vec<QuantArena>>,
+}
+
+impl Clone for QuantBioformer {
+    /// Clones weights and configuration; the scratch-arena pool starts
+    /// empty in the clone (scratch is per-instance working memory, not
+    /// model state).
+    fn clone(&self) -> Self {
+        QuantBioformer {
+            cfg: self.cfg.clone(),
+            input_params: self.input_params,
+            patch: self.patch.clone(),
+            class_token: self.class_token.clone(),
+            blocks: self.blocks.clone(),
+            lnf: self.lnf.clone(),
+            lnf_params: self.lnf_params,
+            head: self.head.clone(),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl QuantBioformer {
@@ -323,7 +351,6 @@ impl QuantBioformer {
             let av_scale = ISoftmax::OUT_PARAMS.scale as f64 * v_p.scale as f64;
             blocks.push(QBlock {
                 ln1: ILayerNorm::new(blk.ln1_g.data(), blk.ln1_b.data(), ln1_p),
-                ln1_params: ln1_p,
                 wq: QLinear::from_float(&blk.wq.0, &blk.wq.1, ln1_p, q_p),
                 wk: QLinear::from_float(&blk.wk.0, &blk.wk.1, ln1_p, k_p),
                 wv: QLinear::from_float(&blk.wv.0, &blk.wv.1, ln1_p, v_p),
@@ -333,10 +360,8 @@ impl QuantBioformer {
                 wo: QLinear::from_float(&blk.wo.0, &blk.wo.1, att_p, wo_p),
                 res1_params: res1_p,
                 ln2: ILayerNorm::new(blk.ln2_g.data(), blk.ln2_b.data(), ln2_p),
-                ln2_params: ln2_p,
                 fc1: QLinear::from_float(&blk.fc1.0, &blk.fc1.1, ln2_p, fc1_p),
                 gelu: IGelu::new(fc1_p.scale as f64, gelu_p),
-                gelu_params: gelu_p,
                 fc2: QLinear::from_float(&blk.fc2.0, &blk.fc2.1, gelu_p, fc2_p),
                 res2_params: res2_p,
             });
@@ -353,6 +378,7 @@ impl QuantBioformer {
             lnf,
             lnf_params: lnf_p,
             head,
+            scratch: Mutex::new(Vec::new()),
         })
     }
 
@@ -361,86 +387,123 @@ impl QuantBioformer {
         &self.cfg
     }
 
-    /// Applies an integer LayerNorm row-by-row over `[rows, width]` codes.
-    /// `out_params` must be the grid the `ILayerNorm` was built to emit.
-    fn ln_rows(ln: &ILayerNorm, x: &QTensor, out_params: QParams) -> QTensor {
-        let (rows, width) = (x.dims()[0], x.dims()[1]);
-        let mut out = vec![0i8; rows * width];
-        for r in 0..rows {
-            ln.apply_row(
-                &x.data()[r * width..(r + 1) * width],
-                &mut out[r * width..(r + 1) * width],
-            );
-        }
-        QTensor::from_raw(out, &[rows, width], out_params)
+    /// Pops a scratch arena from the internal pool (lazily creating one on
+    /// first use / under contention).
+    fn take_arena(&self) -> QuantArena {
+        let mut pool = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        pool.pop().unwrap_or_default()
     }
 
-    /// Integer inference over one `[channels, window]` fp32 sample
-    /// (already normalised); returns fp32 logits dequantized from the
-    /// classifier accumulators.
-    pub fn forward_window(&self, x: &Tensor) -> Vec<f32> {
+    /// Returns a scratch arena to the internal pool.
+    fn put_arena(&self, arena: QuantArena) {
+        let mut pool = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        pool.push(arena);
+    }
+
+    /// The integer forward core: one `[channels·window]` fp32 sample
+    /// (already normalised) in, `[classes]` fp32 logits out, with every
+    /// intermediate buffer drawn from `arena` and recycled before
+    /// returning. With a warmed arena this performs **zero** heap
+    /// allocations (pinned by an allocation-counting test in the umbrella
+    /// crate). All heavy kernels — projections, attention scores, A·V,
+    /// FFN, the im2col patch conv — run the dispatched SIMD int8 tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `out` disagree with the configured window /
+    /// class count.
+    pub fn forward_logits_into(&self, x: &[f32], arena: &mut QuantArena, out: &mut [f32]) {
         let cfg = &self.cfg;
-        assert_eq!(x.dims(), &[cfg.channels, cfg.window], "window shape");
-        let xq = QTensor::quantize(x, self.input_params);
-        let conv = self.patch.forward(&xq); // [E, N] i8
-        let (e, n) = (conv.dims()[0], conv.dims()[1]);
+        assert_eq!(x.len(), cfg.channels * cfg.window, "window size");
+        assert_eq!(out.len(), cfg.classes, "logit buffer size");
+        let (in_ch, len) = (cfg.channels, cfg.window);
+        // Quantize the input window onto the calibrated activation grid.
+        let mut xq = arena.alloc_i8(x.len());
+        for (q, &v) in xq.iter_mut().zip(x.iter()) {
+            *q = self.input_params.quantize(v);
+        }
+        // Patch embedding: strided conv via im2col + int8 GEMM → [E, N].
+        let e = self.patch.out_channels();
+        let n = self.patch.out_len(len);
+        let mut im2col = arena.alloc_i8(self.patch.im2col_len(in_ch, len));
+        let mut conv_acc = arena.alloc_i32(e * n);
+        let mut conv = arena.alloc_i8(e * n);
+        self.patch
+            .forward_into(&xq, in_ch, len, &mut im2col, &mut conv_acc, &mut conv);
+        arena.recycle_i8(xq);
+        arena.recycle_i8(im2col);
+        arena.recycle_i32(conv_acc);
+
+        // tokens [S, E] = convᵀ with the class token appended.
         let s = n + 1;
-        // tokens [S, E]
-        let mut tok = vec![0i8; s * e];
+        let mut tokens = arena.alloc_i8(s * e);
         for ei in 0..e {
             for ni in 0..n {
-                tok[ni * e + ei] = conv.data()[ei * n + ni];
+                tokens[ni * e + ei] = conv[ei * n + ni];
             }
         }
-        tok[n * e..(n + 1) * e].copy_from_slice(&self.class_token);
-        let mut tokens = QTensor::from_raw(tok, &[s, e], self.patch.out_params());
+        tokens[n * e..(n + 1) * e].copy_from_slice(&self.class_token);
+        arena.recycle_i8(conv);
+        // Grid the token codes currently live on (patch grid at entry,
+        // then each block's res2 grid).
+        let mut tok_params = self.patch.out_params();
 
         let (h, p) = (cfg.heads, cfg.head_dim);
         let inner = h * p;
         for blk in &self.blocks {
             // ln1 (output grid was baked into the ILayerNorm multiplier).
-            let ln1 = Self::ln_rows(&blk.ln1, &tokens, blk.ln1_params);
-            let q = blk.wq.forward(&ln1);
-            let k = blk.wk.forward(&ln1);
-            let v = blk.wv.forward(&ln1);
+            let mut ln1 = arena.alloc_i8(s * e);
+            for (xr, or) in tokens.chunks_exact(e).zip(ln1.chunks_exact_mut(e)) {
+                blk.ln1.apply_row(xr, or);
+            }
+            let mut q = arena.alloc_i8(s * inner);
+            let mut k = arena.alloc_i8(s * inner);
+            let mut v = arena.alloc_i8(s * inner);
+            blk.wq.forward_into(&ln1, s, &mut q);
+            blk.wk.forward_into(&ln1, s, &mut k);
+            blk.wv.forward_into(&ln1, s, &mut v);
+            arena.recycle_i8(ln1);
 
-            let mut att = vec![0i8; s * inner];
+            let mut att = arena.alloc_i8(s * inner);
+            // Per-head scratch, reused across heads (identical sizes).
+            // The A·V GEMM contracts over the token dimension (k = S = 31
+            // for bio1), so its operands `probs`/`vt` get their rows
+            // zero-padded to the SIMD int8 chunk: padding contributes
+            // exactly zero to every integer dot product, and the
+            // microkernel runs full-width steps instead of its tail path.
+            let sp = s.next_multiple_of(bioformer_simd::QK);
+            let mut qh = arena.alloc_i8(s * p);
+            let mut kh = arena.alloc_i8(s * p);
+            let mut vt = arena.alloc_i8(p * sp);
+            let mut scores = arena.alloc_i32(s * s);
+            let mut probs = arena.alloc_i8(s * sp);
+            let mut av8 = arena.alloc_i8(s * p);
             for hi in 0..h {
-                // Slice head hi: [S, P].
-                let slice = |src: &QTensor| -> Vec<i8> {
-                    let mut out = vec![0i8; s * p];
-                    for si in 0..s {
-                        out[si * p..(si + 1) * p].copy_from_slice(
-                            &src.data()[si * inner + hi * p..si * inner + (hi + 1) * p],
-                        );
-                    }
-                    out
-                };
-                let (qh, kh, vh) = (slice(&q), slice(&k), slice(&v));
-                // scores [S, S] = qh · khᵀ (both [S, P]).
-                let scores = qgemm_i32(&qh, &kh, None, s, p, s);
-                // integer softmax per row.
-                let mut probs = vec![0i8; s * s];
-                for r in 0..s {
-                    blk.softmax
-                        .apply_row(&scores[r * s..(r + 1) * s], &mut probs[r * s..(r + 1) * s]);
-                }
-                // AV: probs [S, S] · vh [S, P] — qgemm wants Bᵀ, i.e. vh
-                // transposed to [P, S]. Accumulate and requantize in one
-                // fused pass (no i32 intermediate).
-                let mut vt = vec![0i8; p * s];
+                // Slice head hi ([S, P]) out of the packed projections;
+                // V goes directly to its transpose [P, S] since the A·V
+                // GEMM wants a Bᵀ right-hand side.
                 for si in 0..s {
+                    let row = si * inner + hi * p;
+                    qh[si * p..(si + 1) * p].copy_from_slice(&q[row..row + p]);
+                    kh[si * p..(si + 1) * p].copy_from_slice(&k[row..row + p]);
                     for pi in 0..p {
-                        vt[pi * s + si] = vh[si * p + pi];
+                        vt[pi * sp + si] = v[row + pi];
                     }
                 }
-                let mut av8 = vec![0i8; s * p];
+                // scores [S, S] = qh · khᵀ (both [S, P]).
+                qgemm_i32_into(&qh, &kh, None, s, p, s, &mut scores);
+                // integer softmax per row.
+                for (sr, pr) in scores.chunks_exact(s).zip(probs.chunks_exact_mut(sp)) {
+                    blk.softmax.apply_row(sr, &mut pr[..s]);
+                }
+                // A·V accumulated and requantized in one fused pass (no
+                // i32 intermediate), contracting over the padded k = sp.
                 qgemm_requant_into(
                     &probs,
                     &vt,
                     None,
                     s,
-                    s,
+                    sp,
                     p,
                     blk.av_mult,
                     blk.att_params.zero_point,
@@ -451,43 +514,104 @@ impl QuantBioformer {
                         .copy_from_slice(&av8[si * p..(si + 1) * p]);
                 }
             }
-            let att_q = QTensor::from_raw(att, &[s, inner], blk.att_params);
-            let wo = blk.wo.forward(&att_q);
-            let res1 = qadd(&tokens, &wo, blk.res1_params);
-            let ln2 = Self::ln_rows(&blk.ln2, &res1, blk.ln2_params);
-            let fc1 = blk.fc1.forward(&ln2);
-            let gelu: Vec<i8> = fc1.data().iter().map(|&v| blk.gelu.apply(v)).collect();
-            let gelu_q = QTensor::from_raw(gelu, fc1.dims(), blk.gelu_params);
-            let fc2 = blk.fc2.forward(&gelu_q);
-            tokens = qadd(&res1, &fc2, blk.res2_params);
+            arena.recycle_i8(qh);
+            arena.recycle_i8(kh);
+            arena.recycle_i8(vt);
+            arena.recycle_i32(scores);
+            arena.recycle_i8(probs);
+            arena.recycle_i8(av8);
+            arena.recycle_i8(q);
+            arena.recycle_i8(k);
+            arena.recycle_i8(v);
+
+            let mut wo = arena.alloc_i8(s * e);
+            blk.wo.forward_into(&att, s, &mut wo);
+            arena.recycle_i8(att);
+            let mut res1 = arena.alloc_i8(s * e);
+            qadd_into(
+                &tokens,
+                tok_params,
+                &wo,
+                blk.wo.out_params(),
+                blk.res1_params,
+                &mut res1,
+            );
+            arena.recycle_i8(wo);
+
+            let mut ln2 = arena.alloc_i8(s * e);
+            for (xr, or) in res1.chunks_exact(e).zip(ln2.chunks_exact_mut(e)) {
+                blk.ln2.apply_row(xr, or);
+            }
+            let hidden = blk.fc1.out_features();
+            let mut fc1 = arena.alloc_i8(s * hidden);
+            blk.fc1.forward_into(&ln2, s, &mut fc1);
+            arena.recycle_i8(ln2);
+            // Integer GELU element-wise, in place: fc1 codes → gelu codes.
+            for c in fc1.iter_mut() {
+                *c = blk.gelu.apply(*c);
+            }
+            let mut fc2 = arena.alloc_i8(s * e);
+            blk.fc2.forward_into(&fc1, s, &mut fc2);
+            arena.recycle_i8(fc1);
+            // res2 lands back in the token buffer for the next block.
+            qadd_into(
+                &res1,
+                blk.res1_params,
+                &fc2,
+                blk.fc2.out_params(),
+                blk.res2_params,
+                &mut tokens,
+            );
+            arena.recycle_i8(res1);
+            arena.recycle_i8(fc2);
+            tok_params = blk.res2_params;
         }
-        // Class row → final LN → head accumulators.
-        let cls = QTensor::from_raw(
-            tokens.data()[(s - 1) * e..s * e].to_vec(),
-            &[1, e],
-            tokens.params(),
-        );
-        let lnf = Self::ln_rows(&self.lnf, &cls, self.lnf_params);
-        let acc = self.head.forward_acc(&lnf);
-        acc.iter()
-            .map(|&a| (a as f64 * self.head.acc_scale()) as f32)
-            .collect()
+        let _ = tok_params; // grid of the final tokens; lnf has it baked in
+                            // Class row → final LN → head accumulators → fp32 logits.
+        let mut lnf = arena.alloc_i8(e);
+        self.lnf.apply_row(&tokens[(s - 1) * e..s * e], &mut lnf);
+        let mut acc = arena.alloc_i32(cfg.classes);
+        self.head.forward_acc_into(&lnf, 1, &mut acc);
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = (a as f64 * self.head.acc_scale()) as f32;
+        }
+        arena.recycle_i8(tokens);
+        arena.recycle_i8(lnf);
+        arena.recycle_i32(acc);
+    }
+
+    /// Integer inference over one `[channels, window]` fp32 sample
+    /// (already normalised); returns fp32 logits dequantized from the
+    /// classifier accumulators. Scratch comes from the internal arena
+    /// pool; only the returned logit vector itself is heap-allocated.
+    pub fn forward_window(&self, x: &Tensor) -> Vec<f32> {
+        let cfg = &self.cfg;
+        assert_eq!(x.dims(), &[cfg.channels, cfg.window], "window shape");
+        let mut arena = self.take_arena();
+        let mut out = vec![0.0f32; cfg.classes];
+        self.forward_logits_into(x.data(), &mut arena, &mut out);
+        self.put_arena(arena);
+        out
     }
 
     /// Runs windows `start..end` of `x` (`[n, channels, window]`) through
     /// the integer pipeline, returning their fp32 logits concatenated —
     /// the shared per-range loop behind both branches of
-    /// [`QuantBioformer::forward_batch`].
+    /// [`QuantBioformer::forward_batch`]. One pooled arena serves the
+    /// whole range.
     fn forward_range(&self, x: &Tensor, start: usize, end: usize) -> Vec<f32> {
         let sample = self.cfg.channels * self.cfg.window;
-        let mut buf = Vec::with_capacity((end - start) * self.cfg.classes);
+        let classes = self.cfg.classes;
+        let mut arena = self.take_arena();
+        let mut buf = vec![0.0f32; (end - start) * classes];
         for i in start..end {
-            let w = Tensor::from_vec(
-                x.data()[i * sample..(i + 1) * sample].to_vec(),
-                &[self.cfg.channels, self.cfg.window],
+            self.forward_logits_into(
+                &x.data()[i * sample..(i + 1) * sample],
+                &mut arena,
+                &mut buf[(i - start) * classes..(i - start + 1) * classes],
             );
-            buf.extend_from_slice(&self.forward_window(&w));
         }
+        self.put_arena(arena);
         buf
     }
 
@@ -539,6 +663,29 @@ impl bioformer_nn::InferForward for QuantBioformer {
     /// [`QuantBioformer::forward_batch`].
     fn forward_infer(&self, x: &Tensor) -> Tensor {
         self.forward_batch(x)
+    }
+
+    /// Arena-threaded eval forward: the `[n, classes]` logit tensor comes
+    /// from the caller's f32 `arena`, and all integer scratch comes from
+    /// the internal [`QuantArena`] pool — a warmed call performs zero
+    /// heap allocations. Logits are bit-identical to
+    /// [`QuantBioformer::forward_batch`] (serial accumulation order either
+    /// way).
+    fn forward_infer_in(&self, x: &Tensor, arena: &mut TensorArena) -> Tensor {
+        let n = x.dims()[0];
+        let sample = self.cfg.channels * self.cfg.window;
+        let classes = self.cfg.classes;
+        let mut out = arena.tensor(&[n, classes]);
+        let mut qarena = self.take_arena();
+        for i in 0..n {
+            self.forward_logits_into(
+                &x.data()[i * sample..(i + 1) * sample],
+                &mut qarena,
+                &mut out.data_mut()[i * classes..(i + 1) * classes],
+            );
+        }
+        self.put_arena(qarena);
+        out
     }
 }
 

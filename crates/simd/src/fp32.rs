@@ -1,0 +1,310 @@
+//! fp32 `MR×NR` microkernel tiles over the packed-panel layout of
+//! `bioformer_tensor::pack`.
+//!
+//! All variants share one contract: given `mr ≤ MR` rows of `A`
+//! (`a.len() == mr·k`, row stride `k`) and a zero-padded packed panel
+//! (`panel.len() == k·NR`), write
+//! `acc[r][j] = Σ_kk a[r·k + kk] · panel[kk·NR + j]` for `r < mr` and
+//! leave rows `mr..MR` untouched. The portable tile is the exact loop the
+//! packed GEMM used before this crate existed; the FMA/AVX-512 tiles fuse
+//! each multiply–add, so they agree with it to FMA rounding (pinned at
+//! 1e-4 by the parity suite), not bit-for-bit.
+
+use crate::{MR, NR};
+
+#[inline(always)]
+fn check_tile_args(a: &[f32], k: usize, panel: &[f32], mr: usize) {
+    assert!((1..=MR).contains(&mr), "fp32 tile: mr {mr} out of range");
+    assert_eq!(a.len(), mr * k, "fp32 tile: A block size");
+    assert_eq!(panel.len(), k * NR, "fp32 tile: panel size");
+}
+
+/// Whether the AVX2/FMA tile is usable on this CPU.
+pub fn fma_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the AVX-512F tile is usable on this CPU.
+pub fn avx512_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Portable tile — the safe loop nest the packed GEMM always used, kept
+/// verbatim as the fallback and as the oracle for the SIMD variants.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `(k, mr)`.
+pub fn tile_portable(a: &[f32], k: usize, panel: &[f32], mr: usize, acc: &mut [[f32; NR]; MR]) {
+    check_tile_args(a, k, panel, mr);
+    // Four named accumulator arrays (not a 2-D array) so LLVM promotes
+    // every lane to a vector register instead of spilling the tile.
+    let mut acc0 = [0.0f32; NR];
+    let mut acc1 = [0.0f32; NR];
+    let mut acc2 = [0.0f32; NR];
+    let mut acc3 = [0.0f32; NR];
+    if mr == MR {
+        let (a0, rest) = a.split_at(k);
+        let (a1, rest) = rest.split_at(k);
+        let (a2, a3) = rest.split_at(k);
+        let bp = panel.chunks_exact(NR);
+        let ks = a0.iter().zip(a1).zip(a2.iter().zip(a3)).zip(bp);
+        for (((&v0, &v1), (&v2, &v3)), b_row) in ks {
+            let b: &[f32; NR] = b_row.try_into().unwrap();
+            for j in 0..NR {
+                acc0[j] += v0 * b[j];
+                acc1[j] += v1 * b[j];
+                acc2[j] += v2 * b[j];
+                acc3[j] += v3 * b[j];
+            }
+        }
+    } else {
+        // Row-tail tile: mr < MR live rows; the dead accumulators stay
+        // zero and are never stored.
+        for (kk, b_row) in panel.chunks_exact(NR).enumerate().take(k) {
+            let b: &[f32; NR] = b_row.try_into().unwrap();
+            let v0 = a[kk];
+            let v1 = if mr > 1 { a[k + kk] } else { 0.0 };
+            let v2 = if mr > 2 { a[2 * k + kk] } else { 0.0 };
+            for j in 0..NR {
+                acc0[j] += v0 * b[j];
+                acc1[j] += v1 * b[j];
+                acc2[j] += v2 * b[j];
+            }
+        }
+    }
+    let rows = [acc0, acc1, acc2, acc3];
+    acc[..mr].copy_from_slice(&rows[..mr]);
+}
+
+/// AVX2/FMA tile: 8 `ymm` accumulators (4 rows × 2 half-panels), one
+/// broadcast-FMA pair per `A` value per `k` step. Falls back to
+/// [`tile_portable`] when the CPU lacks AVX2+FMA, so it is always safe to
+/// call (the dispatch table never selects it in that case anyway).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `(k, mr)`.
+pub fn tile_fma(a: &[f32], k: usize, panel: &[f32], mr: usize, acc: &mut [[f32; NR]; MR]) {
+    check_tile_args(a, k, panel, mr);
+    #[cfg(target_arch = "x86_64")]
+    if fma_supported() {
+        // SAFETY: AVX2+FMA availability checked above; slice bounds
+        // checked by `check_tile_args`.
+        unsafe { tile_fma_impl(a, k, panel, mr, acc) };
+        return;
+    }
+    tile_portable(a, k, panel, mr, acc);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_fma_impl(a: &[f32], k: usize, panel: &[f32], mr: usize, acc: &mut [[f32; NR]; MR]) {
+    use core::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    // SAFETY (whole body): caller validated `a.len() == mr·k` and
+    // `panel.len() == k·NR`; every pointer offset below stays inside
+    // those bounds. Loads/stores are unaligned-tolerant (`loadu`/`storeu`).
+    unsafe {
+        if mr == MR {
+            let mut c = [_mm256_setzero_ps(); 8];
+            for kk in 0..k {
+                let b0 = _mm256_loadu_ps(pp.add(kk * NR));
+                let b1 = _mm256_loadu_ps(pp.add(kk * NR + 8));
+                let v0 = _mm256_set1_ps(*ap.add(kk));
+                let v1 = _mm256_set1_ps(*ap.add(k + kk));
+                let v2 = _mm256_set1_ps(*ap.add(2 * k + kk));
+                let v3 = _mm256_set1_ps(*ap.add(3 * k + kk));
+                c[0] = _mm256_fmadd_ps(v0, b0, c[0]);
+                c[1] = _mm256_fmadd_ps(v0, b1, c[1]);
+                c[2] = _mm256_fmadd_ps(v1, b0, c[2]);
+                c[3] = _mm256_fmadd_ps(v1, b1, c[3]);
+                c[4] = _mm256_fmadd_ps(v2, b0, c[4]);
+                c[5] = _mm256_fmadd_ps(v2, b1, c[5]);
+                c[6] = _mm256_fmadd_ps(v3, b0, c[6]);
+                c[7] = _mm256_fmadd_ps(v3, b1, c[7]);
+            }
+            for r in 0..MR {
+                let row = acc[r].as_mut_ptr();
+                _mm256_storeu_ps(row, c[2 * r]);
+                _mm256_storeu_ps(row.add(8), c[2 * r + 1]);
+            }
+        } else {
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let mut c0 = _mm256_setzero_ps();
+                let mut c1 = _mm256_setzero_ps();
+                for kk in 0..k {
+                    let v = _mm256_set1_ps(*ap.add(r * k + kk));
+                    c0 = _mm256_fmadd_ps(v, _mm256_loadu_ps(pp.add(kk * NR)), c0);
+                    c1 = _mm256_fmadd_ps(v, _mm256_loadu_ps(pp.add(kk * NR + 8)), c1);
+                }
+                let row = accr.as_mut_ptr();
+                _mm256_storeu_ps(row, c0);
+                _mm256_storeu_ps(row.add(8), c1);
+            }
+        }
+    }
+}
+
+/// AVX-512F tile: one `zmm` accumulator per row (the whole `NR = 16`
+/// panel width in a single register), broadcast-FMA per `A` value. Falls
+/// back to [`tile_fma`] (and transitively to portable) when AVX-512F is
+/// absent.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `(k, mr)`.
+pub fn tile_avx512(a: &[f32], k: usize, panel: &[f32], mr: usize, acc: &mut [[f32; NR]; MR]) {
+    check_tile_args(a, k, panel, mr);
+    #[cfg(target_arch = "x86_64")]
+    if avx512_supported() {
+        // SAFETY: AVX-512F availability checked above; bounds checked by
+        // `check_tile_args`.
+        unsafe { tile_avx512_impl(a, k, panel, mr, acc) };
+        return;
+    }
+    tile_fma(a, k, panel, mr, acc);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn tile_avx512_impl(
+    a: &[f32],
+    k: usize,
+    panel: &[f32],
+    mr: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    use core::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    // SAFETY (whole body): caller validated `a.len() == mr·k` and
+    // `panel.len() == k·NR`; offsets stay inside those bounds and all
+    // memory ops are unaligned-tolerant.
+    unsafe {
+        if mr == MR {
+            let mut c0 = _mm512_setzero_ps();
+            let mut c1 = _mm512_setzero_ps();
+            let mut c2 = _mm512_setzero_ps();
+            let mut c3 = _mm512_setzero_ps();
+            for kk in 0..k {
+                let b = _mm512_loadu_ps(pp.add(kk * NR));
+                c0 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(kk)), b, c0);
+                c1 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(k + kk)), b, c1);
+                c2 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(2 * k + kk)), b, c2);
+                c3 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(3 * k + kk)), b, c3);
+            }
+            _mm512_storeu_ps(acc[0].as_mut_ptr(), c0);
+            _mm512_storeu_ps(acc[1].as_mut_ptr(), c1);
+            _mm512_storeu_ps(acc[2].as_mut_ptr(), c2);
+            _mm512_storeu_ps(acc[3].as_mut_ptr(), c3);
+        } else {
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let mut c = _mm512_setzero_ps();
+                for kk in 0..k {
+                    let b = _mm512_loadu_ps(pp.add(kk * NR));
+                    c = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(r * k + kk)), b, c);
+                }
+                _mm512_storeu_ps(accr.as_mut_ptr(), c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                ((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32)
+                    - 0.5
+            })
+            .collect()
+    }
+
+    fn reference(a: &[f32], k: usize, panel: &[f32], mr: usize) -> Vec<Vec<f32>> {
+        (0..mr)
+            .map(|r| {
+                (0..NR)
+                    .map(|j| {
+                        // f64 accumulation: an order-independent oracle.
+                        (0..k)
+                            .map(|kk| a[r * k + kk] as f64 * panel[kk * NR + j] as f64)
+                            .sum::<f64>() as f32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_tile_close(tile: crate::Fp32TileFn, k: usize, mr: usize, seed: u64) {
+        let a = filled(mr * k, seed);
+        let panel = filled(k * NR, seed + 1);
+        let mut acc = [[f32::NAN; NR]; MR];
+        tile(&a, k, &panel, mr, &mut acc);
+        let want = reference(&a, k, &panel, mr);
+        for r in 0..mr {
+            for j in 0..NR {
+                assert!(
+                    (acc[r][j] - want[r][j]).abs() < 1e-4,
+                    "k={k} mr={mr} r={r} j={j}: {} vs {}",
+                    acc[r][j],
+                    want[r][j]
+                );
+            }
+        }
+        // Dead rows must not be written.
+        for (r, row) in acc.iter().enumerate().skip(mr) {
+            assert!(row.iter().all(|v| v.is_nan()), "row {r} written");
+        }
+    }
+
+    #[test]
+    fn portable_matches_reference() {
+        for &(k, mr) in &[(1, 1), (7, 2), (16, 3), (64, 4), (0, 4), (3, 4)] {
+            assert_tile_close(tile_portable, k, mr, 11 + k as u64);
+        }
+    }
+
+    #[test]
+    fn fma_matches_reference() {
+        for &(k, mr) in &[(1, 1), (7, 2), (16, 3), (64, 4), (0, 4), (3, 4)] {
+            assert_tile_close(tile_fma, k, mr, 23 + k as u64);
+        }
+    }
+
+    #[test]
+    fn avx512_matches_reference() {
+        for &(k, mr) in &[(1, 1), (7, 2), (16, 3), (64, 4), (0, 4), (3, 4)] {
+            assert_tile_close(tile_avx512, k, mr, 37 + k as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panel size")]
+    fn bad_panel_size_panics() {
+        let mut acc = [[0.0; NR]; MR];
+        tile_portable(&[0.0; 4], 4, &[0.0; 4], 1, &mut acc);
+    }
+}

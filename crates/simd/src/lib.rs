@@ -1,0 +1,259 @@
+//! Explicit-SIMD microkernels with runtime CPU-feature dispatch.
+//!
+//! This is the **one** crate in the workspace allowed to use `unsafe`: it
+//! wraps hand-written `std::arch` x86-64 microkernels behind safe slice
+//! APIs and a process-global dispatch table. Everything above it
+//! (`bioformer-tensor`, `bioformer-quant`, …) stays
+//! `#![forbid(unsafe_code)]` and calls through [`kernels`].
+//!
+//! # Why hand-written kernels
+//!
+//! The fp32 packed GEMM in `bioformer-tensor` relied on LLVM's
+//! auto-vectoriser (helped by `-C target-cpu=native`); the int8 GEMM in
+//! `bioformer-quant` was a plain scalar reduction that LLVM widens only
+//! half-heartedly — on CPU the int8 serving path was *slower* than fp32,
+//! inverting the paper's central systems claim (int8 is the fast mode on
+//! the MCU). The kernels here make the intended instruction mix explicit:
+//!
+//! * **int8**: a 1×[`QNR`] dot-product tile. The AVX2 variant widens both
+//!   operands to i16 (`vpmovsxbw`) and reduces with the widening
+//!   multiply–add `vpmaddwd` — exact, no saturation. Where VNNI is
+//!   available (AVX-512-VNNI+VL or AVX-VNNI) the tile uses `vpdpbusd`
+//!   (u8×s8 dot-accumulate straight into i32 lanes): the signed activation
+//!   is biased by 128 into u8 (`a ⊕ 0x80`) and the bias is subtracted
+//!   exactly via a `vpdpbusd`-computed column sum, so the result is still
+//!   **bit-identical** to the scalar reduction. (The classic saturating
+//!   `vpmaddubsw` idiom was rejected: `u8·s8` pair sums can exceed i16
+//!   range, which would break the bit-exactness contract.)
+//! * **fp32**: the [`MR`]`×`[`NR`] register tile of the packed GEMM as a
+//!   dense run of broadcast-FMAs — 8 `ymm` accumulators on AVX2/FMA, 4
+//!   `zmm` accumulators on AVX-512F.
+//!
+//! # Dispatch
+//!
+//! [`kernels`] selects implementations **once** (first call) from
+//! `is_x86_feature_detected!` and caches the resulting [`Kernels`] table of
+//! function pointers. The portable fallbacks are the exact safe loops the
+//! workspace used before this crate existed; they also serve as the
+//! oracles for the parity test-suite. Selection can be forced down with
+//! the `BIOFORMER_SIMD` environment variable (read once, before the first
+//! kernel call):
+//!
+//! | value | effect |
+//! |---|---|
+//! | `portable` / `scalar` / `off` | portable fallbacks only |
+//! | `avx2` | cap at AVX2/FMA (no VNNI, no AVX-512) |
+//! | `vnni` / `avx512` / `auto` / unset | best detected tier |
+//!
+//! Unknown values fall back to `auto` (library initialisation must not
+//! panic). Contracts: int8 tiles are bit-identical across every tier;
+//! fp32 tiles agree within normal FMA reassociation error (the parity
+//! suite pins 1e-4 at workload shapes).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod fp32;
+pub mod int8;
+
+use std::sync::OnceLock;
+
+/// Rows of `A` per fp32 microkernel tile (matches
+/// `bioformer_tensor::pack::MR`).
+pub const MR: usize = 4;
+
+/// Columns per fp32 packed panel (matches `bioformer_tensor::pack::NR`).
+pub const NR: usize = 16;
+
+/// `B` rows per int8 dot tile (matches `bioformer_quant::kernels::QNR`).
+pub const QNR: usize = 4;
+
+/// Widest k-step any int8 tier consumes per SIMD iteration (the VNNI
+/// `vpdpbusd` path eats 32 codes). Callers that control their own buffer
+/// layout can zero-pad the k dimension to a multiple of this so every
+/// tile runs full-width steps; zero codes contribute exactly zero to the
+/// integer dot product, so the padding never changes a result.
+pub const QK: usize = 32;
+
+/// fp32 microkernel: given `mr ≤ MR` rows of `A` (`a.len() == mr·k`, row
+/// stride `k`) and one zero-padded packed panel (`panel.len() == k·NR`,
+/// row stride `NR`), writes the `mr×NR` accumulator tile
+/// `acc[r][j] = Σ_kk a[r·k+kk] · panel[kk·NR+j]` (rows `mr..MR` are left
+/// untouched).
+pub type Fp32TileFn = fn(a: &[f32], k: usize, panel: &[f32], mr: usize, acc: &mut [[f32; NR]; MR]);
+
+/// int8 microkernel: given one `A` row (`a.len() == k`) and `jw ≤ QNR`
+/// consecutive `B` rows packed back-to-back (`b_tile.len() == jw·k`),
+/// writes `out[lj] = Σ_kk a[kk] · b_tile[lj·k+kk]` as exact i32 dots
+/// (entries `jw..QNR` are left untouched).
+pub type QdotTileFn = fn(a: &[i8], b_tile: &[i8], k: usize, jw: usize, out: &mut [i32; QNR]);
+
+/// Whole-GEMM int8 kernel (the VNNI fast path): writes the exact signed
+/// accumulators `out[i·n+j] = Σ_kk a[i·k+kk] · b[j·k+kk]` for the full
+/// `C[m,n] = A[m,k]·B[n,k]ᵀ` product in **one call**. Hoisting the
+/// dispatch boundary from a `1×QNR` tile to the whole GEMM is what makes
+/// `vpdpbusd` pay off: the `128·Σb` bias corrections are computed once per
+/// `B` row (not once per tile visit), a 4×4 register block gives 16
+/// independent dot-accumulate chains (a single-row tile has too few to
+/// hide the instruction latency), and the per-tile indirect-call overhead
+/// disappears. Callers must respect [`QGEMM_N_CAP`] / [`QGEMM_K_CAP`] and
+/// fall back to the tile path beyond them.
+pub type QgemmI32Fn = fn(a: &[i8], b: &[i8], m: usize, k: usize, n: usize, out: &mut [i32]);
+
+/// Largest `n` a [`QgemmI32Fn`] accepts (bounds its stack-resident
+/// correction table). Covers every GEMM in the workspace.
+pub const QGEMM_N_CAP: usize = 512;
+
+/// Largest `k` a [`QgemmI32Fn`] accepts (keeps the biased u8×s8 partial
+/// sums far inside i32: `255·127·k < 2^31` needs `k < 66k`).
+pub const QGEMM_K_CAP: usize = 8192;
+
+/// The resolved microkernel set for this process.
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    /// Human-readable tier, e.g. `"avx512f+vnni"` — for logs and benches.
+    pub name: &'static str,
+    /// fp32 `MR×NR` accumulator tile.
+    pub fp32_tile: Fp32TileFn,
+    /// int8 `1×QNR` dot tile.
+    pub qdot_tile: QdotTileFn,
+    /// Whole-GEMM int8 kernel, present only on tiers where hoisting the
+    /// loop structure into the kernel wins (VNNI). `None` means "drive
+    /// [`Kernels::qdot_tile`] from the generic GEMM loop" — the portable
+    /// and AVX2 tiles carry no per-visit correction work to hoist.
+    pub qgemm_i32: Option<QgemmI32Fn>,
+    /// `true` when both entries are the portable fallbacks.
+    pub portable: bool,
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels")
+            .field("name", &self.name)
+            .field("portable", &self.portable)
+            .finish()
+    }
+}
+
+/// The dispatch tiers [`select`] can resolve to, weakest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Safe scalar fallbacks (always available, any architecture).
+    Portable,
+    /// AVX2 int8 widening tile + AVX2/FMA fp32 tile.
+    Avx2,
+    /// VNNI `vpdpbusd` int8 tile + the best detected fp32 tile
+    /// (AVX-512F when present, else AVX2/FMA).
+    Vnni,
+}
+
+/// Builds a [`Kernels`] table for the given cap, clamped to what the CPU
+/// actually supports. `None` means "best available" (the `auto` policy).
+///
+/// This is `kernels()` without the cache — tests and benches use it to
+/// compare tiers side by side in one process.
+pub fn select(cap: Option<Tier>) -> Kernels {
+    let cap = cap.unwrap_or(Tier::Vnni);
+    let fp32_avx512 = cap >= Tier::Vnni && fp32::avx512_supported();
+    let fp32_fma = cap >= Tier::Avx2 && fp32::fma_supported();
+    let int8_vnni = cap >= Tier::Vnni && int8::vnni_supported();
+    let int8_avx2 = cap >= Tier::Avx2 && int8::avx2_supported();
+
+    let (fp32_name, fp32_tile): (&'static str, Fp32TileFn) = if fp32_avx512 {
+        ("avx512f", fp32::tile_avx512)
+    } else if fp32_fma {
+        ("fma", fp32::tile_fma)
+    } else {
+        ("portable", fp32::tile_portable)
+    };
+    let (int8_name, qdot_tile): (&'static str, QdotTileFn) = if int8_vnni {
+        ("vnni", int8::tile_vnni)
+    } else if int8_avx2 {
+        ("avx2", int8::tile_avx2)
+    } else {
+        ("portable", int8::tile_portable)
+    };
+    let qgemm_i32: Option<QgemmI32Fn> = int8_vnni.then_some(int8::qgemm_vnni as _);
+
+    let name = match (fp32_name, int8_name) {
+        ("portable", "portable") => "portable",
+        ("fma", "avx2") => "avx2+fma",
+        ("fma", "vnni") => "fma+vnni",
+        ("avx512f", "vnni") => "avx512f+vnni",
+        ("avx512f", "avx2") => "avx512f+avx2",
+        // Odd mixes (e.g. FMA without AVX2) fall out of per-feature
+        // detection; name the stronger half.
+        (f, _) => f,
+    };
+    Kernels {
+        name,
+        fp32_tile,
+        qdot_tile,
+        qgemm_i32,
+        portable: fp32_name == "portable" && int8_name == "portable",
+    }
+}
+
+/// Parses a `BIOFORMER_SIMD` value into a cap; unknown strings mean
+/// "auto".
+fn parse_cap(v: &str) -> Option<Tier> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "portable" | "scalar" | "off" | "0" => Some(Tier::Portable),
+        "avx2" => Some(Tier::Avx2),
+        "vnni" | "avx512" | "auto" | "native" | "" => None,
+        _ => None,
+    }
+}
+
+/// The process-global microkernel table: CPU features are detected and the
+/// `BIOFORMER_SIMD` override read **once**, on first call; every GEMM in
+/// the workspace then dispatches through the cached function pointers.
+pub fn kernels() -> &'static Kernels {
+    static KERNELS: OnceLock<Kernels> = OnceLock::new();
+    KERNELS.get_or_init(|| {
+        let cap = std::env::var("BIOFORMER_SIMD")
+            .ok()
+            .and_then(|v| parse_cap(&v));
+        select(cap)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_cap_policies() {
+        assert_eq!(parse_cap("portable"), Some(Tier::Portable));
+        assert_eq!(parse_cap("SCALAR"), Some(Tier::Portable));
+        assert_eq!(parse_cap("off"), Some(Tier::Portable));
+        assert_eq!(parse_cap("avx2"), Some(Tier::Avx2));
+        assert_eq!(parse_cap("vnni"), None);
+        assert_eq!(parse_cap("auto"), None);
+        assert_eq!(parse_cap("definitely-not-a-tier"), None);
+    }
+
+    #[test]
+    fn portable_cap_selects_portable() {
+        let k = select(Some(Tier::Portable));
+        assert!(k.portable);
+        assert_eq!(k.name, "portable");
+    }
+
+    #[test]
+    fn auto_selection_is_consistent_with_detection() {
+        let k = select(None);
+        if int8::vnni_supported() || int8::avx2_supported() || fp32::fma_supported() {
+            assert!(!k.portable, "SIMD host must not resolve to portable");
+        } else {
+            assert!(k.portable);
+        }
+    }
+
+    #[test]
+    fn kernels_is_cached_and_stable() {
+        let a = kernels() as *const Kernels;
+        let b = kernels() as *const Kernels;
+        assert_eq!(a, b);
+    }
+}

@@ -14,8 +14,10 @@
 //! `kk = 0..k` (zero-padded past `n`). A register-tiled [`MR`]`×`[`NR`]
 //! microkernel then walks one `A` row block against one panel with all
 //! `MR·NR` accumulators live in registers, so each packed element is loaded
-//! once per row block and the inner loop is a dense run of FMAs the
-//! auto-vectoriser turns into vector code. Packing costs `O(k·n)` against
+//! once per row block and the inner loop is a dense run of FMAs. The tile
+//! itself comes from the [`bioformer_simd`] dispatch table — explicit
+//! AVX-512F/FMA broadcast-FMA kernels on x86-64, with the original safe
+//! loop kept as the portable fallback. Packing costs `O(k·n)` against
 //! the GEMM's `O(m·k·n)` work, and for layer weights it is cached across
 //! calls (see `bioformer-nn::Linear`).
 //!
@@ -179,14 +181,22 @@ impl PackedB {
     }
 }
 
+// The tile geometry is shared with the microkernel crate; a mismatch would
+// silently corrupt panel indexing, so pin it at compile time.
+const _: () = assert!(MR == bioformer_simd::MR && NR == bioformer_simd::NR);
+
 /// `MR × NR` register-tiled microkernel: accumulates `mr` rows of `a`
-/// (row stride `k`) against one packed panel and stores one output tile.
+/// (row stride `k`) against one packed panel via the dispatched
+/// [`bioformer_simd`] tile and stores one output tile.
 ///
 /// `mr ≤ MR` handles the row tail; the column tail needs no handling
 /// because panels are zero-padded and `store_w ≤ NR` bounds the store.
+/// The accumulator tile lives in registers inside `tile`; only the
+/// epilogue-applied store touches `out`.
 #[allow(clippy::too_many_arguments)] // hot-loop primitive: a struct would obscure the call
 #[inline(always)]
 fn microkernel(
+    tile: bioformer_simd::Fp32TileFn,
     a: &[f32],
     k: usize,
     panel: &[f32],
@@ -197,44 +207,9 @@ fn microkernel(
     store_w: usize,
     epi: &Epilogue<'_>,
 ) {
-    // Four named accumulator arrays (not a 2-D array) so LLVM promotes
-    // every lane to a vector register instead of spilling the tile.
-    let mut acc0 = [0.0f32; NR];
-    let mut acc1 = [0.0f32; NR];
-    let mut acc2 = [0.0f32; NR];
-    let mut acc3 = [0.0f32; NR];
-    if mr == MR {
-        let (a0, rest) = a.split_at(k);
-        let (a1, rest) = rest.split_at(k);
-        let (a2, a3) = rest.split_at(k);
-        let bp = panel.chunks_exact(NR);
-        let ks = a0.iter().zip(a1).zip(a2.iter().zip(a3)).zip(bp);
-        for (((&v0, &v1), (&v2, &v3)), b_row) in ks {
-            let b: &[f32; NR] = b_row.try_into().unwrap();
-            for j in 0..NR {
-                acc0[j] += v0 * b[j];
-                acc1[j] += v1 * b[j];
-                acc2[j] += v2 * b[j];
-                acc3[j] += v3 * b[j];
-            }
-        }
-    } else {
-        // Row-tail tile: mr < MR live rows; the dead accumulators stay
-        // zero and are never stored.
-        for (kk, b_row) in panel.chunks_exact(NR).enumerate().take(k) {
-            let b: &[f32; NR] = b_row.try_into().unwrap();
-            let v0 = a[kk];
-            let v1 = if mr > 1 { a[k + kk] } else { 0.0 };
-            let v2 = if mr > 2 { a[2 * k + kk] } else { 0.0 };
-            for j in 0..NR {
-                acc0[j] += v0 * b[j];
-                acc1[j] += v1 * b[j];
-                acc2[j] += v2 * b[j];
-            }
-        }
-    }
-    let accs = [&acc0, &acc1, &acc2, &acc3];
-    for (i, acc_row) in accs.iter().enumerate().take(mr) {
+    let mut acc = [[0.0f32; NR]; MR];
+    tile(a, k, panel, mr, &mut acc);
+    for (i, acc_row) in acc.iter().enumerate().take(mr) {
         let out_row = &mut out[i * ldc + j0..i * ldc + j0 + store_w];
         for (j, o) in out_row.iter_mut().enumerate() {
             *o = epi.apply(acc_row[j], j0 + j);
@@ -245,7 +220,9 @@ fn microkernel(
 /// Serial packed GEMM over a row range: `out[i, :] = epi(A[i, :] · B)` for
 /// `i` in `0..m`, with `a` holding exactly those `m` rows and `out` the
 /// matching `m × n` destination slice (`ldc == n`).
+#[allow(clippy::too_many_arguments)] // hot-loop driver, mirrors gemm_packed_with
 fn gemm_rows(
+    tile: bioformer_simd::Fp32TileFn,
     a: &[f32],
     m: usize,
     k: usize,
@@ -264,7 +241,7 @@ fn gemm_rows(
             let j0 = p * NR;
             let store_w = (n - j0).min(NR);
             let panel = panel_of(packed, k, p);
-            microkernel(a_block, k, panel, mr, out_block, n, j0, store_w, epi);
+            microkernel(tile, a_block, k, panel, mr, out_block, n, j0, store_w, epi);
         }
         i += mr;
     }
@@ -297,6 +274,37 @@ pub fn gemm_packed(
     out: &mut [f32],
     epi: Epilogue<'_>,
 ) {
+    // Resolve the dispatched tile once per GEMM, not once per tile.
+    gemm_packed_with(
+        bioformer_simd::kernels().fp32_tile,
+        a,
+        m,
+        k,
+        packed,
+        n,
+        out,
+        epi,
+    );
+}
+
+/// [`gemm_packed`] with an explicitly chosen microkernel tile — the hook
+/// benches and tier-parity tests use to pin a [`bioformer_simd`] tier
+/// (e.g. the portable oracle) instead of the runtime-dispatched one.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_with(
+    tile: bioformer_simd::Fp32TileFn,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    out: &mut [f32],
+    epi: Epilogue<'_>,
+) {
     assert_eq!(a.len(), m * k, "gemm_packed: A size");
     assert_eq!(packed.len(), packed_len(k, n), "gemm_packed: packed size");
     assert_eq!(out.len(), m * n, "gemm_packed: out size");
@@ -317,7 +325,7 @@ pub fn gemm_packed(
     crate::matmul::parallel_over_rows(out, m, n, work, |row0, rows_out| {
         let rows = rows_out.len() / n;
         let a_rows = &a[row0 * k..(row0 + rows) * k];
-        gemm_rows(a_rows, rows, k, packed, n, rows_out, &epi);
+        gemm_rows(tile, a_rows, rows, k, packed, n, rows_out, &epi);
     });
 }
 

@@ -6,6 +6,8 @@
 //! examples and downstream users need a single dependency:
 //!
 //! * [`tensor`] — f32 tensors, matmul, conv1d, NN math primitives.
+//! * [`simd`] — runtime-dispatched explicit-SIMD microkernels (AVX2 /
+//!   FMA / VNNI) behind safe wrappers; the portable tier is the oracle.
 //! * [`nn`] — layers with manual backprop, optimizers, training loop.
 //! * [`semg`] — synthetic Ninapro-DB6-like sEMG data generator + datasets.
 //! * [`core`] — the Bioformer architecture, TEMPONet baseline, the paper's
@@ -57,4 +59,5 @@ pub use bioformer_gap8 as gap8;
 pub use bioformer_nn as nn;
 pub use bioformer_quant as quant;
 pub use bioformer_semg as semg;
+pub use bioformer_simd as simd;
 pub use bioformer_tensor as tensor;

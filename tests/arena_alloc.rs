@@ -13,7 +13,9 @@
 //! threads cannot pollute the measurement.
 
 use bioformers::core::{Bioformer, BioformerConfig};
+use bioformers::nn::serialize::state_dict;
 use bioformers::nn::InferForward;
+use bioformers::quant::QuantBioformer;
 use bioformers::tensor::{parallel, Tensor, TensorArena};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -80,6 +82,16 @@ fn window(batch: usize, seed: u64) -> Tensor {
     })
 }
 
+/// The full bio1 network converted to int8 (conversion itself allocates
+/// freely — only steady-state inference is under test).
+fn quant_model() -> QuantBioformer {
+    let cfg = BioformerConfig::bio1();
+    let mut model = Bioformer::new(&cfg);
+    let dict = state_dict(&mut model);
+    let calib = window(4, 11);
+    QuantBioformer::convert(&cfg, &dict, &calib).expect("int8 conversion")
+}
+
 #[test]
 fn steady_state_bioformer_forward_makes_zero_heap_allocations() {
     // Force the serial kernel path: thread spawns allocate, and a bio1
@@ -132,5 +144,57 @@ fn steady_state_batched_forward_makes_zero_heap_allocations() {
         arena.recycle(y);
     });
     assert_eq!(steady, 0, "batched steady-state forward hit the heap");
+    parallel::set_max_threads(0);
+}
+
+#[test]
+fn steady_state_quant_forward_makes_zero_heap_allocations() {
+    parallel::set_max_threads(1);
+    let qmodel = quant_model();
+    let x = window(1, 7);
+    let mut arena = TensorArena::new();
+
+    // Cold pass: populates the model's internal QuantArena pool (and must
+    // be visible to the counter, proving the instrumentation works).
+    let cold = count_allocations(|| {
+        let y = qmodel.forward_infer_in(&x, &mut arena);
+        arena.recycle(y);
+    });
+    assert!(
+        cold > 0,
+        "counter failed to observe the warm-up allocations"
+    );
+
+    let y = qmodel.forward_infer_in(&x, &mut arena);
+    arena.recycle(y);
+
+    for trial in 0..3 {
+        let steady = count_allocations(|| {
+            let y = qmodel.forward_infer_in(&x, &mut arena);
+            arena.recycle(y);
+        });
+        assert_eq!(
+            steady, 0,
+            "steady-state int8 forward #{trial} hit the heap {steady} times"
+        );
+    }
+    parallel::set_max_threads(0);
+}
+
+#[test]
+fn steady_state_batched_quant_forward_makes_zero_heap_allocations() {
+    parallel::set_max_threads(1);
+    let qmodel = quant_model();
+    let x = window(8, 9);
+    let mut arena = TensorArena::new();
+    for _ in 0..2 {
+        let y = qmodel.forward_infer_in(&x, &mut arena);
+        arena.recycle(y);
+    }
+    let steady = count_allocations(|| {
+        let y = qmodel.forward_infer_in(&x, &mut arena);
+        arena.recycle(y);
+    });
+    assert_eq!(steady, 0, "batched steady-state int8 forward hit the heap");
     parallel::set_max_threads(0);
 }

@@ -1,0 +1,231 @@
+//! Property-based parity between the SIMD microkernel tiers and their
+//! portable oracles.
+//!
+//! Two layers of guarantee, both randomized over ragged shapes (`m`, `k`,
+//! `n` including 0, 1 and non-multiples of the tile):
+//!
+//! * **Tile level** — every selectable tier ([`Tier::Avx2`], [`Tier::Vnni`]
+//!   for int8; FMA/AVX-512 for fp32) is compared against the portable tier
+//!   obtained from the same dispatch table via `select(Some(Tier))`, all in
+//!   one process. int8 must be **bit-exact** (the kernels are integer
+//!   arithmetic with a mathematically exact lowering); fp32 within `1e-4`
+//!   relative (FMA skips the product rounding, so the last bits differ).
+//! * **GEMM level** — the public `qgemm_*` entry points (which run through
+//!   whatever tier the runtime dispatcher picked on this host) are compared
+//!   bit-exactly against naive widened-i32 references, covering both
+//!   zero-point paths and the fused-requantize stores.
+//!
+//! On a host without AVX2 the `select` calls clamp to portable and the tile
+//! tests degenerate to portable-vs-portable — trivially green, by design:
+//! the CI `portable-fallback` job pins `BIOFORMER_SIMD=portable` to run the
+//! GEMM-level tests against the scalar tier explicitly.
+
+use bioformers::quant::kernels::{qgemm_i32, qgemm_i32_zp, qgemm_requant_into, requantize_vec};
+use bioformers::quant::requant::FixedMultiplier;
+use bioformers::simd::{select, Tier, MR, NR, QNR};
+use bioformers::tensor::pack::{matmul_packed_into, Epilogue};
+use bioformers::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Naive widened reference: `C[i,j] = Σ_k (A[i,k]−za)(B[j,k]−zb) + bias`.
+#[allow(clippy::too_many_arguments)]
+fn qgemm_reference(
+    a: &[i8],
+    za: i32,
+    b: &[i8],
+    zb: i32,
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += (a[i * k + p] as i32 - za) * (b[j * k + p] as i32 - zb);
+            }
+            out[i * n + j] = acc + bias.map_or(0, |bias| bias[j]);
+        }
+    }
+    out
+}
+
+/// The vendored proptest shim has no i8 strategy; draw i32 and narrow.
+fn codes(len: usize) -> impl Strategy<Value = Vec<i32>> {
+    proptest::collection::vec(-128i32..128, len..len + 1)
+}
+
+fn narrow(v: &[i32]) -> Vec<i8> {
+    v.iter().map(|&x| x as i8).collect()
+}
+
+fn floats(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0f32..1.0, len..len + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every int8 tier computes bit-identical dot tiles, and leaves the
+    /// lanes beyond `jw` untouched.
+    #[test]
+    fn int8_tiers_are_bit_exact(
+        k in 0usize..130,
+        jw in 1usize..(QNR + 1),
+        a in codes(130),
+        b in codes(4 * 130),
+    ) {
+        let a = narrow(&a[..k]);
+        let b = narrow(&b[..jw * k]);
+        let (a, b) = (a.as_slice(), b.as_slice());
+
+        let portable = select(Some(Tier::Portable));
+        prop_assert!(portable.portable);
+        let mut want = [i32::MIN; QNR];
+        (portable.qdot_tile)(a, b, k, jw, &mut want);
+
+        for tier in [Tier::Avx2, Tier::Vnni] {
+            let kernels = select(Some(tier));
+            let mut got = [i32::MIN; QNR];
+            (kernels.qdot_tile)(a, b, k, jw, &mut got);
+            prop_assert_eq!(
+                &got[..jw], &want[..jw],
+                "tier {} disagrees with portable (k={}, jw={})",
+                kernels.name, k, jw
+            );
+            for (lane, &g) in got.iter().enumerate().skip(jw) {
+                prop_assert_eq!(g, i32::MIN, "lane {} clobbered", lane);
+            }
+        }
+    }
+
+    /// Every fp32 tier matches the portable tile within 1e-4 relative, and
+    /// leaves accumulator rows beyond `mr` untouched.
+    #[test]
+    fn fp32_tiers_are_close(
+        k in 0usize..70,
+        mr in 1usize..(MR + 1),
+        a in floats(4 * 70),
+        panel in floats(70 * NR),
+    ) {
+        let a = &a[..mr * k];
+        let panel = &panel[..k * NR];
+
+        let portable = select(Some(Tier::Portable));
+        let mut want = [[0.0f32; NR]; MR];
+        (portable.fp32_tile)(a, k, panel, mr, &mut want);
+
+        for tier in [Tier::Avx2, Tier::Vnni] {
+            let kernels = select(Some(tier));
+            let mut got = [[f32::NAN; NR]; MR];
+            (kernels.fp32_tile)(a, k, panel, mr, &mut got);
+            for i in 0..mr {
+                for j in 0..NR {
+                    let (g, w) = (got[i][j], want[i][j]);
+                    prop_assert!(
+                        (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                        "tier {} acc[{}][{}]: {} vs {} (k={}, mr={})",
+                        kernels.name, i, j, g, w, k, mr
+                    );
+                }
+            }
+            for row in got.iter().skip(mr) {
+                prop_assert!(row.iter().all(|v| v.is_nan()), "dead row written");
+            }
+        }
+    }
+
+    /// The dispatched int8 GEMM is bit-exact against the naive widened
+    /// reference across ragged shapes, with and without bias.
+    #[test]
+    fn qgemm_matches_scalar_oracle(
+        m in 0usize..7,
+        k in 0usize..60,
+        n in 0usize..14,
+        with_bias in 0usize..2,
+        a in codes(7 * 60),
+        b in codes(14 * 60),
+        bias in proptest::collection::vec(-1000i32..1000, 14..15),
+    ) {
+        let a = narrow(&a[..m * k]);
+        let b = narrow(&b[..n * k]);
+        let (a, b) = (a.as_slice(), b.as_slice());
+        let bias = (with_bias == 1).then_some(&bias[..n]);
+        let want = qgemm_reference(a, 0, b, 0, bias, m, k, n);
+        let got = qgemm_i32(a, b, bias, m, k, n);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The zero-point-corrected path is bit-exact against the widened
+    /// reference for arbitrary (asymmetric) zero points.
+    #[test]
+    fn qgemm_zp_matches_widened_reference(
+        m in 0usize..6,
+        k in 0usize..40,
+        n in 0usize..10,
+        za in -128i32..128,
+        zb in -128i32..128,
+        a in codes(6 * 40),
+        b in codes(10 * 40),
+    ) {
+        let a = narrow(&a[..m * k]);
+        let b = narrow(&b[..n * k]);
+        let (a, b) = (a.as_slice(), b.as_slice());
+        let want = qgemm_reference(a, za, b, zb, None, m, k, n);
+        let got = qgemm_i32_zp(a, za, b, zb, None, m, k, n);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The fused requantizing store is bit-identical to accumulate-then-
+    /// requantize, for arbitrary multipliers and zero points.
+    #[test]
+    fn fused_requant_matches_two_pass(
+        m in 1usize..5,
+        k in 0usize..40,
+        n in 1usize..10,
+        mult in 1e-4f64..4.0,
+        zp in -20i32..20,
+        a in codes(5 * 40),
+        b in codes(10 * 40),
+    ) {
+        let a = narrow(&a[..m * k]);
+        let b = narrow(&b[..n * k]);
+        let (a, b) = (a.as_slice(), b.as_slice());
+        let mult = FixedMultiplier::encode(mult);
+        let want = requantize_vec(&qgemm_i32(a, b, None, m, k, n), mult, zp);
+        let mut got = vec![0i8; m * n];
+        qgemm_requant_into(a, b, None, m, k, n, mult, zp, &mut got);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The packed fp32 GEMM (through the dispatched tile) tracks a naive
+    /// f64-accumulated reference across ragged shapes.
+    #[test]
+    fn packed_matmul_matches_naive(
+        m in 1usize..6,
+        k in 0usize..40,
+        n in 1usize..20,
+        a in floats(6 * 40),
+        b in floats(40 * 20),
+    ) {
+        let at = Tensor::from_vec(a[..m * k].to_vec(), &[m, k]);
+        let bt = Tensor::from_vec(b[..k * n].to_vec(), &[k, n]);
+        let mut out = vec![f32::NAN; m * n];
+        let mut scratch = Vec::new();
+        matmul_packed_into(&at, &bt, &mut scratch, &mut out, Epilogue::None);
+        for i in 0..m {
+            for j in 0..n {
+                let want: f64 = (0..k)
+                    .map(|p| at.data()[i * k + p] as f64 * bt.data()[p * n + j] as f64)
+                    .sum();
+                let got = out[i * n + j] as f64;
+                prop_assert!(
+                    (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                    "C[{}][{}]: {} vs {}", i, j, got, want
+                );
+            }
+        }
+    }
+}
