@@ -1,0 +1,242 @@
+//! Multi-tenant gateway demo: four Ninapro DB6 session recordings stream
+//! **concurrently over TCP loopback** into one [`StreamServer`] — each
+//! tenant speaks the length-prefixed binary protocol through a
+//! [`GatewayClient`], gets debounced [`GestureEvent`]s pushed back live,
+//! and every per-window prediction is checked **bit-exactly** against the
+//! offline extract-normalize-predict path. The whole exercise runs twice:
+//! once over the fp32 Bioformer and once over its int8 quantization.
+//!
+//! ```text
+//! cargo run --release --example serve_gateway
+//! ```
+
+use bioformers::core::protocol::{run_standard, ProtocolConfig};
+use bioformers::core::{Bioformer, BioformerConfig};
+use bioformers::nn::serialize::state_dict;
+use bioformers::quant::QuantBioformer;
+use bioformers::semg::windowing::extract_all_into;
+use bioformers::semg::{DatasetSpec, NinaproDb6, Normalizer, CHANNELS, WINDOW};
+use bioformers::serve::stream::confidence;
+use bioformers::serve::{
+    AsyncEngine, AsyncEngineConfig, ClientSummary, DecisionPolicy, Engine, GatewayClient,
+    GestureClassifier, InferenceEngine, StreamConfig, StreamServer, StreamServerConfig,
+    StreamSession, TcpGateway,
+};
+use bioformers::tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Interleaves a `[CHANNELS, frames]` signal into the frame-major order
+/// the wire protocol streams.
+fn interleave(signal: &Tensor) -> Vec<f32> {
+    let frames = signal.dims()[1];
+    let mut out = Vec::with_capacity(CHANNELS * frames);
+    for t in 0..frames {
+        for ch in 0..CHANNELS {
+            out.push(signal.data()[ch * frames + t]);
+        }
+    }
+    out
+}
+
+/// Streams every session through one gateway concurrently and verifies
+/// each tenant's results bit-match the offline path for `backend`.
+fn serve_and_verify(
+    label: &str,
+    engine: Arc<dyn Engine>,
+    backend: Arc<dyn GestureClassifier>,
+    cfg: &StreamConfig,
+    sessions: &[(String, Vec<f32>, Tensor)],
+    slide: usize,
+    norm: &Normalizer,
+) {
+    let server = Arc::new(
+        StreamServer::start(
+            Arc::clone(&engine),
+            StreamServerConfig::new(cfg.clone()).with_max_sessions(8),
+        )
+        .expect("stream server"),
+    );
+    let mut gw = TcpGateway::bind(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let addr = gw.local_addr();
+    println!("[{label}] gateway listening on {addr}");
+
+    // Every tenant on its own thread, its own TCP connection, pushing
+    // 25 ms bursts — the cadence a wearable's DMA buffer would fire at.
+    let burst = 50 * CHANNELS;
+    let summaries: Vec<(String, ClientSummary)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|(tenant, stream, _)| {
+                scope.spawn(move || {
+                    let mut client = GatewayClient::connect(addr, tenant).expect("gateway connect");
+                    for part in stream.chunks(burst) {
+                        client.send_samples(part).expect("gateway send");
+                    }
+                    (tenant.clone(), client.finish().expect("gateway finish"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect()
+    });
+
+    // Bit-equivalence, tenant by tenant: offline window extraction +
+    // normalization + one predict_batch on the very backend instance the
+    // server engine wraps, plus an uninterrupted in-process reference
+    // session for the event timeline.
+    for ((tenant, stream, signal), (came_back, summary)) in sessions.iter().zip(&summaries) {
+        assert_eq!(tenant, came_back);
+        let mut buf = Vec::new();
+        let n = extract_all_into(signal, slide, &mut buf);
+        for w in buf.chunks_mut(CHANNELS * WINDOW) {
+            norm.apply_window(w);
+        }
+        let logits = backend.predict_batch(&Tensor::from_vec(buf, &[n, CHANNELS, WINDOW]));
+        let offline_preds = logits.argmax_rows();
+        let offline_confs: Vec<f32> = offline_preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| confidence(logits.row(i), p))
+            .collect();
+
+        let streamed_preds: Vec<usize> = summary
+            .predictions
+            .iter()
+            .map(|&(c, _)| c as usize)
+            .collect();
+        let streamed_confs: Vec<f32> = summary.predictions.iter().map(|&(_, p)| p).collect();
+        assert_eq!(
+            streamed_preds, offline_preds,
+            "[{label}] {tenant}: TCP-streamed predictions diverge from offline"
+        );
+        assert_eq!(
+            streamed_confs, offline_confs,
+            "[{label}] {tenant}: TCP-streamed confidences diverge from offline"
+        );
+
+        let reference = InferenceEngine::new(Box::new(Arc::clone(&backend)));
+        let mut rs = StreamSession::new(&reference, cfg.clone()).expect("reference session");
+        let mut ref_events = Vec::new();
+        for part in stream.chunks(burst) {
+            ref_events.extend(rs.push_samples(part).expect("reference push"));
+        }
+        let ref_summary = rs.finish().expect("reference finish");
+        ref_events.extend(ref_summary.events.iter().cloned());
+        assert_eq!(
+            &summary.events, &ref_events,
+            "[{label}] {tenant}: event timeline diverges from the offline session"
+        );
+        println!(
+            "[{label}] {tenant}: {} windows, {} events over TCP — bit-match offline ✓",
+            summary.windows,
+            summary.events.len()
+        );
+    }
+
+    gw.shutdown();
+    let stats = server.shutdown();
+    assert!(
+        stats.rollup_consistent(),
+        "per-tenant stats must sum to totals"
+    );
+    println!(
+        "[{label}] pool totals: {} sessions, {} chunks, {} windows, {} events across {} tenants\n",
+        stats.totals.sessions,
+        stats.totals.chunks,
+        stats.totals.windows,
+        stats.totals.events,
+        stats.per_tenant.len(),
+    );
+}
+
+fn main() {
+    // 1. Data + a quickly-trained Bioformer, quantized to int8.
+    println!("generating tiny synthetic DB6 + training a small Bioformer...");
+    let db = NinaproDb6::generate(&DatasetSpec::tiny());
+    let mut model = Bioformer::new(&BioformerConfig {
+        heads: 2,
+        depth: 1,
+        head_dim: 8,
+        hidden: 32,
+        filter: 30,
+        dropout: 0.0,
+        seed: 1,
+        ..BioformerConfig::bio1()
+    });
+    let outcome = run_standard(&mut model, &db, 0, &ProtocolConfig::quick());
+    println!(
+        "fp32 test accuracy after quick training: {:.1}%\n",
+        outcome.overall * 100.0
+    );
+
+    let train = db.train_dataset(0);
+    let norm = Normalizer::fit(&train);
+    let train_data = norm.apply(&train);
+    let calib_n = train_data.x().dims()[0].min(64);
+    let calib = Tensor::from_vec(
+        train_data.x().data()[..calib_n * CHANNELS * WINDOW].to_vec(),
+        &[calib_n, CHANNELS, WINDOW],
+    );
+    let dict = state_dict(&mut model);
+    let qmodel =
+        Arc::new(QuantBioformer::convert(model.config(), &dict, &calib).expect("quantization"));
+    let fmodel = Arc::new(model);
+
+    // 2. Four session recordings from subject 0 — four tenants streaming
+    //    concurrently into one shared engine.
+    let slide = db.spec().slide;
+    let sessions: Vec<(String, Vec<f32>, Tensor)> = (0..db.spec().sessions)
+        .map(|s| {
+            let (signal, _spans) = db.session_signal(0, s);
+            (format!("subject0/session{s}"), interleave(&signal), signal)
+        })
+        .collect();
+    println!(
+        "streaming {} concurrent tenants, window {WINDOW}, slide {slide}\n",
+        sessions.len()
+    );
+
+    let cfg = StreamConfig::db6()
+        .with_slide(slide)
+        .with_lookahead(4)
+        .with_policy(DecisionPolicy {
+            vote_depth: 5,
+            min_hold: 3,
+            confidence_floor: 0.30,
+        })
+        .with_normalizer(norm.clone());
+
+    // 3. fp32 over a plain inline engine.
+    serve_and_verify(
+        "fp32",
+        Arc::new(InferenceEngine::new(Box::new(Arc::clone(&fmodel)))),
+        Arc::clone(&fmodel) as Arc<dyn GestureClassifier>,
+        &cfg,
+        &sessions,
+        slide,
+        &norm,
+    );
+
+    // 4. int8 over a micro-batching AsyncEngine — a different topology
+    //    behind the identical wire protocol and the identical guarantee.
+    serve_and_verify(
+        "int8",
+        Arc::new(AsyncEngine::with_config(
+            Box::new(Arc::clone(&qmodel)),
+            AsyncEngineConfig::default()
+                .with_workers(2)
+                .with_micro_batch(8)
+                .with_linger(Duration::from_micros(200)),
+        )),
+        Arc::clone(&qmodel) as Arc<dyn GestureClassifier>,
+        &cfg,
+        &sessions,
+        slide,
+        &norm,
+    );
+
+    println!("both precisions served 4 concurrent TCP tenants bit-identically to offline ✓");
+}

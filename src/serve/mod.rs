@@ -29,7 +29,13 @@
 //! (submit / classify / stats / shutdown over one [`ServeError`] surface),
 //! so callers can be generic over topology; the [`StreamSession`] layer
 //! builds on that to turn a **raw sEMG sample stream** into debounced
-//! [`GestureEvent`] decisions through any engine.
+//! [`GestureEvent`] decisions through any engine. One level up,
+//! [`StreamServer`] multiplexes N concurrent sessions over one shared
+//! engine with bounded per-session buffers, round-robin fairness,
+//! idle-timeout eviction and checkpointed reconnects, and [`TcpGateway`]
+//! serves it over TCP loopback with the hand-rolled length-prefixed
+//! [`proto`] frame protocol ([`GatewayClient`] is the matching client
+//! codec).
 //!
 //! `docs/serving.md` is the end-to-end architecture guide for this module.
 //!
@@ -46,20 +52,30 @@
 //! assert_eq!(engine.engine_stats().requests, 1);
 //! ```
 
+pub mod client;
 pub mod engine;
+pub mod proto;
 pub mod queue;
 pub mod router;
+pub mod server;
 pub mod stream;
 pub mod worker;
 
+pub use client::{ClientSessionStats, ClientSummary, GatewayClient, GatewayError};
 pub use engine::{Engine, EngineStats};
+pub use proto::{ErrorCode, Frame, FrameDecoder, ProtoError};
 pub use queue::{PendingResponse, RequestOutput, ServeError};
 pub use router::{
     PoolStats, ReplicaStats, RoutingPolicy, ShardedEngine, ShardedEngineBuilder,
     ShardedEngineConfig,
 };
+pub use server::{
+    FinishReport, ServeCounters, ServerStats, SessionHandle, SessionStats, StreamServer,
+    StreamServerConfig, TcpGateway, TenantStats,
+};
 pub use stream::{
-    DecisionPolicy, DecisionSmoother, GestureEvent, StreamConfig, StreamSession, StreamSummary,
+    DecisionPolicy, DecisionSmoother, GestureEvent, SessionCheckpoint, StreamConfig, StreamSession,
+    StreamSummary,
 };
 pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy, WorkerStats};
 
@@ -69,11 +85,16 @@ pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy, Worke
 /// use bioformers::serve::prelude::*;
 /// ```
 pub mod prelude {
+    pub use super::client::{ClientSummary, GatewayClient, GatewayError};
     pub use super::engine::{Engine, EngineStats};
     pub use super::queue::{PendingResponse, RequestOutput, ServeError};
     pub use super::router::{PoolStats, RoutingPolicy, ShardedEngine};
+    pub use super::server::{
+        ServerStats, SessionHandle, StreamServer, StreamServerConfig, TcpGateway,
+    };
     pub use super::stream::{
-        DecisionPolicy, DecisionSmoother, GestureEvent, StreamConfig, StreamSession, StreamSummary,
+        DecisionPolicy, DecisionSmoother, GestureEvent, SessionCheckpoint, StreamConfig,
+        StreamSession, StreamSummary,
     };
     pub use super::worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy};
     pub use super::{GestureClassifier, InferenceEngine, LatencyStats, ServeOutcome};

@@ -36,8 +36,13 @@ pub enum ServeError {
     Cancelled,
     /// Every replica in a sharded pool is quarantined (dead workers or a
     /// run of consecutive backend failures), so there is nowhere left to
-    /// route the request. See `ShardedEngine`.
+    /// route the request. See `ShardedEngine`. The multi-tenant
+    /// `StreamServer` reuses this for a session pool with no free slot.
     Unavailable,
+    /// The streaming session behind this handle was evicted by the
+    /// server's idle timeout. Its state was checkpointed — reconnect with
+    /// the session token to resume where it left off. See `StreamServer`.
+    Evicted,
 }
 
 impl std::fmt::Display for ServeError {
@@ -50,6 +55,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Cancelled => write!(f, "request cancelled without being served"),
             ServeError::Unavailable => {
                 write!(f, "no healthy replica available to serve the request")
+            }
+            ServeError::Evicted => {
+                write!(f, "session evicted by idle timeout; reconnect to resume")
             }
         }
     }

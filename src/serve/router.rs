@@ -168,6 +168,22 @@ impl PoolStats {
             self.requests as f64 / self.batches as f64
         }
     }
+
+    /// Whether every pool total equals the sum of its per-replica
+    /// counterparts — the rollup invariant `tests/serving_sharded.rs` pins,
+    /// and the shape the multi-tenant gateway's
+    /// [`ServerStats`](super::ServerStats) per-tenant rollup mirrors.
+    pub fn rollup_consistent(&self) -> bool {
+        let sum =
+            |f: &dyn Fn(&ReplicaStats) -> usize| -> usize { self.per_replica.iter().map(f).sum() };
+        self.requests == sum(&|r| r.stats.requests)
+            && self.expired == sum(&|r| r.stats.expired)
+            && self.failed == sum(&|r| r.stats.failed)
+            && self.rejected == sum(&|r| r.stats.rejected)
+            && self.batches == sum(&|r| r.stats.batches)
+            && self.coalesced_batches == sum(&|r| r.stats.coalesced_batches)
+            && self.windows == sum(&|r| r.stats.windows)
+    }
 }
 
 /// Builder for a [`ShardedEngine`]: collect heterogeneous replicas, then

@@ -443,6 +443,53 @@ impl StreamConfig {
     }
 }
 
+/// The portable state of a suspended [`StreamSession`], produced by
+/// [`StreamSession::suspend`] and consumed by [`StreamSession::resume`].
+///
+/// A checkpoint carries everything a reconnecting client needs for the
+/// resumed stream to behave **exactly** as if the session had never been
+/// interrupted: the online windower (buffered tail samples included, so
+/// windows spanning the seam are not lost), the [`DecisionSmoother`] with
+/// its active decision, vote buffer and window clock, and the per-window
+/// prediction/confidence history that the final [`StreamSummary`] reports.
+/// No window is served twice and no event is duplicated or dropped across
+/// the seam — the multi-tenant [`StreamServer`](super::StreamServer) uses
+/// checkpoints for both idle-timeout eviction and client reconnects.
+#[derive(Debug, Clone)]
+pub struct SessionCheckpoint {
+    windower: OnlineWindower,
+    smoother: DecisionSmoother,
+    predictions: Vec<usize>,
+    confidences: Vec<f32>,
+}
+
+impl SessionCheckpoint {
+    /// Electrode channels of the suspended stream.
+    pub fn channels(&self) -> usize {
+        self.windower.channels()
+    }
+
+    /// Window length in frames of the suspended stream.
+    pub fn window(&self) -> usize {
+        self.windower.window()
+    }
+
+    /// Slide in frames of the suspended stream.
+    pub fn slide(&self) -> usize {
+        self.windower.slide()
+    }
+
+    /// Windows decided before the suspension.
+    pub fn windows_decided(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// The active gesture decision's class label at suspension, if any.
+    pub fn current_class(&self) -> Option<usize> {
+        self.smoother.current()
+    }
+}
+
 /// Final summary of a finished [`StreamSession`].
 #[derive(Debug, Clone)]
 pub struct StreamSummary {
@@ -639,6 +686,79 @@ impl<'a> StreamSession<'a> {
             confidences: std::mem::take(&mut self.confidences),
             events,
         })
+    }
+
+    /// Suspends the stream **without** closing it: waits out every
+    /// in-flight window, then exports the session's complete state as a
+    /// [`SessionCheckpoint`] plus any gesture events the drained windows
+    /// decided. Unlike [`StreamSession::finish`] the active decision stays
+    /// open (no closing [`GestureEvent::Ended`] is emitted) and buffered
+    /// tail samples are **kept** in the checkpoint, so a session resumed
+    /// from it continues bit-identically to one that was never suspended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine error from draining the in-flight
+    /// windows, exactly like `finish`.
+    pub fn suspend(mut self) -> Result<(SessionCheckpoint, Vec<GestureEvent>), ServeError> {
+        let mut events = Vec::new();
+        self.drain(true, &mut events)?;
+        Ok((
+            SessionCheckpoint {
+                windower: self.windower.clone(),
+                smoother: self.smoother.clone(),
+                predictions: std::mem::take(&mut self.predictions),
+                confidences: std::mem::take(&mut self.confidences),
+            },
+            events,
+        ))
+    }
+
+    /// Reopens a suspended stream over `engine` (not necessarily the one it
+    /// was suspended from): windowing continues from the checkpoint's
+    /// buffered tail, the decision state machine keeps its active decision
+    /// and window clock, and the eventual [`StreamSummary`] covers the
+    /// whole logical stream, pre- and post-suspension windows alike.
+    ///
+    /// The checkpoint overrides `cfg.policy` (the smoother resumes as
+    /// suspended) while `lookahead`, `retries` and the normalizer are taken
+    /// from `cfg` — operational knobs may change across a reconnect, stream
+    /// semantics may not.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when `cfg`'s channels/window/slide
+    /// disagree with the checkpoint's, or on the same config/engine
+    /// mismatches [`StreamSession::new`] rejects.
+    pub fn resume(
+        engine: &'a dyn Engine,
+        cfg: StreamConfig,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<Self, ServeError> {
+        if (cfg.channels, cfg.window, cfg.slide)
+            != (
+                checkpoint.channels(),
+                checkpoint.window(),
+                checkpoint.slide(),
+            )
+        {
+            return Err(ServeError::BadRequest(format!(
+                "resume shape [channels {}, window {}, slide {}] does not match \
+                 checkpoint [channels {}, window {}, slide {}]",
+                cfg.channels,
+                cfg.window,
+                cfg.slide,
+                checkpoint.channels(),
+                checkpoint.window(),
+                checkpoint.slide()
+            )));
+        }
+        let mut session = StreamSession::new(engine, cfg)?;
+        session.windower = checkpoint.windower;
+        session.smoother = checkpoint.smoother;
+        session.predictions = checkpoint.predictions;
+        session.confidences = checkpoint.confidences;
+        Ok(session)
     }
 
     /// Normalizes and submits one extracted window.
