@@ -20,10 +20,13 @@ use bioformer_nn::{
     AvgPool1d, Conv1d, Dropout, GroupNorm1d, InferForward, Linear, Model, Param, Relu,
 };
 use bioformer_semg::{CHANNELS, GESTURE_CLASSES, WINDOW};
+use bioformer_tensor::backend::{default_backend, ComputeBackend};
 use bioformer_tensor::conv::Conv1dSpec;
+use bioformer_tensor::tune::GemmShape;
 use bioformer_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// One TCN block: two dilated same-length convolutions and a strided
 /// down-sampling convolution, each followed by normalisation and ReLU.
@@ -118,6 +121,25 @@ impl TcnBlock {
         self.norm2.clear_cache();
         self.relu2.clear_cache();
     }
+
+    fn set_backend(&mut self, backend: &Arc<dyn ComputeBackend>) {
+        self.conv0.set_backend(backend.clone());
+        self.conv1.set_backend(backend.clone());
+        self.down.set_backend(backend.clone());
+    }
+
+    /// The im2col GEMM shapes of the block's three convolutions
+    /// (`m = 0` wildcard: the row count is the output length, which
+    /// depends on batch slicing).
+    fn gemm_shapes(&self, out: &mut Vec<GemmShape>) {
+        for conv in [&self.conv0, &self.conv1, &self.down] {
+            out.push(GemmShape::fp32(
+                0,
+                conv.in_channels() * conv.kernel(),
+                conv.out_channels(),
+            ));
+        }
+    }
 }
 
 /// The TEMPONet-like baseline model.
@@ -145,6 +167,7 @@ pub struct TempoNet {
     drop2: Dropout,
     head: Linear,
     fwd_shape: Option<(usize, usize, usize)>,
+    backend: Arc<dyn ComputeBackend>,
 }
 
 /// Flattened feature width entering the classifier: 128 channels × 19
@@ -173,7 +196,46 @@ impl TempoNet {
             drop2: Dropout::new(0.3, drop_seed.wrapping_add(1)),
             head: Linear::new("head", 48, GESTURE_CLASSES, &mut rng),
             fwd_shape: None,
+            backend: default_backend(),
         }
+    }
+
+    /// Installs a compute backend on every GEMM-bearing layer (all nine
+    /// convolutions and the three classifier linears). Packed weights are
+    /// re-built under the new backend's plans on next use.
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        for blk in &mut self.blocks {
+            blk.set_backend(&backend);
+        }
+        self.fc1.set_backend(backend.clone());
+        self.fc2.set_backend(backend.clone());
+        self.head.set_backend(backend.clone());
+        self.backend = backend;
+    }
+
+    /// The compute backend the inference path routes through.
+    pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
+        &self.backend
+    }
+
+    /// One-line description of the installed backend (tuning state
+    /// included) — surfaced through `EngineStats`.
+    pub fn compute_report(&self) -> String {
+        self.backend.describe()
+    }
+
+    /// Every distinct GEMM shape the inference path executes — the
+    /// autotuner's work-list (all `m = 0` wildcards: conv output lengths
+    /// and batch sizes both vary the row count).
+    pub fn gemm_shapes(&self) -> Vec<GemmShape> {
+        let mut shapes = Vec::new();
+        for blk in &self.blocks {
+            blk.gemm_shapes(&mut shapes);
+        }
+        shapes.push(GemmShape::fp32(0, TEMPONET_FLAT, 96));
+        shapes.push(GemmShape::fp32(0, 96, 48));
+        shapes.push(GemmShape::fp32(0, 48, GESTURE_CLASSES));
+        shapes
     }
 }
 

@@ -8,10 +8,12 @@
 
 use crate::linear::{FusedActivation, Linear};
 use crate::param::Param;
+use bioformer_tensor::backend::{default_backend, ComputeBackend};
 use bioformer_tensor::ops::{softmax_rows, softmax_rows_backward, softmax_rows_slice};
-use bioformer_tensor::pack::{gemm_packed, pack_b, pack_b_t, packed_len, Epilogue};
+use bioformer_tensor::pack::Epilogue;
 use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Multi-head self-attention over `[batch, seq, embed]` tensors.
 #[derive(Debug, Clone)]
@@ -24,6 +26,9 @@ pub struct MultiHeadSelfAttention {
     heads: usize,
     head_dim: usize,
     cache: Option<AttnCache>,
+    /// Backend for the per-head score/AV GEMMs (the projections route
+    /// through their own [`Linear`] layers' backends).
+    backend: Arc<dyn ComputeBackend>,
 }
 
 #[derive(Debug, Clone)]
@@ -58,7 +63,18 @@ impl MultiHeadSelfAttention {
             heads,
             head_dim,
             cache: None,
+            backend: default_backend(),
         }
+    }
+
+    /// Installs a compute backend on the per-head GEMMs and all four
+    /// projection layers.
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.wq.set_backend(backend.clone());
+        self.wk.set_backend(backend.clone());
+        self.wv.set_backend(backend.clone());
+        self.wo.set_backend(backend.clone());
+        self.backend = backend;
     }
 
     /// Number of attention heads.
@@ -209,13 +225,19 @@ impl MultiHeadSelfAttention {
         let k = project(&self.wk, arena);
         let v = project(&self.wv, arena);
 
+        // Backend plans for the two per-head GEMM shapes; packed-panel
+        // sizes are plan-dependent, so resolve before allocating scratch.
+        let bk = self.backend.as_ref();
+        let plan_scores = bk.plan_fp32(s, p, s);
+        let plan_av = bk.plan_fp32(s, s, p);
+
         let mut concat = arena.tensor(&[rows, inner]);
         // Per-head scratch, reused across every (batch, head) pair.
         let mut qh = arena.alloc(s * p);
         let mut kh = arena.alloc(s * p);
         let mut vh = arena.alloc(s * p);
-        let mut kh_packed = arena.alloc(packed_len(p, s));
-        let mut vh_packed = arena.alloc(packed_len(s, p));
+        let mut kh_packed = arena.alloc(plan_scores.packed_len(p, s));
+        let mut vh_packed = arena.alloc(plan_av.packed_len(s, p));
         let mut scores = arena.alloc(s * s);
         let mut oh = arena.alloc(s * p);
         for b in 0..batch {
@@ -224,8 +246,9 @@ impl MultiHeadSelfAttention {
                 self.gather_head(&k, b, h, seq, &mut kh);
                 self.gather_head(&v, b, h, seq, &mut vh);
                 // scores[s,s] = (qh · khᵀ) · scale, scale fused into store.
-                pack_b_t(&kh, s, p, &mut kh_packed);
-                gemm_packed(
+                bk.pack_b_t_into(plan_scores, &kh, s, p, &mut kh_packed);
+                bk.gemm_with(
+                    plan_scores,
                     &qh,
                     s,
                     p,
@@ -236,8 +259,17 @@ impl MultiHeadSelfAttention {
                 );
                 softmax_rows_slice(&mut scores, s);
                 // oh[s,p] = probs · vh.
-                pack_b(&vh, s, p, &mut vh_packed);
-                gemm_packed(&scores, s, s, &vh_packed, p, &mut oh, Epilogue::None);
+                bk.pack_b_into(plan_av, &vh, s, p, &mut vh_packed);
+                bk.gemm_with(
+                    plan_av,
+                    &scores,
+                    s,
+                    s,
+                    &vh_packed,
+                    p,
+                    &mut oh,
+                    Epilogue::None,
+                );
                 // Scatter into head h's columns of concat.
                 let cd = concat.data_mut();
                 for si in 0..seq {

@@ -6,8 +6,10 @@ use crate::dropout::Dropout;
 use crate::layernorm::LayerNorm;
 use crate::linear::{FusedActivation, Linear};
 use crate::param::Param;
+use bioformer_tensor::backend::ComputeBackend;
 use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
+use std::sync::Arc;
 
 /// One transformer encoder block in the pre-LN arrangement used by ViT
 /// (which the Bioformer follows):
@@ -61,6 +63,15 @@ impl TransformerBlock {
     /// The attention sub-layer.
     pub fn attention(&self) -> &MultiHeadSelfAttention {
         &self.attn
+    }
+
+    /// Installs a compute backend on every GEMM-bearing sub-layer
+    /// (attention projections + both FFN linears); packed weights are
+    /// re-built under the new backend's plans on next use.
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.attn.set_backend(backend.clone());
+        self.fc1.set_backend(backend.clone());
+        self.fc2.set_backend(backend);
     }
 
     /// FFN hidden width.

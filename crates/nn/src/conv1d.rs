@@ -2,14 +2,15 @@
 
 use crate::init;
 use crate::param::Param;
+use bioformer_tensor::backend::{default_backend, ComputeBackend};
 use bioformer_tensor::conv::{
     conv1d_backward_input, conv1d_backward_params_cols, conv1d_forward_cols, im2col, im2col_into,
     Conv1dSpec,
 };
-use bioformer_tensor::pack::{gemm_packed, Epilogue, PackedB};
+use bioformer_tensor::pack::{Epilogue, PackedB};
 use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A batched 1-D convolution over `[batch, in_channels, length]` tensors.
 ///
@@ -33,6 +34,8 @@ pub struct Conv1d {
     cached_cols: Option<(Vec<Tensor>, usize)>,
     /// Lazily-built packed image of the flattened weight for inference.
     packed: OnceLock<PackedB>,
+    /// Compute backend the inference path routes its GEMMs through.
+    backend: Arc<dyn ComputeBackend>,
 }
 
 impl Conv1d {
@@ -60,7 +63,20 @@ impl Conv1d {
             kernel,
             cached_cols: None,
             packed: OnceLock::new(),
+            backend: default_backend(),
         }
+    }
+
+    /// Installs a compute backend; the packed weight is re-built under the
+    /// new backend's plan on next use.
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.packed.take();
+        self.backend = backend;
+    }
+
+    /// The compute backend the inference path routes through.
+    pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
+        &self.backend
     }
 
     /// The convolution hyper-parameters.
@@ -156,7 +172,7 @@ impl Conv1d {
     /// on first use after any invalidation.
     fn packed_weight(&self) -> &PackedB {
         self.packed.get_or_init(|| {
-            PackedB::from_b_t(
+            self.backend.pack_weight(
                 self.weight.value.data(),
                 self.out_channels,
                 self.in_channels * self.kernel,
@@ -189,12 +205,10 @@ impl Conv1d {
         for i in 0..b {
             let xi = &x.data()[i * sample..(i + 1) * sample];
             im2col_into(xi, c, len, self.kernel, self.spec, &mut cols);
-            gemm_packed(
+            self.backend.gemm(
                 &cols,
                 out_len,
-                ck,
-                self.packed_weight().as_slice(),
-                c_out,
+                self.packed_weight(),
                 &mut yt,
                 Epilogue::Bias(self.bias.value.data()),
             );

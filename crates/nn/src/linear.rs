@@ -2,10 +2,11 @@
 
 use crate::init;
 use crate::param::Param;
-use bioformer_tensor::pack::{gemm_packed, Epilogue, PackedB};
+use bioformer_tensor::backend::{default_backend, ComputeBackend};
+use bioformer_tensor::pack::{Epilogue, PackedB};
 use bioformer_tensor::{Tensor, TensorArena};
 use rand::Rng;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// An activation fused into a [`Linear`] forward's GEMM epilogue: the
 /// nonlinearity is applied as each output tile is stored, instead of in a
@@ -29,8 +30,10 @@ pub enum FusedActivation {
 ///
 /// # Weight packing
 ///
-/// The inference path runs on the panel-packed GEMM of
-/// [`bioformer_tensor::pack`], and the packed image of `W` is cached inside
+/// The inference path runs through the layer's
+/// [`ComputeBackend`] (the process default unless
+/// [`Linear::set_backend`] installs another — e.g. an autotuned one), and
+/// the packed image of `W` is cached inside
 /// the layer so serving packs each weight matrix **once**, not per call.
 /// The cache follows a simple freshness rule: any `&mut self` entry point
 /// that could have observed a weight mutation ([`Linear::forward`],
@@ -47,6 +50,8 @@ pub struct Linear {
     cached_input: Option<Tensor>,
     /// Lazily-built packed image of `weight` for the inference GEMM.
     packed: OnceLock<PackedB>,
+    /// The compute backend every GEMM of this layer routes through.
+    backend: Arc<dyn ComputeBackend>,
 }
 
 impl Linear {
@@ -64,7 +69,21 @@ impl Linear {
             out_features,
             cached_input: None,
             packed: OnceLock::new(),
+            backend: default_backend(),
         }
+    }
+
+    /// Installs a compute backend for this layer's GEMMs, dropping the
+    /// packed-weight cache (the new backend may pack at a different panel
+    /// width).
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.packed.take();
+        self.backend = backend;
+    }
+
+    /// The compute backend this layer routes through.
+    pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
+        &self.backend
     }
 
     /// Input width.
@@ -97,7 +116,7 @@ impl Linear {
     /// concurrent first calls).
     fn packed_weight(&self) -> &PackedB {
         self.packed.get_or_init(|| {
-            PackedB::from_b_t(
+            self.backend.pack_weight(
                 self.weight.value.data(),
                 self.out_features,
                 self.in_features,
@@ -193,15 +212,7 @@ impl Linear {
             FusedActivation::Gelu => Epilogue::BiasGelu(bias),
             FusedActivation::Relu(slope) => Epilogue::BiasRelu(bias, slope),
         };
-        gemm_packed(
-            x,
-            rows,
-            self.in_features,
-            self.packed_weight().as_slice(),
-            self.out_features,
-            out,
-            epi,
-        );
+        self.backend.gemm(x, rows, self.packed_weight(), out, epi);
     }
 
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
@@ -397,6 +408,36 @@ mod tests {
         l.weight.value.scale_in_place(0.5);
         let half = l.forward(&x, false);
         assert!(half.allclose(&before, 1e-5), "forward served stale pack");
+    }
+
+    /// Installing a tuned backend (non-default tile for this layer's
+    /// shape) must repack under the new plan and keep results within fp32
+    /// kernel tolerance of the default path.
+    #[test]
+    fn installed_backend_repacks_and_matches_default() {
+        use bioformer_tensor::backend::{Fp32Kernel, GemmPlan, PackedCpuBackend, TileSpec};
+        use bioformer_tensor::TuneTable;
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut l = Linear::new("l", 6, 4, &mut rng);
+        let x = filled(&[3, 6], 16);
+        let want = l.forward_infer(&x); // packs under the default plan
+        let mut table = TuneTable::for_current_tier();
+        table.insert_fp32(
+            0,
+            6,
+            4,
+            GemmPlan::new(
+                TileSpec {
+                    mr: 8,
+                    nr: 32,
+                    kc: 0,
+                },
+                Fp32Kernel::Generic,
+            ),
+        );
+        l.set_backend(std::sync::Arc::new(PackedCpuBackend::with_table(table)));
+        let got = l.forward_infer(&x);
+        assert!(got.allclose(&want, 1e-4), "tuned backend diverges");
     }
 
     #[test]

@@ -34,116 +34,15 @@
 
 use crate::qtensor::{QParams, QTensor};
 use crate::requant::FixedMultiplier;
-use bioformer_simd::QdotTileFn;
 
-/// Output columns processed per blocked-kernel step (one `A`-row pass feeds
-/// this many `i32` register accumulators).
-pub const QNR: usize = 4;
-
-// The tile width is shared with the microkernel crate; a mismatch would
-// scramble the B-tile slicing, so pin it at compile time.
-const _: () = assert!(QNR == bioformer_simd::QNR);
-
-/// The blocked int8 GEMM core: for row `a_row` (`k` codes) and the column
-/// tile starting at `B` row `j`, accumulates `QNR` dot products via the
-/// dispatched SIMD tile and hands each `(local_column, accumulator)` pair
-/// to `store`.
-#[inline(always)]
-fn qdot_tile(
-    tile: QdotTileFn,
-    a_row: &[i8],
-    b: &[i8],
-    k: usize,
-    j: usize,
-    jw: usize,
-    mut store: impl FnMut(usize, i32),
-) {
-    let mut acc = [0i32; QNR];
-    tile(a_row, &b[j * k..(j + jw) * k], k, jw, &mut acc);
-    for (lj, &s) in acc.iter().enumerate().take(jw) {
-        store(lj, s);
-    }
-}
-
-/// `C[m,n] = A[m,k] · B[n,k]ᵀ (+ bias)` into a caller-provided accumulator
-/// buffer — the allocation-free core of [`qgemm_i32`].
-///
-/// `B` is row-major `[n, k]` — the natural layout both for linear-layer
-/// weights (`[out, in]`) and for attention keys.
-///
-/// # Panics
-///
-/// Panics on inconsistent dimensions.
-pub fn qgemm_i32_into(
-    a: &[i8],
-    b: &[i8],
-    bias: Option<&[i32]>,
-    m: usize,
-    k: usize,
-    n: usize,
-    out: &mut [i32],
-) {
-    // Resolve the dispatched kernels once per GEMM, not once per tile.
-    let kernels = bioformer_simd::kernels();
-    if let Some(qg) = kernels.qgemm_i32 {
-        if n <= bioformer_simd::QGEMM_N_CAP && k <= bioformer_simd::QGEMM_K_CAP {
-            assert_eq!(a.len(), m * k, "qgemm: A size");
-            assert_eq!(b.len(), n * k, "qgemm: B size");
-            assert_eq!(out.len(), m * n, "qgemm: out size");
-            qg(a, b, m, k, n, out);
-            if let Some(bias) = bias {
-                assert_eq!(bias.len(), n, "qgemm: bias size");
-                if n > 0 {
-                    for row in out.chunks_exact_mut(n) {
-                        for (o, &bv) in row.iter_mut().zip(bias.iter()) {
-                            *o += bv;
-                        }
-                    }
-                }
-            }
-            return;
-        }
-    }
-    qgemm_i32_into_with(kernels.qdot_tile, a, b, bias, m, k, n, out);
-}
-
-/// [`qgemm_i32_into`] with an explicitly chosen dot tile — the hook
-/// benches and tier-parity tests use to pin a [`bioformer_simd`] tier
-/// (e.g. the scalar oracle) instead of the runtime-dispatched one.
-///
-/// # Panics
-///
-/// Panics on inconsistent dimensions.
-#[allow(clippy::too_many_arguments)]
-pub fn qgemm_i32_into_with(
-    tile: QdotTileFn,
-    a: &[i8],
-    b: &[i8],
-    bias: Option<&[i32]>,
-    m: usize,
-    k: usize,
-    n: usize,
-    out: &mut [i32],
-) {
-    assert_eq!(a.len(), m * k, "qgemm: A size");
-    assert_eq!(b.len(), n * k, "qgemm: B size");
-    assert_eq!(out.len(), m * n, "qgemm: out size");
-    if let Some(bias) = bias {
-        assert_eq!(bias.len(), n, "qgemm: bias size");
-    }
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        let mut j = 0usize;
-        while j < n {
-            let jw = (n - j).min(QNR);
-            qdot_tile(tile, a_row, b, k, j, jw, |lj, s| {
-                out_row[j + lj] = s + bias.map_or(0, |bias| bias[j + lj]);
-            });
-            j += jw;
-        }
-    }
-}
+// The GEMM drivers themselves live in `bioformer_tensor::qgemm` since the
+// `ComputeBackend` seam landed (the backend trait routes int8 GEMMs below
+// this crate); they are re-exported here so the public API — and the single
+// definition the bit-exactness contracts rely on — is unchanged.
+pub use bioformer_tensor::qgemm::{
+    qgemm_i32_into, qgemm_i32_into_with, qgemm_i32_tile_into, qgemm_i32_whole_into,
+    qgemm_requant_into, qgemm_requant_tile_into, qgemm_requant_whole_into, QNR,
+};
 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ (+ bias)`, returning raw i32 accumulators.
 ///
@@ -223,72 +122,6 @@ pub fn requantize_vec(acc: &[i32], mult: FixedMultiplier, zero_point: i32) -> Ve
     acc.iter()
         .map(|&v| mult.requantize_to_i8(v, zero_point))
         .collect()
-}
-
-/// int8 GEMM with the requantization **fused into the store loop**: each
-/// accumulator tile is scaled to the output grid while still in registers —
-/// no intermediate `Vec<i32>` is materialised. Bit-for-bit identical to
-/// [`qgemm_i32`] followed by [`requantize_vec`].
-///
-/// # Panics
-///
-/// Panics on inconsistent dimensions.
-#[allow(clippy::too_many_arguments)]
-pub fn qgemm_requant_into(
-    a: &[i8],
-    b: &[i8],
-    bias: Option<&[i32]>,
-    m: usize,
-    k: usize,
-    n: usize,
-    mult: FixedMultiplier,
-    zero_point: i32,
-    out: &mut [i8],
-) {
-    assert_eq!(a.len(), m * k, "qgemm: A size");
-    assert_eq!(b.len(), n * k, "qgemm: B size");
-    assert_eq!(out.len(), m * n, "qgemm: out size");
-    if let Some(bias) = bias {
-        assert_eq!(bias.len(), n, "qgemm: bias size");
-    }
-    let kernels = bioformer_simd::kernels();
-    if let Some(qg) = kernels.qgemm_i32 {
-        if n <= bioformer_simd::QGEMM_N_CAP && k <= bioformer_simd::QGEMM_K_CAP {
-            // The whole-GEMM kernel produces i32 accumulators; requantize
-            // from a fixed stack scratch, a few rows at a time, so the
-            // fused entry point stays allocation-free.
-            const SCRATCH_ROWS: usize = 4;
-            let mut scratch = [0i32; SCRATCH_ROWS * bioformer_simd::QGEMM_N_CAP];
-            let mut i = 0usize;
-            while i < m {
-                let mr = (m - i).min(SCRATCH_ROWS);
-                qg(&a[i * k..(i + mr) * k], b, mr, k, n, &mut scratch[..mr * n]);
-                for r in 0..mr {
-                    let out_row = &mut out[(i + r) * n..(i + r + 1) * n];
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        let acc = scratch[r * n + j] + bias.map_or(0, |bias| bias[j]);
-                        *o = mult.requantize_to_i8(acc, zero_point);
-                    }
-                }
-                i += mr;
-            }
-            return;
-        }
-    }
-    let tile = kernels.qdot_tile;
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        let mut j = 0usize;
-        while j < n {
-            let jw = (n - j).min(QNR);
-            qdot_tile(tile, a_row, b, k, j, jw, |lj, s| {
-                let acc = s + bias.map_or(0, |bias| bias[j + lj]);
-                out_row[j + lj] = mult.requantize_to_i8(acc, zero_point);
-            });
-            j += jw;
-        }
-    }
 }
 
 /// Full int8 GEMM: accumulate and requantize to the output grid in one
@@ -392,6 +225,42 @@ pub fn qconv1d_i32_into(
     qgemm_i32_into(w, im2col, None, out_ch, in_ch * kernel, out_len, out);
     // The conv bias is per output *channel* — a GEMM row, not a GEMM
     // column — so it cannot ride the qgemm bias argument.
+    for (row, &bv) in out.chunks_exact_mut(out_len).zip(bias.iter()) {
+        for o in row {
+            *o += bv;
+        }
+    }
+}
+
+/// [`qconv1d_i32_into`] with the GEMM routed through a
+/// [`ComputeBackend`](bioformer_tensor::backend::ComputeBackend) (the
+/// backend's int8 plan for the lowered `[out_ch, in_ch·kernel] ·
+/// [out_len, in_ch·kernel]ᵀ` shape picks the kernel). Bit-identical to the
+/// direct form for every plan.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv1d_i32_into_on(
+    backend: &dyn bioformer_tensor::backend::ComputeBackend,
+    x: &[i8],
+    w: &[i8],
+    bias: &[i32],
+    in_ch: usize,
+    len: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    im2col: &mut [i8],
+    out: &mut [i32],
+) {
+    assert_eq!(w.len(), out_ch * in_ch * kernel, "qconv: weight size");
+    assert_eq!(bias.len(), out_ch, "qconv: bias size");
+    let out_len = conv1d_out_len(len, kernel, stride);
+    assert_eq!(out.len(), out_ch * out_len, "qconv: output size");
+    qconv1d_im2col(x, in_ch, len, kernel, stride, im2col);
+    backend.qgemm_i32(w, im2col, None, out_ch, in_ch * kernel, out_len, out);
     for (row, &bv) in out.chunks_exact_mut(out_len).zip(bias.iter()) {
         for o in row {
             *o += bv;

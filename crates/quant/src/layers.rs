@@ -1,12 +1,11 @@
 //! Quantized layer building blocks (Linear, Conv1d).
 
-use crate::kernels::{
-    conv1d_out_len, qconv1d_i32, qconv1d_i32_into, qgemm_i32, qgemm_i32_into, qgemm_requant_into,
-    requantize_vec,
-};
+use crate::kernels::{conv1d_out_len, qconv1d_i32_into_on, requantize_vec};
 use crate::qtensor::{QParams, QTensor};
 use crate::requant::FixedMultiplier;
+use bioformer_tensor::backend::{default_backend, ComputeBackend};
 use bioformer_tensor::Tensor;
+use std::sync::Arc;
 
 /// An int8 affine layer: symmetric int8 weights `[out, in]`, i32 bias at
 /// the accumulator scale, fixed-point requantization to the output grid.
@@ -19,6 +18,8 @@ pub struct QLinear {
     /// Accumulator scale `s_in · s_w` (kept for layers that consume raw
     /// accumulators, e.g. the classifier head).
     acc_scale: f64,
+    /// Compute backend the int8 GEMMs route through.
+    backend: Arc<dyn ComputeBackend>,
 }
 
 impl QLinear {
@@ -46,7 +47,14 @@ impl QLinear {
             mult: FixedMultiplier::encode(acc_scale / out_params.scale as f64),
             out_params,
             acc_scale,
+            backend: default_backend(),
         }
+    }
+
+    /// Installs a compute backend; its int8 plans pick the GEMM kernel
+    /// (all plans are bit-identical, so outputs never change).
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.backend = backend;
     }
 
     /// Output activation parameters.
@@ -77,7 +85,7 @@ impl QLinear {
     ///
     /// Panics when slice lengths disagree with `rows` and the layer shape.
     pub fn forward_into(&self, x: &[i8], rows: usize, out: &mut [i8]) {
-        qgemm_requant_into(
+        self.backend.qgemm_requant(
             x,
             self.weight.data(),
             Some(&self.bias),
@@ -91,8 +99,8 @@ impl QLinear {
     }
 
     /// int8 forward over `[rows, in]`, requantized to the output grid in a
-    /// single fused pass (no intermediate i32 buffer; see
-    /// [`qgemm_requant_into`]).
+    /// single fused pass (no intermediate i32 buffer; the backend's
+    /// `qgemm_requant` fuses requantization into the store).
     pub fn forward(&self, x: &QTensor) -> QTensor {
         let (rows, k) = (x.dims()[0], x.dims()[1]);
         assert_eq!(k, self.in_features(), "QLinear: input width mismatch");
@@ -109,7 +117,7 @@ impl QLinear {
     ///
     /// Panics when slice lengths disagree with `rows` and the layer shape.
     pub fn forward_acc_into(&self, x: &[i8], rows: usize, out: &mut [i32]) {
-        qgemm_i32_into(
+        self.backend.qgemm_i32(
             x,
             self.weight.data(),
             Some(&self.bias),
@@ -125,14 +133,9 @@ impl QLinear {
     pub fn forward_acc(&self, x: &QTensor) -> Vec<i32> {
         let (rows, k) = (x.dims()[0], x.dims()[1]);
         assert_eq!(k, self.in_features(), "QLinear: input width mismatch");
-        qgemm_i32(
-            x.data(),
-            self.weight.data(),
-            Some(&self.bias),
-            rows,
-            k,
-            self.out_features(),
-        )
+        let mut out = vec![0i32; rows * self.out_features()];
+        self.forward_acc_into(x.data(), rows, &mut out);
+        out
     }
 }
 
@@ -146,6 +149,8 @@ pub struct QConv1d {
     kernel: usize,
     mult: FixedMultiplier,
     out_params: QParams,
+    /// Compute backend the lowered im2col GEMM routes through.
+    backend: Arc<dyn ComputeBackend>,
 }
 
 impl QConv1d {
@@ -179,7 +184,14 @@ impl QConv1d {
             kernel: w.dims()[2],
             mult: FixedMultiplier::encode(acc_scale / out_params.scale as f64),
             out_params,
+            backend: default_backend(),
         }
+    }
+
+    /// Installs a compute backend; its int8 plan for the lowered GEMM
+    /// shape picks the kernel (all plans are bit-identical).
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.backend = backend;
     }
 
     /// Output activation parameters.
@@ -222,7 +234,8 @@ impl QConv1d {
     ) {
         assert_eq!(in_ch, self.weight.dims()[1], "QConv1d: channel mismatch");
         assert_eq!(out.len(), acc.len(), "QConv1d: out/acc length mismatch");
-        qconv1d_i32_into(
+        qconv1d_i32_into_on(
+            self.backend.as_ref(),
             x,
             self.weight.data(),
             &self.bias,
@@ -247,7 +260,10 @@ impl QConv1d {
         assert_eq!(in_ch, self.weight.dims()[1], "QConv1d: channel mismatch");
         let out_ch = self.out_channels();
         let out_len = self.out_len(len);
-        let acc = qconv1d_i32(
+        let mut im2col = vec![0i8; self.im2col_len(in_ch, len)];
+        let mut acc = vec![0i32; out_ch * out_len];
+        qconv1d_i32_into_on(
+            self.backend.as_ref(),
             x.data(),
             self.weight.data(),
             &self.bias,
@@ -256,6 +272,8 @@ impl QConv1d {
             out_ch,
             self.kernel,
             self.stride,
+            &mut im2col,
+            &mut acc,
         );
         QTensor::from_raw(
             requantize_vec(&acc, self.mult, self.out_params.zero_point),

@@ -18,19 +18,21 @@
 
 use crate::arena::QuantArena;
 use crate::ibert::{IGelu, ILayerNorm, ISoftmax};
-use crate::kernels::{qadd_into, qgemm_i32_into, qgemm_requant_into};
+use crate::kernels::qadd_into;
 use crate::layers::{QConv1d, QLinear};
 use crate::observer::MinMaxObserver;
 use crate::qtensor::QParams;
 use crate::requant::FixedMultiplier;
 use bioformer_core::BioformerConfig;
 use bioformer_nn::serialize::StateDict;
+use bioformer_tensor::backend::{default_backend, ComputeBackend};
 use bioformer_tensor::conv::{conv1d_forward, Conv1dSpec};
 use bioformer_tensor::ops::{layernorm_forward, softmax_rows};
+use bioformer_tensor::tune::GemmShape;
 use bioformer_tensor::{Tensor, TensorArena};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Error returned by [`QuantBioformer::convert`].
 #[derive(Debug)]
@@ -259,6 +261,9 @@ pub struct QuantBioformer {
     /// thread-local so arenas warmed by one worker thread are reusable by
     /// the next.
     scratch: Mutex<Vec<QuantArena>>,
+    /// Compute backend the attention GEMMs (and, via the layers, every
+    /// int8 GEMM) route through.
+    backend: Arc<dyn ComputeBackend>,
 }
 
 impl Clone for QuantBioformer {
@@ -276,6 +281,7 @@ impl Clone for QuantBioformer {
             lnf_params: self.lnf_params,
             head: self.head.clone(),
             scratch: Mutex::new(Vec::new()),
+            backend: self.backend.clone(),
         }
     }
 }
@@ -379,12 +385,62 @@ impl QuantBioformer {
             lnf_params: lnf_p,
             head,
             scratch: Mutex::new(Vec::new()),
+            backend: default_backend(),
         })
     }
 
     /// The architecture configuration.
     pub fn config(&self) -> &BioformerConfig {
         &self.cfg
+    }
+
+    /// Installs a compute backend on the attention GEMMs, the patch conv
+    /// and every quantized linear. Int8 plans are bit-identical across
+    /// kernels, so outputs never change — only which kernel runs.
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.patch.set_backend(backend.clone());
+        for blk in &mut self.blocks {
+            blk.wq.set_backend(backend.clone());
+            blk.wk.set_backend(backend.clone());
+            blk.wv.set_backend(backend.clone());
+            blk.wo.set_backend(backend.clone());
+            blk.fc1.set_backend(backend.clone());
+            blk.fc2.set_backend(backend.clone());
+        }
+        self.head.set_backend(backend.clone());
+        self.backend = backend;
+    }
+
+    /// The compute backend the integer pipeline routes through.
+    pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
+        &self.backend
+    }
+
+    /// One-line description of the installed backend (tuning state
+    /// included) — surfaced through `EngineStats`.
+    pub fn compute_report(&self) -> String {
+        self.backend.describe()
+    }
+
+    /// Every distinct int8 GEMM shape the integer pipeline executes — the
+    /// autotuner's work-list. All shapes are exact: the pipeline runs one
+    /// window at a time, so every row count is fixed by the config.
+    pub fn gemm_shapes(&self) -> Vec<GemmShape> {
+        let cfg = &self.cfg;
+        let s = cfg.seq_len();
+        let sp = s.next_multiple_of(bioformer_simd::QK);
+        let (e, p) = (cfg.embed, cfg.head_dim);
+        vec![
+            // Patch conv lowering: A = weights [E, C·F], B = im2col.
+            GemmShape::int8(e, cfg.channels * cfg.filter, cfg.tokens()),
+            GemmShape::int8(s, e, cfg.inner()), // wq / wk / wv
+            GemmShape::int8(s, p, s),           // per-head Q·Kᵀ
+            GemmShape::int8(s, sp, p),          // per-head A·V (k padded)
+            GemmShape::int8(s, cfg.inner(), e), // wo
+            GemmShape::int8(s, e, cfg.hidden),  // fc1
+            GemmShape::int8(s, cfg.hidden, e),  // fc2
+            GemmShape::int8(1, e, cfg.classes), // head (class row only)
+        ]
     }
 
     /// Pops a scratch arena from the internal pool (lazily creating one on
@@ -491,14 +547,14 @@ impl QuantBioformer {
                     }
                 }
                 // scores [S, S] = qh · khᵀ (both [S, P]).
-                qgemm_i32_into(&qh, &kh, None, s, p, s, &mut scores);
+                self.backend.qgemm_i32(&qh, &kh, None, s, p, s, &mut scores);
                 // integer softmax per row.
                 for (sr, pr) in scores.chunks_exact(s).zip(probs.chunks_exact_mut(sp)) {
                     blk.softmax.apply_row(sr, &mut pr[..s]);
                 }
                 // A·V accumulated and requantized in one fused pass (no
                 // i32 intermediate), contracting over the padded k = sp.
-                qgemm_requant_into(
+                self.backend.qgemm_requant(
                     &probs,
                     &vt,
                     None,

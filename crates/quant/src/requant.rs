@@ -5,75 +5,13 @@
 //! The real multiplier `M = s_in / s_out` is encoded once, offline, as a
 //! normalised int32 mantissa and a right-shift; on the hot path only i64
 //! multiply + rounding shift are used — exactly what ships on the MCU.
+//!
+//! The implementation lives in [`bioformer_tensor::qgemm`] since the
+//! `ComputeBackend` seam landed (the fused-requantize GEMM drivers need it
+//! below this crate); this module re-exports it, so there is exactly one
+//! definition and the bit-exactness contract cannot fork.
 
-/// A real multiplier encoded as `mantissa × 2^(−31−shift)` with
-/// `mantissa ∈ [2^30, 2^31)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FixedMultiplier {
-    /// Normalised mantissa.
-    pub mantissa: i32,
-    /// Additional right shift applied after the high-mul.
-    pub shift: i32,
-}
-
-impl FixedMultiplier {
-    /// Encodes a positive real multiplier.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `m` is not finite and positive.
-    pub fn encode(m: f64) -> Self {
-        assert!(
-            m.is_finite() && m > 0.0,
-            "multiplier must be positive, got {m}"
-        );
-        assert!(m < 1e9, "multiplier {m} out of supported range");
-        let mut shift = 0i32;
-        let mut frac = m;
-        // Normalise into [0.5, 1).
-        while frac >= 1.0 {
-            frac /= 2.0;
-            shift -= 1;
-        }
-        while frac < 0.5 {
-            frac *= 2.0;
-            shift += 1;
-        }
-        let mut mantissa = (frac * (1i64 << 31) as f64).round() as i64;
-        if mantissa == (1i64 << 31) {
-            mantissa /= 2;
-            shift -= 1;
-        }
-        FixedMultiplier {
-            mantissa: mantissa as i32,
-            shift,
-        }
-    }
-
-    /// The real value this encodes (for tests/diagnostics).
-    pub fn to_real(self) -> f64 {
-        self.mantissa as f64 * 2f64.powi(-31 - self.shift)
-    }
-
-    /// Applies the multiplier to an i32 accumulator with round-to-nearest.
-    ///
-    /// The full product is kept in i64 and rounded with a **single**
-    /// combined shift of `31 + shift` bits — splitting the shift (high-mul
-    /// then post-shift) would amplify the high-mul's rounding error by
-    /// `2^|shift|` for multipliers above 1.
-    pub fn apply(self, acc: i32) -> i32 {
-        let prod = acc as i64 * self.mantissa as i64;
-        let s = 31 + self.shift; // ≥ 1: encode() keeps shift > -31
-        debug_assert!(s >= 1, "unsupported multiplier magnitude");
-        // Round-half-up works for both signs under arithmetic shift.
-        ((prod + (1i64 << (s - 1))) >> s) as i32
-    }
-
-    /// Requantizes an accumulator to int8 with a zero-point, saturating.
-    pub fn requantize_to_i8(self, acc: i32, zero_point: i32) -> i8 {
-        (self.apply(acc) + zero_point).clamp(-128, 127) as i8
-    }
-}
+pub use bioformer_tensor::qgemm::FixedMultiplier;
 
 #[cfg(test)]
 mod tests {

@@ -39,17 +39,22 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod backend;
 pub mod conv;
 pub mod matmul;
 pub mod ops;
 pub mod pack;
 pub mod parallel;
+pub mod qgemm;
 pub mod shape;
 pub mod tensor;
+pub mod tune;
 
 pub use arena::TensorArena;
+pub use backend::{default_backend, ComputeBackend, GemmPlan, PackedCpuBackend, TileSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use tune::{GemmShape, TuneTable};
 
 /// Absolute tolerance used by [`Tensor::allclose`] and the test-suites of the
 /// downstream crates when comparing floating-point results.

@@ -32,19 +32,34 @@
 //! order, so results are deterministic and independent of threading (threads
 //! split output *rows*, never the `k` dimension).
 
+use crate::backend::GemmPlan;
 use crate::ops;
 use crate::tensor::Tensor;
 
-/// Rows of `A` processed per microkernel invocation.
+/// Rows of `A` processed per microkernel invocation (default tile).
 pub const MR: usize = 4;
 
-/// Columns of `B` per packed panel (and per microkernel invocation).
+/// Columns of `B` per packed panel (and per microkernel invocation) in the
+/// default tile.
 pub const NR: usize = 16;
 
-/// Length in floats of the packed image of a `k×n` right-hand side:
-/// `n` rounded up to whole [`NR`] panels, each panel `k` deep.
+/// Largest row-block height the variable-geometry driver
+/// ([`gemm_packed_generic`]) accepts.
+pub const MAX_MR: usize = 8;
+
+/// Largest panel width the variable-geometry driver accepts.
+pub const MAX_NR: usize = 64;
+
+/// Length in floats of the packed image of a `k×n` right-hand side at the
+/// default panel width: `n` rounded up to whole [`NR`] panels, each panel
+/// `k` deep.
 pub const fn packed_len(k: usize, n: usize) -> usize {
-    k * n.div_ceil(NR) * NR
+    packed_len_nr(k, n, NR)
+}
+
+/// [`packed_len`] at an arbitrary panel width `nr`.
+pub const fn packed_len_nr(k: usize, n: usize, nr: usize) -> usize {
+    k * n.div_ceil(nr) * nr
 }
 
 /// What happens to each output element as it is stored.
@@ -97,16 +112,30 @@ impl Epilogue<'_> {
 ///
 /// Panics if `b` or `dst` have the wrong length.
 pub fn pack_b(b: &[f32], k: usize, n: usize, dst: &mut [f32]) {
+    pack_b_nr(b, k, n, NR, dst);
+}
+
+/// [`pack_b`] at an arbitrary panel width `nr` (`dst` must be
+/// [`packed_len_nr`]`(k, n, nr)` long).
+///
+/// # Panics
+///
+/// Panics if `b` or `dst` have the wrong length.
+pub fn pack_b_nr(b: &[f32], k: usize, n: usize, nr: usize, dst: &mut [f32]) {
     assert_eq!(b.len(), k * n, "pack_b: source size");
-    assert_eq!(dst.len(), packed_len(k, n), "pack_b: destination size");
-    let panels = n.div_ceil(NR);
+    assert_eq!(
+        dst.len(),
+        packed_len_nr(k, n, nr),
+        "pack_b: destination size"
+    );
+    let panels = n.div_ceil(nr);
     for p in 0..panels {
-        let j0 = p * NR;
-        let w = (n - j0).min(NR);
-        let panel = &mut dst[p * k * NR..(p + 1) * k * NR];
+        let j0 = p * nr;
+        let w = (n - j0).min(nr);
+        let panel = &mut dst[p * k * nr..(p + 1) * k * nr];
         for kk in 0..k {
             let src = &b[kk * n + j0..kk * n + j0 + w];
-            let row = &mut panel[kk * NR..kk * NR + NR];
+            let row = &mut panel[kk * nr..kk * nr + nr];
             row[..w].copy_from_slice(src);
             row[w..].fill(0.0);
         }
@@ -121,20 +150,34 @@ pub fn pack_b(b: &[f32], k: usize, n: usize, dst: &mut [f32]) {
 ///
 /// Panics if `bt` or `dst` have the wrong length.
 pub fn pack_b_t(bt: &[f32], n: usize, k: usize, dst: &mut [f32]) {
+    pack_b_t_nr(bt, n, k, NR, dst);
+}
+
+/// [`pack_b_t`] at an arbitrary panel width `nr` (`dst` must be
+/// [`packed_len_nr`]`(k, n, nr)` long).
+///
+/// # Panics
+///
+/// Panics if `bt` or `dst` have the wrong length.
+pub fn pack_b_t_nr(bt: &[f32], n: usize, k: usize, nr: usize, dst: &mut [f32]) {
     assert_eq!(bt.len(), n * k, "pack_b_t: source size");
-    assert_eq!(dst.len(), packed_len(k, n), "pack_b_t: destination size");
-    let panels = n.div_ceil(NR);
+    assert_eq!(
+        dst.len(),
+        packed_len_nr(k, n, nr),
+        "pack_b_t: destination size"
+    );
+    let panels = n.div_ceil(nr);
     for p in 0..panels {
-        let j0 = p * NR;
-        let w = (n - j0).min(NR);
-        let panel = &mut dst[p * k * NR..(p + 1) * k * NR];
+        let j0 = p * nr;
+        let w = (n - j0).min(nr);
+        let panel = &mut dst[p * k * nr..(p + 1) * k * nr];
         // Walk source rows (columns of the logical B) to stay sequential in
         // `bt`; each source row scatters down one panel column.
         panel.fill(0.0);
         for j in 0..w {
             let src = &bt[(j0 + j) * k..(j0 + j + 1) * k];
             for (kk, &v) in src.iter().enumerate() {
-                panel[kk * NR + j] = v;
+                panel[kk * nr + j] = v;
             }
         }
     }
@@ -147,22 +190,38 @@ pub struct PackedB {
     buf: Vec<f32>,
     k: usize,
     n: usize,
+    plan: GemmPlan,
 }
 
 impl PackedB {
-    /// Packs a row-major `B[k, n]` (`C = A·B` orientation).
+    /// Packs a row-major `B[k, n]` (`C = A·B` orientation) at the default
+    /// plan.
     pub fn from_b(b: &[f32], k: usize, n: usize) -> Self {
-        let mut buf = vec![0.0f32; packed_len(k, n)];
-        pack_b(b, k, n, &mut buf);
-        PackedB { buf, k, n }
+        Self::from_b_with(GemmPlan::default(), b, k, n)
     }
 
     /// Packs a row-major `Bᵀ`-layout matrix `bt[n, k]`
-    /// (`C = A·Bᵀ` orientation — PyTorch `[out, in]` weights).
+    /// (`C = A·Bᵀ` orientation — PyTorch `[out, in]` weights) at the
+    /// default plan.
     pub fn from_b_t(bt: &[f32], n: usize, k: usize) -> Self {
-        let mut buf = vec![0.0f32; packed_len(k, n)];
-        pack_b_t(bt, n, k, &mut buf);
-        PackedB { buf, k, n }
+        Self::from_b_t_with(GemmPlan::default(), bt, n, k)
+    }
+
+    /// Packs a row-major `B[k, n]` at the panel width the given plan's
+    /// tile spec calls for, and remembers the plan so later GEMMs run the
+    /// matching kernel.
+    pub fn from_b_with(plan: GemmPlan, b: &[f32], k: usize, n: usize) -> Self {
+        let mut buf = vec![0.0f32; plan.packed_len(k, n)];
+        pack_b_nr(b, k, n, plan.spec.nr, &mut buf);
+        PackedB { buf, k, n, plan }
+    }
+
+    /// Packs a row-major `Bᵀ`-layout matrix `bt[n, k]` at the panel width
+    /// the given plan's tile spec calls for.
+    pub fn from_b_t_with(plan: GemmPlan, bt: &[f32], n: usize, k: usize) -> Self {
+        let mut buf = vec![0.0f32; plan.packed_len(k, n)];
+        pack_b_t_nr(bt, n, k, plan.spec.nr, &mut buf);
+        PackedB { buf, k, n, plan }
     }
 
     /// Inner (contraction) dimension.
@@ -175,7 +234,12 @@ impl PackedB {
         self.n
     }
 
-    /// The packed storage (length [`packed_len`]`(k, n)`).
+    /// The plan this buffer was packed for.
+    pub fn plan(&self) -> GemmPlan {
+        self.plan
+    }
+
+    /// The packed storage (length `plan().packed_len(k, n)`).
     pub fn as_slice(&self) -> &[f32] {
         &self.buf
     }
@@ -327,6 +391,136 @@ pub fn gemm_packed_with(
         let a_rows = &a[row0 * k..(row0 + rows) * k];
         gemm_rows(tile, a_rows, rows, k, packed, n, rows_out, &epi);
     });
+}
+
+/// Variable-geometry packed GEMM: the safe driver behind non-default
+/// [`crate::backend::TileSpec`]s. `packed` must be the
+/// [`pack_b_nr`]/[`pack_b_t_nr`] image at panel width `nr`; `mr`/`nr` set
+/// the row-block height and panel width (`1..=`[`MAX_MR`],
+/// `1..=`[`MAX_NR`]); `kc` blocks the contraction dimension (`0` means
+/// "no blocking"), sweeping all row blocks and panels per `k`-chunk so
+/// the active `A`/panel chunk stays cache-resident.
+///
+/// Per output element the accumulation order is plain ascending `k`
+/// regardless of blocking — chunks resume from the stored partial sum, so
+/// the f32 addition sequence (and therefore the result, bit for bit)
+/// matches the portable fixed-tile kernel. Epilogues are applied only on
+/// the final `k`-chunk, exactly once per element.
+///
+/// # Panics
+///
+/// Panics if `mr`/`nr` are out of range or any buffer length disagrees
+/// with `(m, k, n, nr)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_generic(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    out: &mut [f32],
+    epi: Epilogue<'_>,
+    mr: usize,
+    nr: usize,
+    kc: usize,
+) {
+    assert!(
+        (1..=MAX_MR).contains(&mr),
+        "gemm_packed_generic: mr {mr} out of 1..={MAX_MR}"
+    );
+    assert!(
+        (1..=MAX_NR).contains(&nr),
+        "gemm_packed_generic: nr {nr} out of 1..={MAX_NR}"
+    );
+    assert_eq!(a.len(), m * k, "gemm_packed: A size");
+    assert_eq!(
+        packed.len(),
+        packed_len_nr(k, n, nr),
+        "gemm_packed: packed size"
+    );
+    assert_eq!(out.len(), m * n, "gemm_packed: out size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for row in out.chunks_mut(n) {
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = epi.apply(0.0, j);
+            }
+        }
+        return;
+    }
+    let kc = if kc == 0 { k } else { kc };
+    let work = crate::matmul::gemm_work(m, n, k);
+    crate::matmul::parallel_over_rows(out, m, n, work, |row0, rows_out| {
+        let rows = rows_out.len() / n;
+        let a_rows = &a[row0 * k..(row0 + rows) * k];
+        generic_rows(a_rows, rows, k, packed, n, rows_out, &epi, mr, nr, kc);
+    });
+}
+
+/// Serial body of [`gemm_packed_generic`] over one output row range.
+///
+/// Between `k`-chunks the partial sums live **raw** in `out` (no epilogue);
+/// the next chunk's accumulator tile is initialised from them, so each
+/// element's f32 additions stay in ascending-`k` order across chunks.
+#[allow(clippy::too_many_arguments)] // hot-loop driver, mirrors gemm_rows
+fn generic_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    out: &mut [f32],
+    epi: &Epilogue<'_>,
+    mr_max: usize,
+    nr: usize,
+    kc: usize,
+) {
+    let panels = n.div_ceil(nr);
+    let mut k0 = 0usize;
+    while k0 < k {
+        let k1 = (k0 + kc).min(k);
+        let (first, last) = (k0 == 0, k1 == k);
+        let mut i = 0usize;
+        while i < m {
+            let mr = (m - i).min(mr_max);
+            for p in 0..panels {
+                let j0 = p * nr;
+                let store_w = (n - j0).min(nr);
+                let panel = &packed[p * k * nr..(p + 1) * k * nr];
+                let mut acc = [[0.0f32; MAX_NR]; MAX_MR];
+                if !first {
+                    for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                        let row0 = (i + r) * n + j0;
+                        acc_row[..store_w].copy_from_slice(&out[row0..row0 + store_w]);
+                    }
+                }
+                for kk in k0..k1 {
+                    let b_row = &panel[kk * nr..kk * nr + nr];
+                    for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                        let av = a[(i + r) * k + kk];
+                        for (slot, &bv) in acc_row.iter_mut().zip(b_row.iter()) {
+                            *slot += av * bv;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let row0 = (i + r) * n + j0;
+                    let dst = &mut out[row0..row0 + store_w];
+                    if last {
+                        for (j, o) in dst.iter_mut().enumerate() {
+                            *o = epi.apply(acc_row[j], j0 + j);
+                        }
+                    } else {
+                        dst.copy_from_slice(&acc_row[..store_w]);
+                    }
+                }
+            }
+            i += mr;
+        }
+        k0 = k1;
+    }
 }
 
 /// Convenience wrapper: packs `b[k, n]` into `scratch` and multiplies.
@@ -495,6 +689,79 @@ mod tests {
         let mut out = vec![f32::NAN; m * n];
         gemm_packed(&[], m, k, &packed, n, &mut out, Epilogue::Bias(&bias));
         assert_eq!(out, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    /// The variable-geometry driver must be bit-identical to the portable
+    /// fixed tile at every (mr, nr, kc) — including k-blocked runs, whose
+    /// chunk handoff through `out` must preserve the ascending-k addition
+    /// order exactly.
+    #[test]
+    fn generic_driver_is_bit_identical_to_portable_tile() {
+        let portable = bioformer_simd::select(Some(bioformer_simd::Tier::Portable)).fp32_tile;
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (31, 64, 17), (8, 64, 256), (5, 0, 4)] {
+            let a = filled(m * k, 21 + m as u64);
+            let b = filled(k * n, 22 + n as u64);
+            let bias = filled(n, 23);
+            let mut reference = vec![f32::NAN; m * n];
+            let mut packed = vec![0.0f32; packed_len(k, n)];
+            pack_b(&b, k, n, &mut packed);
+            gemm_packed_with(
+                portable,
+                &a,
+                m,
+                k,
+                &packed,
+                n,
+                &mut reference,
+                Epilogue::BiasGelu(&bias),
+            );
+            for &(mr, nr, kc) in &[
+                (MR, NR, 0),
+                (8, 16, 0),
+                (4, 32, 0),
+                (2, 8, 0),
+                (4, 16, 7),
+                (8, 64, 16),
+                (1, 1, 1),
+            ] {
+                let mut gp = vec![0.0f32; packed_len_nr(k, n, nr)];
+                pack_b_nr(&b, k, n, nr, &mut gp);
+                let mut out = vec![f32::NAN; m * n];
+                gemm_packed_generic(
+                    &a,
+                    m,
+                    k,
+                    &gp,
+                    n,
+                    &mut out,
+                    Epilogue::BiasGelu(&bias),
+                    mr,
+                    nr,
+                    kc,
+                );
+                assert_eq!(
+                    out, reference,
+                    "generic ({mr},{nr},{kc}) diverges at ({m},{k},{n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_t_nr_matches_pack_b_nr_of_transpose() {
+        let (n, k, nr) = (17, 9, 8);
+        let bt = filled(n * k, 31);
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut p1 = vec![0.0f32; packed_len_nr(k, n, nr)];
+        let mut p2 = vec![0.0f32; packed_len_nr(k, n, nr)];
+        pack_b_nr(&b, k, n, nr, &mut p1);
+        pack_b_t_nr(&bt, n, k, nr, &mut p2);
+        assert_eq!(p1, p2);
     }
 
     #[test]

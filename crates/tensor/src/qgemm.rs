@@ -1,0 +1,428 @@
+//! int8 GEMM drivers (i8 operands, i32 accumulation) and the gemmlowp-style
+//! fixed-point requantizer.
+//!
+//! These used to live in `bioformer-quant::kernels`; they moved down here so
+//! the [`crate::backend::ComputeBackend`] seam can route **both** precisions
+//! through one trait without a circular crate dependency (`quant` re-exports
+//! them, so its public API is unchanged and there is exactly one definition
+//! of each kernel — the bit-exactness contracts cannot fork).
+//!
+//! Integer addition is associative, so every driver here — the dispatched
+//! path, the forced whole-GEMM path and the forced tile path — is
+//! **bit-for-bit identical** for any input; kernel selection is purely a
+//! performance decision, which is what makes int8 autotuning safe.
+
+use bioformer_simd::QdotTileFn;
+
+/// Output columns processed per blocked-kernel step (one `A`-row pass feeds
+/// this many `i32` register accumulators).
+pub const QNR: usize = 4;
+
+// The tile width is shared with the microkernel crate; a mismatch would
+// scramble the B-tile slicing, so pin it at compile time.
+const _: () = assert!(QNR == bioformer_simd::QNR);
+
+/// A real multiplier encoded as `mantissa × 2^(−31−shift)` with
+/// `mantissa ∈ [2^30, 2^31)`.
+///
+/// Integer kernels accumulate in i32 at scale `s_in = s_a · s_w`; the
+/// result must be rescaled to the next layer's activation scale `s_out`.
+/// The real multiplier `M = s_in / s_out` is encoded once, offline, as a
+/// normalised int32 mantissa and a right-shift; on the hot path only i64
+/// multiply + rounding shift are used — exactly what ships on the MCU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedMultiplier {
+    /// Normalised mantissa.
+    pub mantissa: i32,
+    /// Additional right shift applied after the high-mul.
+    pub shift: i32,
+}
+
+impl FixedMultiplier {
+    /// Encodes a positive real multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not finite and positive.
+    pub fn encode(m: f64) -> Self {
+        assert!(
+            m.is_finite() && m > 0.0,
+            "multiplier must be positive, got {m}"
+        );
+        assert!(m < 1e9, "multiplier {m} out of supported range");
+        let mut shift = 0i32;
+        let mut frac = m;
+        // Normalise into [0.5, 1).
+        while frac >= 1.0 {
+            frac /= 2.0;
+            shift -= 1;
+        }
+        while frac < 0.5 {
+            frac *= 2.0;
+            shift += 1;
+        }
+        let mut mantissa = (frac * (1i64 << 31) as f64).round() as i64;
+        if mantissa == (1i64 << 31) {
+            mantissa /= 2;
+            shift -= 1;
+        }
+        FixedMultiplier {
+            mantissa: mantissa as i32,
+            shift,
+        }
+    }
+
+    /// The real value this encodes (for tests/diagnostics).
+    pub fn to_real(self) -> f64 {
+        self.mantissa as f64 * 2f64.powi(-31 - self.shift)
+    }
+
+    /// Applies the multiplier to an i32 accumulator with round-to-nearest.
+    ///
+    /// The full product is kept in i64 and rounded with a **single**
+    /// combined shift of `31 + shift` bits — splitting the shift (high-mul
+    /// then post-shift) would amplify the high-mul's rounding error by
+    /// `2^|shift|` for multipliers above 1.
+    pub fn apply(self, acc: i32) -> i32 {
+        let prod = acc as i64 * self.mantissa as i64;
+        let s = 31 + self.shift; // ≥ 1: encode() keeps shift > -31
+        debug_assert!(s >= 1, "unsupported multiplier magnitude");
+        // Round-half-up works for both signs under arithmetic shift.
+        ((prod + (1i64 << (s - 1))) >> s) as i32
+    }
+
+    /// Requantizes an accumulator to int8 with a zero-point, saturating.
+    pub fn requantize_to_i8(self, acc: i32, zero_point: i32) -> i8 {
+        (self.apply(acc) + zero_point).clamp(-128, 127) as i8
+    }
+}
+
+/// The blocked int8 GEMM core: for row `a_row` (`k` codes) and the column
+/// tile starting at `B` row `j`, accumulates `QNR` dot products via the
+/// given SIMD tile and hands each `(local_column, accumulator)` pair to
+/// `store`.
+#[inline(always)]
+fn qdot_tile(
+    tile: QdotTileFn,
+    a_row: &[i8],
+    b: &[i8],
+    k: usize,
+    j: usize,
+    jw: usize,
+    mut store: impl FnMut(usize, i32),
+) {
+    let mut acc = [0i32; QNR];
+    tile(a_row, &b[j * k..(j + jw) * k], k, jw, &mut acc);
+    for (lj, &s) in acc.iter().enumerate().take(jw) {
+        store(lj, s);
+    }
+}
+
+fn check_qgemm_dims(a: &[i8], b: &[i8], bias: Option<&[i32]>, m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "qgemm: A size");
+    assert_eq!(b.len(), n * k, "qgemm: B size");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "qgemm: bias size");
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ (+ bias)` into a caller-provided accumulator
+/// buffer, using the runtime-dispatched kernel table (whole-GEMM where the
+/// CPU has one and the shape fits its caps, the dispatched dot tile
+/// otherwise).
+///
+/// `B` is row-major `[n, k]` — the natural layout both for linear-layer
+/// weights (`[out, in]`) and for attention keys.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+pub fn qgemm_i32_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) {
+    if qgemm_i32_whole_into(a, b, bias, m, k, n, out) {
+        return;
+    }
+    // Resolve the dispatched tile once per GEMM, not once per tile.
+    qgemm_i32_into_with(
+        bioformer_simd::kernels().qdot_tile,
+        a,
+        b,
+        bias,
+        m,
+        k,
+        n,
+        out,
+    );
+}
+
+/// The forced whole-GEMM path of [`qgemm_i32_into`]: runs the VNNI
+/// whole-GEMM kernel when the dispatch table carries one and `(k, n)` fit
+/// its caps, returning `true`; returns `false` (leaving `out` untouched)
+/// when unavailable so the caller can fall back to the tile path.
+/// Bit-identical to the tile path whenever it runs.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions (when the path is taken).
+pub fn qgemm_i32_whole_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) -> bool {
+    let kernels = bioformer_simd::kernels();
+    let Some(qg) = kernels.qgemm_i32 else {
+        return false;
+    };
+    if n > bioformer_simd::QGEMM_N_CAP || k > bioformer_simd::QGEMM_K_CAP {
+        return false;
+    }
+    check_qgemm_dims(a, b, bias, m, k, n);
+    assert_eq!(out.len(), m * n, "qgemm: out size");
+    qg(a, b, m, k, n, out);
+    if let Some(bias) = bias {
+        if n > 0 {
+            for row in out.chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias.iter()) {
+                    *o += bv;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The forced tile path of [`qgemm_i32_into`]: always drives the dispatched
+/// `1×QNR` dot tile from the generic loop, never the whole-GEMM kernel.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+pub fn qgemm_i32_tile_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) {
+    qgemm_i32_into_with(
+        bioformer_simd::kernels().qdot_tile,
+        a,
+        b,
+        bias,
+        m,
+        k,
+        n,
+        out,
+    );
+}
+
+/// [`qgemm_i32_into`] with an explicitly chosen dot tile — the hook
+/// benches and tier-parity tests use to pin a [`bioformer_simd`] tier
+/// (e.g. the scalar oracle) instead of the runtime-dispatched one.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_i32_into_with(
+    tile: QdotTileFn,
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) {
+    check_qgemm_dims(a, b, bias, m, k, n);
+    assert_eq!(out.len(), m * n, "qgemm: out size");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0usize;
+        while j < n {
+            let jw = (n - j).min(QNR);
+            qdot_tile(tile, a_row, b, k, j, jw, |lj, s| {
+                out_row[j + lj] = s + bias.map_or(0, |bias| bias[j + lj]);
+            });
+            j += jw;
+        }
+    }
+}
+
+/// int8 GEMM with the requantization **fused into the store loop**: each
+/// accumulator tile is scaled to the output grid while still in registers —
+/// no intermediate `Vec<i32>` is materialised. Bit-for-bit identical to
+/// [`qgemm_i32_into`] followed by per-element requantization. Uses the
+/// runtime-dispatched kernel table.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_requant_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    mult: FixedMultiplier,
+    zero_point: i32,
+    out: &mut [i8],
+) {
+    if qgemm_requant_whole_into(a, b, bias, m, k, n, mult, zero_point, out) {
+        return;
+    }
+    qgemm_requant_tile_into(a, b, bias, m, k, n, mult, zero_point, out);
+}
+
+/// The forced whole-GEMM path of [`qgemm_requant_into`]: returns `false`
+/// (leaving `out` untouched) when the whole-GEMM kernel is unavailable or
+/// the shape exceeds its caps.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions (when the path is taken).
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_requant_whole_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    mult: FixedMultiplier,
+    zero_point: i32,
+    out: &mut [i8],
+) -> bool {
+    let kernels = bioformer_simd::kernels();
+    let Some(qg) = kernels.qgemm_i32 else {
+        return false;
+    };
+    if n > bioformer_simd::QGEMM_N_CAP || k > bioformer_simd::QGEMM_K_CAP {
+        return false;
+    }
+    check_qgemm_dims(a, b, bias, m, k, n);
+    assert_eq!(out.len(), m * n, "qgemm: out size");
+    // The whole-GEMM kernel produces i32 accumulators; requantize from a
+    // fixed stack scratch, a few rows at a time, so the fused entry point
+    // stays allocation-free.
+    const SCRATCH_ROWS: usize = 4;
+    let mut scratch = [0i32; SCRATCH_ROWS * bioformer_simd::QGEMM_N_CAP];
+    let mut i = 0usize;
+    while i < m {
+        let mr = (m - i).min(SCRATCH_ROWS);
+        qg(&a[i * k..(i + mr) * k], b, mr, k, n, &mut scratch[..mr * n]);
+        for r in 0..mr {
+            let out_row = &mut out[(i + r) * n..(i + r + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let acc = scratch[r * n + j] + bias.map_or(0, |bias| bias[j]);
+                *o = mult.requantize_to_i8(acc, zero_point);
+            }
+        }
+        i += mr;
+    }
+    true
+}
+
+/// The forced tile path of [`qgemm_requant_into`]: drives the dispatched
+/// dot tile with the requantization fused into its store callback.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_requant_tile_into(
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    mult: FixedMultiplier,
+    zero_point: i32,
+    out: &mut [i8],
+) {
+    check_qgemm_dims(a, b, bias, m, k, n);
+    assert_eq!(out.len(), m * n, "qgemm: out size");
+    let tile = bioformer_simd::kernels().qdot_tile;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0usize;
+        while j < n {
+            let jw = (n - j).min(QNR);
+            qdot_tile(tile, a_row, b, k, j, jw, |lj, s| {
+                let acc = s + bias.map_or(0, |bias| bias[j + lj]);
+                out_row[j + lj] = mult.requantize_to_i8(acc, zero_point);
+            });
+            j += jw;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qfilled(len: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as i8
+            })
+            .collect()
+    }
+
+    /// The forced whole-GEMM and forced tile paths must be bit-identical
+    /// wherever both run (the whole path may simply be unavailable).
+    #[test]
+    fn forced_kernel_paths_agree_bit_exactly() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 4), (6, 31, 17), (5, 64, 32)] {
+            let a = qfilled(m * k, 1 + m as u64);
+            let b = qfilled(n * k, 2 + n as u64);
+            let bias: Vec<i32> = (0..n as i32).map(|j| j * 7 - 3).collect();
+            let mut tile = vec![0i32; m * n];
+            qgemm_i32_tile_into(&a, &b, Some(&bias), m, k, n, &mut tile);
+            let mut dispatch = vec![0i32; m * n];
+            qgemm_i32_into(&a, &b, Some(&bias), m, k, n, &mut dispatch);
+            assert_eq!(tile, dispatch, "shape ({m},{k},{n})");
+            let mut whole = vec![0i32; m * n];
+            if qgemm_i32_whole_into(&a, &b, Some(&bias), m, k, n, &mut whole) {
+                assert_eq!(tile, whole, "whole-GEMM diverges at ({m},{k},{n})");
+            }
+            let mult = FixedMultiplier::encode(0.0173);
+            let mut rq_tile = vec![0i8; m * n];
+            qgemm_requant_tile_into(&a, &b, Some(&bias), m, k, n, mult, -5, &mut rq_tile);
+            let mut rq_dispatch = vec![0i8; m * n];
+            qgemm_requant_into(&a, &b, Some(&bias), m, k, n, mult, -5, &mut rq_dispatch);
+            assert_eq!(rq_tile, rq_dispatch, "requant shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn whole_path_reports_unavailable_beyond_caps() {
+        let k = bioformer_simd::QGEMM_K_CAP + 1;
+        let a = qfilled(k, 9);
+        let b = qfilled(k, 10);
+        let mut out = vec![0i32; 1];
+        assert!(!qgemm_i32_whole_into(&a, &b, None, 1, k, 1, &mut out));
+    }
+}

@@ -97,13 +97,17 @@ pub mod prelude {
         StreamSession, StreamSummary,
     };
     pub use super::worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy};
-    pub use super::{GestureClassifier, InferenceEngine, LatencyStats, ServeOutcome};
+    pub use super::{
+        tuned_compute, GestureClassifier, InferenceEngine, LatencyStats, ServeOutcome,
+    };
 }
 
 use bioformer_core::{Bioformer, TempoNet};
 use bioformer_nn::InferForward;
 use bioformer_quant::QuantBioformer;
 use bioformer_semg::GESTURE_CLASSES;
+use bioformer_tensor::backend::{ComputeBackend, PackedCpuBackend};
+use bioformer_tensor::tune::{tune, GemmShape, TuneTable};
 use bioformer_tensor::{Tensor, TensorArena};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -147,6 +151,39 @@ pub trait GestureClassifier: Send + Sync {
     fn input_shape(&self) -> Option<(usize, usize)> {
         None
     }
+
+    /// Installs a [`ComputeBackend`] on the model's GEMM-bearing layers
+    /// (e.g. an autotuned one from [`tuned_compute`]). The default is a
+    /// no-op for backends without a compute seam; model impls forward to
+    /// their `set_backend`.
+    fn install_compute(&mut self, compute: Arc<dyn ComputeBackend>) {
+        let _ = compute;
+    }
+
+    /// One-line description of the compute backend the model routes
+    /// through (tuning state included) — surfaced per replica in
+    /// [`EngineStats::tuning`]. Backends without a compute seam report
+    /// `"default"`.
+    fn compute_report(&self) -> String {
+        "default".to_string()
+    }
+
+    /// The distinct GEMM shapes this backend's inference path executes —
+    /// the autotuner's work-list. Empty (the default) means nothing to
+    /// tune.
+    fn gemm_shapes(&self) -> Vec<GemmShape> {
+        Vec::new()
+    }
+}
+
+/// Autotunes a compute backend for `classifier`'s GEMM shapes (honouring
+/// `BIOFORMER_TUNE`; with `BIOFORMER_TUNE=off` the table is empty and the
+/// backend behaves exactly like the default). Returns the backend plus the
+/// tuning table — persist the table with [`TuneTable::to_json`], or read
+/// its decision log for why each shape kept the default.
+pub fn tuned_compute(classifier: &dyn GestureClassifier) -> (Arc<dyn ComputeBackend>, TuneTable) {
+    let table = tune(&classifier.gemm_shapes());
+    (Arc::new(PackedCpuBackend::with_table(table.clone())), table)
 }
 
 /// Delegation through `Arc`, so one shared model instance can back any
@@ -171,6 +208,22 @@ impl<T: GestureClassifier + ?Sized> GestureClassifier for Arc<T> {
 
     fn input_shape(&self) -> Option<(usize, usize)> {
         (**self).input_shape()
+    }
+
+    /// Intentionally a no-op: the model behind an `Arc` is shared with
+    /// other engines/replicas, so one replica must not swap its kernels
+    /// under the others. Install a compute backend on the owned model
+    /// *before* sharing it.
+    fn install_compute(&mut self, compute: Arc<dyn ComputeBackend>) {
+        let _ = compute;
+    }
+
+    fn compute_report(&self) -> String {
+        (**self).compute_report()
+    }
+
+    fn gemm_shapes(&self) -> Vec<GemmShape> {
+        (**self).gemm_shapes()
     }
 }
 
@@ -199,6 +252,18 @@ impl GestureClassifier for Bioformer {
     fn input_shape(&self) -> Option<(usize, usize)> {
         Some((self.config().channels, self.config().window))
     }
+
+    fn install_compute(&mut self, compute: Arc<dyn ComputeBackend>) {
+        self.set_backend(compute);
+    }
+
+    fn compute_report(&self) -> String {
+        Bioformer::compute_report(self)
+    }
+
+    fn gemm_shapes(&self) -> Vec<GemmShape> {
+        Bioformer::gemm_shapes(self)
+    }
 }
 
 impl GestureClassifier for TempoNet {
@@ -217,6 +282,18 @@ impl GestureClassifier for TempoNet {
 
     fn input_shape(&self) -> Option<(usize, usize)> {
         Some((bioformer_semg::CHANNELS, bioformer_semg::WINDOW))
+    }
+
+    fn install_compute(&mut self, compute: Arc<dyn ComputeBackend>) {
+        self.set_backend(compute);
+    }
+
+    fn compute_report(&self) -> String {
+        TempoNet::compute_report(self)
+    }
+
+    fn gemm_shapes(&self) -> Vec<GemmShape> {
+        TempoNet::gemm_shapes(self)
     }
 }
 
@@ -237,15 +314,27 @@ impl GestureClassifier for QuantBioformer {
     fn input_shape(&self) -> Option<(usize, usize)> {
         Some((self.config().channels, self.config().window))
     }
+
+    fn install_compute(&mut self, compute: Arc<dyn ComputeBackend>) {
+        self.set_backend(compute);
+    }
+
+    fn compute_report(&self) -> String {
+        QuantBioformer::compute_report(self)
+    }
+
+    fn gemm_shapes(&self) -> Vec<GemmShape> {
+        QuantBioformer::gemm_shapes(self)
+    }
 }
 
 /// Default micro-batch size: large enough to amortise per-call overhead,
 /// small enough to bound per-request latency.
 pub const DEFAULT_MICRO_BATCH: usize = 32;
 
-/// Latency statistics over the micro-batches of one [`InferenceEngine::serve`]
-/// call. Durations cover the backend's `predict_batch` only (splitting and
-/// reassembly are excluded).
+/// Latency statistics over the micro-batches of one
+/// [`InferenceEngine::serve_checked`] call. Durations cover the backend's
+/// `predict_batch` only (splitting and reassembly are excluded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyStats {
     /// Number of micro-batches executed (0 for an empty request).
@@ -389,6 +478,28 @@ impl InferenceEngine {
         self.micro_batch
     }
 
+    /// Installs a [`ComputeBackend`] on the backend model (no-op for
+    /// backends without a compute seam — including `Arc`-shared models,
+    /// which must be tuned before sharing).
+    pub fn with_compute(mut self, compute: Arc<dyn ComputeBackend>) -> Self {
+        self.backend.install_compute(compute);
+        self
+    }
+
+    /// Autotunes a compute backend for the model's GEMM shapes (honouring
+    /// `BIOFORMER_TUNE`) and installs it. Use [`tuned_compute`] directly
+    /// when you also want the [`TuneTable`] (to persist it as JSON or read
+    /// the decision log).
+    pub fn with_tuned_compute(self) -> Self {
+        let (compute, _table) = tuned_compute(self.backend.as_ref());
+        self.with_compute(compute)
+    }
+
+    /// The backend model's compute report (tuning state included).
+    pub fn compute_report(&self) -> String {
+        self.backend.compute_report()
+    }
+
     /// The backend's name.
     pub fn backend_name(&self) -> &str {
         self.backend.name()
@@ -477,19 +588,6 @@ impl InferenceEngine {
         })
     }
 
-    /// Serves a request batch, panicking on malformed input.
-    ///
-    /// This is the pre-[`Engine`]-trait entry point, kept as a thin shim
-    /// for one release so downstream callers migrate gradually.
-    #[deprecated(
-        note = "use the `Engine` trait (`engine.classify(windows)`) or `serve_checked` \
-                for the same outcome with a `Result` instead of a panic"
-    )]
-    pub fn serve(&self, windows: &Tensor) -> ServeOutcome {
-        self.serve_checked(windows)
-            .unwrap_or_else(|e| panic!("InferenceEngine::serve: {e}"))
-    }
-
     /// Lifetime serving statistics in the unified [`EngineStats`] schema
     /// (each `serve_checked`/`classify` call that reached the backend is
     /// one request and one executed batch).
@@ -502,6 +600,7 @@ impl InferenceEngine {
         engine::stats_from_async(
             "inference",
             vec![self.backend.name().to_string()],
+            vec![self.backend.compute_report()],
             inner.into_stats(Vec::new()),
         )
     }
@@ -669,26 +768,22 @@ mod tests {
         assert_eq!(engine.stats().rejected, 1);
     }
 
-    /// The deprecated `serve` shim preserves the historical contract:
-    /// malformed input panics (with the validation message) instead of
-    /// returning the `Engine`-trait `ServeError`.
+    /// `serve_checked` counts requests and windows in the lifetime stats.
     #[test]
-    #[should_panic(expected = "windows must be [n, channels, samples]")]
-    fn deprecated_serve_shim_panics_on_bad_request() {
+    fn serve_checked_counts_requests_and_windows() {
         let (engine, _seen) = probe_engine(4);
-        #[allow(deprecated)]
-        let _ = engine.serve(&Tensor::zeros(&[4, 10]));
-    }
-
-    /// The shim serves exactly like `serve_checked` on well-formed input.
-    #[test]
-    fn deprecated_serve_shim_still_serves() {
-        let (engine, _seen) = probe_engine(4);
-        #[allow(deprecated)]
-        let out = engine.serve(&Tensor::zeros(&[3, 2, 5]));
+        let out = engine.serve_checked(&Tensor::zeros(&[3, 2, 5])).unwrap();
         assert_eq!(out.logits.dims(), &[3, 4]);
         assert_eq!(engine.stats().requests, 1);
         assert_eq!(engine.stats().windows, 3);
+    }
+
+    /// Backends without a compute seam report the default compute state.
+    #[test]
+    fn probe_backend_reports_default_compute() {
+        let (engine, _seen) = probe_engine(4);
+        assert_eq!(engine.compute_report(), "default");
+        assert_eq!(engine.stats().tuning, vec!["default".to_string()]);
     }
 
     /// Lifetime stats accumulate across calls in the unified schema.

@@ -528,6 +528,9 @@ pub(crate) struct Replica {
     shape: Mutex<ShapeState>,
     classes: usize,
     backend_name: String,
+    /// Snapshot of the backend's compute report (tuning state) taken at
+    /// spawn, before the backend moves into the worker threads.
+    compute_report: String,
     cfg: AsyncEngineConfig,
 }
 
@@ -577,6 +580,7 @@ impl Replica {
             }),
             classes: backend.num_classes(),
             backend_name: backend.name().to_string(),
+            compute_report: backend.compute_report(),
             cfg,
         }
     }
@@ -587,6 +591,10 @@ impl Replica {
 
     pub(crate) fn backend_name(&self) -> &str {
         &self.backend_name
+    }
+
+    pub(crate) fn compute_report(&self) -> &str {
+        &self.compute_report
     }
 
     pub(crate) fn num_classes(&self) -> usize {
@@ -850,6 +858,19 @@ impl AsyncEngine {
         }
     }
 
+    /// Autotunes a compute backend for `backend`'s GEMM shapes (honouring
+    /// `BIOFORMER_TUNE`), installs it, then spawns the worker pool. A
+    /// no-op install (`Arc`-shared or seam-less backends) still yields a
+    /// working engine — the replica just serves on the default kernels.
+    pub fn with_tuned_compute(
+        mut backend: Box<dyn GestureClassifier>,
+        cfg: AsyncEngineConfig,
+    ) -> Self {
+        let (compute, _table) = super::tuned_compute(backend.as_ref());
+        backend.install_compute(compute);
+        AsyncEngine::with_config(backend, cfg)
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &AsyncEngineConfig {
         self.replica.config()
@@ -858,6 +879,12 @@ impl AsyncEngine {
     /// The backend's name, e.g. `"bioformer-fp32"`.
     pub fn backend_name(&self) -> &str {
         self.replica.backend_name()
+    }
+
+    /// The backend's compute report at spawn time: `"default"` for
+    /// untuned replicas, or the tuned table summary.
+    pub fn compute_report(&self) -> &str {
+        self.replica.compute_report()
     }
 
     /// The backend's class count.

@@ -169,17 +169,17 @@ fn generic_caller_is_topology_agnostic() {
     assert_eq!(all[0], all[2], "sharded differs from inference");
 }
 
-/// The deprecated `InferenceEngine::serve` shim still answers with the
-/// same logits the `Engine` path produces (one release of grace).
+/// `serve_checked` answers with the same logits the `Engine` path
+/// produces (the direct entry point and the trait share one batching
+/// pipeline).
 #[test]
-fn deprecated_serve_shim_matches_engine_path() {
+fn serve_checked_matches_engine_path() {
     let model = Arc::new(small_bioformer(83));
     let engine = InferenceEngine::new(Box::new(Arc::clone(&model))).with_micro_batch(4);
     let w = windows(3, 9);
     let via_trait = Engine::classify(&engine, w.clone()).unwrap();
-    #[allow(deprecated)]
-    let via_shim = engine.serve(&w);
-    assert_eq!(via_shim.logits.data(), via_trait.logits.data());
-    assert_eq!(via_shim.predictions, via_trait.predictions);
+    let via_direct = engine.serve_checked(&w).unwrap();
+    assert_eq!(via_direct.logits.data(), via_trait.logits.data());
+    assert_eq!(via_direct.predictions, via_trait.predictions);
     assert_eq!(engine.stats().requests, 2);
 }
