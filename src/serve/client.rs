@@ -15,6 +15,7 @@
 
 use super::proto::{encode_frame, ErrorCode, Frame, FrameDecoder, ProtoError};
 use super::stream::GestureEvent;
+use super::trace::StageSummary;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -78,6 +79,10 @@ pub struct ClientSummary {
     pub events: Vec<GestureEvent>,
     /// The server's final per-session counters.
     pub stats: ClientSessionStats,
+    /// Per-stage decision-latency percentiles for this session, as
+    /// reported by the server's [`Frame::Stats`] at finish (all zeros if
+    /// the server predates the frame).
+    pub stages: StageSummary,
 }
 
 /// The [`Frame::SessionStats`] counters, client-side.
@@ -222,6 +227,7 @@ impl GatewayClient {
     pub fn finish(mut self) -> Result<ClientSummary, GatewayError> {
         self.write_frame(&Frame::Finish)?;
         let mut summary: Option<(u64, Vec<(u64, f32)>)> = None;
+        let mut stages = StageSummary::default();
         loop {
             match self.read_frame(Some(Duration::from_secs(30)))? {
                 Frame::Event(event) => self.events.push(event),
@@ -229,6 +235,7 @@ impl GatewayClient {
                     windows,
                     predictions,
                 } => summary = Some((windows, predictions)),
+                Frame::Stats(s) => stages = s,
                 Frame::SessionStats {
                     windows,
                     chunks,
@@ -248,6 +255,7 @@ impl GatewayClient {
                             samples,
                             events,
                         },
+                        stages,
                     });
                 }
                 Frame::Error { code, message } => {

@@ -59,6 +59,7 @@ pub mod queue;
 pub mod router;
 pub mod server;
 pub mod stream;
+pub mod trace;
 pub mod worker;
 
 pub use client::{ClientSessionStats, ClientSummary, GatewayClient, GatewayError};
@@ -66,7 +67,7 @@ pub use engine::{Engine, EngineStats};
 pub use proto::{ErrorCode, Frame, FrameDecoder, ProtoError};
 pub use queue::{PendingResponse, RequestOutput, ServeError};
 pub use router::{
-    PoolStats, ReplicaStats, RoutingPolicy, ShardedEngine, ShardedEngineBuilder,
+    HedgeConfig, PoolStats, ReplicaStats, RoutingPolicy, ShardedEngine, ShardedEngineBuilder,
     ShardedEngineConfig,
 };
 pub use server::{
@@ -76,6 +77,9 @@ pub use server::{
 pub use stream::{
     DecisionPolicy, DecisionSmoother, GestureEvent, SessionCheckpoint, StreamConfig, StreamSession,
     StreamSummary,
+};
+pub use trace::{
+    BudgetReport, LatencyBudget, LatencyTrace, StageRecorder, StageStats, StageSummary,
 };
 pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy, WorkerStats};
 
@@ -96,6 +100,7 @@ pub mod prelude {
         DecisionPolicy, DecisionSmoother, GestureEvent, SessionCheckpoint, StreamConfig,
         StreamSession, StreamSummary,
     };
+    pub use super::trace::{LatencyBudget, LatencyTrace, StageStats, StageSummary};
     pub use super::worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy};
     pub use super::{
         tuned_compute, GestureClassifier, InferenceEngine, LatencyStats, ServeOutcome,
@@ -353,6 +358,8 @@ pub struct LatencyStats {
     pub p50: Duration,
     /// 95th-percentile micro-batch latency.
     pub p95: Duration,
+    /// 99th-percentile micro-batch latency (nearest rank, like p50/p95).
+    pub p99: Duration,
 }
 
 impl LatencyStats {
@@ -379,6 +386,7 @@ impl LatencyStats {
                 max: Duration::ZERO,
                 p50: Duration::ZERO,
                 p95: Duration::ZERO,
+                p99: Duration::ZERO,
             };
         }
         samples.sort_unstable();
@@ -402,6 +410,7 @@ impl LatencyStats {
             max: samples[n - 1],
             p50: pct(0.50),
             p95: pct(0.95),
+            p99: pct(0.99),
         }
     }
 
@@ -815,24 +824,26 @@ mod tests {
         // n = 1: every percentile is the single sample.
         let mut one = vec![micros(7)];
         let s = LatencyStats::from_samples(&mut one, 1);
-        assert_eq!((s.p50, s.p95), (micros(7), micros(7)));
+        assert_eq!((s.p50, s.p95, s.p99), (micros(7), micros(7), micros(7)));
 
-        // n = 2: p50 is the 1st sample (⌈1.0⌉−1 = 0), not the 2nd; p95 is
-        // the 2nd (⌈1.9⌉−1 = 1).
+        // n = 2: p50 is the 1st sample (⌈1.0⌉−1 = 0), not the 2nd; p95 and
+        // p99 are the 2nd (⌈1.9⌉−1 = ⌈1.98⌉−1 = 1).
         let mut two = vec![micros(10), micros(20)];
         let s = LatencyStats::from_samples(&mut two, 2);
-        assert_eq!((s.p50, s.p95), (micros(10), micros(20)));
+        assert_eq!((s.p50, s.p95, s.p99), (micros(10), micros(20), micros(20)));
 
-        // n = 20 over 1..=20 µs: p50 = 10th sample, p95 = 19th sample.
+        // n = 20 over 1..=20 µs: p50 = 10th sample, p95 = 19th sample,
+        // p99 = 20th (⌈19.8⌉−1 = 19).
         let mut twenty: Vec<Duration> = (1..=20).map(micros).collect();
         let s = LatencyStats::from_samples(&mut twenty, 20);
-        assert_eq!((s.p50, s.p95), (micros(10), micros(19)));
+        assert_eq!((s.p50, s.p95, s.p99), (micros(10), micros(19), micros(20)));
 
-        // n = 100 over 1..=100 µs: p50 = 50th, p95 = 95th — the old index
-        // read the 51st and 96th here.
+        // n = 100 over 1..=100 µs: p50 = 50th, p95 = 95th, p99 = 99th —
+        // the old index read the 51st and 96th here, and would read the
+        // 100th for p99.
         let mut hundred: Vec<Duration> = (1..=100).map(micros).collect();
         let s = LatencyStats::from_samples(&mut hundred, 100);
-        assert_eq!((s.p50, s.p95), (micros(50), micros(95)));
+        assert_eq!((s.p50, s.p95, s.p99), (micros(50), micros(95), micros(99)));
     }
 
     #[test]
@@ -848,6 +859,7 @@ mod tests {
         assert_eq!(stats.max, Duration::from_micros(50));
         assert_eq!(stats.p50, Duration::from_micros(30));
         assert_eq!(stats.p95, Duration::from_micros(50));
+        assert_eq!(stats.p99, Duration::from_micros(50));
         assert_eq!(stats.total, Duration::from_micros(90));
         assert_eq!(stats.mean, Duration::from_micros(30));
         assert!((stats.throughput() - 100_000.0).abs() < 1.0);

@@ -38,10 +38,13 @@
 //!
 //! Server → client: [`Frame::HelloAck`] (session token + stream shape),
 //! [`Frame::Event`] (one debounced [`GestureEvent`]), [`Frame::Summary`]
-//! (per-window predictions at finish), [`Frame::SessionStats`] (final
+//! (per-window predictions at finish), [`Frame::Stats`] (per-stage
+//! decision-latency percentiles), [`Frame::SessionStats`] (final
 //! per-session counters), [`Frame::Error`] (typed failure).
 
 use super::stream::GestureEvent;
+use super::trace::{StageStats, StageSummary};
+use std::time::Duration;
 
 /// The two magic bytes every frame starts with. Chosen to be invalid
 /// UTF-8 ASCII so accidental text traffic fails fast.
@@ -142,6 +145,11 @@ pub enum Frame {
         /// Per-window `(argmax class, top-class confidence)`, window order.
         predictions: Vec<(u64, f32)>,
     },
+    /// Server → client: the finished session's per-stage decision-latency
+    /// percentiles (buffering / queueing / compute / smoothing, each with
+    /// trace count and p50/p95/p99 in nanoseconds on the wire). Sent
+    /// between [`Frame::Summary`] and [`Frame::SessionStats`].
+    Stats(StageSummary),
     /// Server → client: final per-session counters.
     SessionStats {
         /// Windows decided.
@@ -175,6 +183,7 @@ impl Frame {
             Frame::Event(_) => 0x82,
             Frame::Summary { .. } => 0x83,
             Frame::SessionStats { .. } => 0x84,
+            Frame::Stats(_) => 0x85,
             Frame::Error { .. } => 0x8F,
         }
     }
@@ -348,6 +357,17 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> Result<(), ProtoError> 
         } => {
             for v in [windows, chunks, samples, events] {
                 out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Frame::Stats(stages) => {
+            // Durations ride as u64 nanoseconds (saturating); 4 stages ×
+            // (count, p50, p95, p99) = a fixed 128-byte payload.
+            let nanos = |d: Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+            for (_, s) in stages.stages() {
+                out.extend_from_slice(&s.count.to_le_bytes());
+                for p in [s.p50, s.p95, s.p99] {
+                    out.extend_from_slice(&nanos(p).to_le_bytes());
+                }
             }
         }
         Frame::Error { code, message } => {
@@ -532,6 +552,22 @@ fn decode_body(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
             samples: r.u64("samples")?,
             events: r.u64("events")?,
         },
+        0x85 => {
+            let mut decoded = [StageStats::default(); 4];
+            for (i, s) in decoded.iter_mut().enumerate() {
+                let names = ["buffering", "queueing", "compute", "smoothing"];
+                s.count = r.u64(&format!("{} count", names[i]))?;
+                s.p50 = Duration::from_nanos(r.u64(&format!("{} p50", names[i]))?);
+                s.p95 = Duration::from_nanos(r.u64(&format!("{} p95", names[i]))?);
+                s.p99 = Duration::from_nanos(r.u64(&format!("{} p99", names[i]))?);
+            }
+            Frame::Stats(StageSummary {
+                buffering: decoded[0],
+                queueing: decoded[1],
+                compute: decoded[2],
+                smoothing: decoded[3],
+            })
+        }
         0x8F => {
             let code_byte = r.u8("error code")?;
             let code = ErrorCode::from_u8(code_byte)
@@ -691,6 +727,33 @@ mod tests {
             samples: 3,
             events: 4,
         });
+        roundtrip(Frame::Stats(StageSummary::default()));
+        roundtrip(Frame::Stats(StageSummary {
+            buffering: StageStats {
+                count: 12,
+                p50: Duration::from_millis(15),
+                p95: Duration::from_millis(16),
+                p99: Duration::from_millis(17),
+            },
+            queueing: StageStats {
+                count: 12,
+                p50: Duration::from_micros(800),
+                p95: Duration::from_micros(2100),
+                p99: Duration::from_micros(2500),
+            },
+            compute: StageStats {
+                count: 12,
+                p50: Duration::from_micros(450),
+                p95: Duration::from_micros(900),
+                p99: Duration::from_micros(950),
+            },
+            smoothing: StageStats {
+                count: 12,
+                p50: Duration::from_millis(45),
+                p95: Duration::from_millis(90),
+                p99: Duration::from_millis(95),
+            },
+        }));
         roundtrip(Frame::Error {
             code: ErrorCode::Evicted,
             message: "idle 30s".into(),

@@ -142,6 +142,26 @@ impl PendingResponse {
             Err(mpsc::TryRecvError::Disconnected) => Ok(Err(ServeError::Cancelled)),
         }
     }
+
+    /// Bounded wait: blocks for at most `timeout`, then returns `Err(self)`
+    /// with the still-usable handle if the request is still in flight. A
+    /// dead engine reads as [`ServeError::Cancelled`], exactly like
+    /// [`PendingResponse::wait`].
+    ///
+    /// This is the hedging primitive: the sharded router waits one hedge
+    /// delay on the primary replica, and on timeout duplicates the request
+    /// to a second replica while keeping this handle alive to race both.
+    #[allow(clippy::result_large_err)]
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<RequestOutput, ServeError>, PendingResponse> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServeError::Cancelled)),
+        }
+    }
 }
 
 /// Queue interior: the deque plus the closed flag, under one mutex.
@@ -335,6 +355,22 @@ mod tests {
         assert!(q
             .pop_until(Instant::now() + Duration::from_millis(1))
             .is_none());
+    }
+
+    #[test]
+    fn wait_timeout_returns_handle_then_response() {
+        let (req, pending) = dummy_request();
+        // Nothing responded yet: the bounded wait hands the handle back.
+        let pending = match pending.wait_timeout(Duration::from_millis(1)) {
+            Err(p) => p,
+            Ok(r) => panic!("unexpected early response: {r:?}"),
+        };
+        // Engine dies (sender dropped) -> Cancelled, like wait().
+        drop(req);
+        match pending.wait_timeout(Duration::from_millis(1)) {
+            Ok(Err(ServeError::Cancelled)) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,15 +12,30 @@
 //! routes around them, and [`ShardedEngine::classify`] transparently
 //! re-routes a request cancelled by a failing replica. Shutdown drains
 //! every replica in parallel before joining.
+//!
+//! Two tail-latency levers ride on top of routing:
+//!
+//! - **Hedged requests** ([`HedgeConfig`], opt-in): when a classify call
+//!   has waited longer than the pool's running p95 estimate, the request
+//!   is duplicated to a second healthy replica and the first answer wins —
+//!   one slow replica stops defining the pool's p99.
+//! - **Replica weights** ([`ShardedEngineBuilder::add_replica_weighted`]):
+//!   an explicit capacity multiplier dividing the
+//!   [`RoutingPolicy::LatencyAware`] score, so a deliberately
+//!   under-provisioned fp32 replica in a mostly-int8 pool can be held to a
+//!   planned share of traffic before its latency EWMA has converged.
 
 use super::queue::{PendingResponse, RequestOutput, ServeError};
 use super::worker::{AsyncEngineConfig, AsyncStats, Replica, WorkerInner};
 use super::{GestureClassifier, LatencyStats};
 use bioformer_tensor::backend::ComputeBackend;
 use bioformer_tensor::Tensor;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How often the hedged race polls each of the two in-flight copies.
+const HEDGE_POLL: Duration = Duration::from_micros(200);
 
 /// How the router picks a replica for each submission. Only healthy
 /// (non-quarantined) replicas are ever candidates.
@@ -69,6 +84,10 @@ pub struct ShardedEngineConfig {
     /// sends no canaries — and replicas whose workers have all died are
     /// never probed (a dead worker pool cannot answer).
     pub probe_interval: Option<Duration>,
+    /// Request hedging for [`ShardedEngine::classify`]. `None` (the
+    /// default) disables hedging entirely — the classify path is then
+    /// byte-for-byte the pre-hedging re-route loop.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl Default for ShardedEngineConfig {
@@ -78,6 +97,46 @@ impl Default for ShardedEngineConfig {
             quarantine_after: 2,
             max_reroutes: 3,
             probe_interval: Some(Duration::from_millis(250)),
+            hedge: None,
+        }
+    }
+}
+
+/// Hedged-request tuning for [`ShardedEngine::classify`].
+///
+/// A hedge fires when the primary replica has not answered within the
+/// **hedge delay**: the request is duplicated (non-blocking) to a second
+/// healthy replica and the first answer wins. The delay tracks the pool's
+/// observed p95 classify latency via a constant-space frugal-streaming
+/// estimator, clamped to `[min_delay, max_delay]`; before any latency has
+/// been observed, `initial_delay` is used. Tying the delay to p95 bounds
+/// the duplicate-work overhead at roughly 5 % of requests while still
+/// cutting off the slowest tail — the classic "tail at scale" trade.
+///
+/// The losing copy is **cancelled, not un-counted**: its response handle
+/// is dropped (the worker's send fails silently), but the work still shows
+/// up in the losing replica's counters, so
+/// [`PoolStats::rollup_consistent`] keeps holding. Pool-level
+/// [`PoolStats::hedges_fired`] / [`PoolStats::hedges_won`] count the
+/// duplicates separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgeConfig {
+    /// Hedge delay used before the p95 estimator has seen any sample.
+    pub initial_delay: Duration,
+    /// Lower clamp on the hedge delay (guards against a cold or
+    /// pathologically low estimate hedging every request).
+    pub min_delay: Duration,
+    /// Upper clamp on the hedge delay (guards against a spike poisoning
+    /// the estimate into never hedging again).
+    pub max_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            initial_delay: Duration::from_millis(20),
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(250),
         }
     }
 }
@@ -103,6 +162,10 @@ struct ReplicaSlot {
     replica: Replica,
     quarantined: AtomicBool,
     probe: Mutex<ProbeState>,
+    /// Routing weight: the [`RoutingPolicy::LatencyAware`] score is
+    /// divided by this, so a weight-2 replica is offered roughly twice the
+    /// traffic of a weight-1 sibling at equal observed latency.
+    weight: f64,
 }
 
 /// A snapshot of one replica's serving state inside a [`PoolStats`].
@@ -114,6 +177,9 @@ pub struct ReplicaStats {
     pub backend: String,
     /// Whether the router has quarantined this replica.
     pub quarantined: bool,
+    /// The replica's routing weight (1.0 unless set via
+    /// [`ShardedEngineBuilder::add_replica_weighted`]).
+    pub weight: f64,
     /// Requests waiting in this replica's queue at snapshot time.
     pub queue_depth: usize,
     /// EWMA of this replica's coalesced-batch backend latency. `None`
@@ -150,6 +216,15 @@ pub struct PoolStats {
     /// count/total/mean/min/max; percentiles estimated over recent-sample
     /// windows).
     pub latency: LatencyStats,
+    /// Hedged duplicates fired by [`ShardedEngine::classify`]. A
+    /// **pool-level** counter, deliberately outside the per-replica sums:
+    /// the duplicate itself is counted as an ordinary request in the hedge
+    /// replica's stats, so [`PoolStats::rollup_consistent`] still holds.
+    pub hedges_fired: usize,
+    /// Hedged duplicates whose answer was the one returned to the caller
+    /// (the primary lost the race or failed). Pool-level, like
+    /// [`PoolStats::hedges_fired`].
+    pub hedges_won: usize,
     /// Per-replica breakdown.
     pub per_replica: Vec<ReplicaStats>,
 }
@@ -192,7 +267,7 @@ impl PoolStats {
 pub struct ShardedEngineBuilder {
     cfg: ShardedEngineConfig,
     replica_cfg: AsyncEngineConfig,
-    replicas: Vec<(Box<dyn GestureClassifier>, Option<AsyncEngineConfig>)>,
+    replicas: Vec<(Box<dyn GestureClassifier>, Option<AsyncEngineConfig>, f64)>,
 }
 
 impl ShardedEngineBuilder {
@@ -246,6 +321,13 @@ impl ShardedEngineBuilder {
         self
     }
 
+    /// Enables request hedging on [`ShardedEngine::classify`] (see
+    /// [`HedgeConfig`]). Off by default.
+    pub fn with_hedging(mut self, hedge: HedgeConfig) -> Self {
+        self.cfg.hedge = Some(hedge);
+        self
+    }
+
     /// Sets the default per-replica config used by
     /// [`ShardedEngineBuilder::add_replica`] (replicas already added keep
     /// theirs).
@@ -257,7 +339,30 @@ impl ShardedEngineBuilder {
     /// Adds a replica serving `backend` with the builder's default replica
     /// config.
     pub fn add_replica(mut self, backend: Box<dyn GestureClassifier>) -> Self {
-        self.replicas.push((backend, None));
+        self.replicas.push((backend, None, 1.0));
+        self
+    }
+
+    /// Adds a replica with an explicit routing weight. Under
+    /// [`RoutingPolicy::LatencyAware`] the replica's score is divided by
+    /// `weight`, so a weight-2 replica attracts roughly twice the traffic
+    /// of a weight-1 sibling at equal observed latency — the knob for
+    /// capacity-planning a heterogeneous fp32 + int8 pool before (and
+    /// independently of) the latency EWMAs converging.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is finite and > 0.
+    pub fn add_replica_weighted(
+        mut self,
+        backend: Box<dyn GestureClassifier>,
+        weight: f64,
+    ) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "ShardedEngine: replica weight must be finite and > 0, got {weight}"
+        );
+        self.replicas.push((backend, None, weight));
         self
     }
 
@@ -269,7 +374,7 @@ impl ShardedEngineBuilder {
         backend: Box<dyn GestureClassifier>,
         cfg: AsyncEngineConfig,
     ) -> Self {
-        self.replicas.push((backend, Some(cfg)));
+        self.replicas.push((backend, Some(cfg), 1.0));
         self
     }
 
@@ -314,10 +419,11 @@ impl ShardedEngineBuilder {
         let replicas: Vec<ReplicaSlot> = self
             .replicas
             .into_iter()
-            .map(|(backend, cfg)| ReplicaSlot {
+            .map(|(backend, cfg, weight)| ReplicaSlot {
                 replica: Replica::new(backend, cfg.unwrap_or_else(|| default_cfg.clone())),
                 quarantined: AtomicBool::new(false),
                 probe: Mutex::new(ProbeState::default()),
+                weight,
             })
             .collect();
         let classes = replicas[0].replica.num_classes();
@@ -336,6 +442,9 @@ impl ShardedEngineBuilder {
             rr: AtomicUsize::new(0),
             cfg: self.cfg,
             classes,
+            hedges_fired: AtomicUsize::new(0),
+            hedges_won: AtomicUsize::new(0),
+            hedge_p95_ns: AtomicU64::new(0),
         }
     }
 }
@@ -375,6 +484,14 @@ pub struct ShardedEngine {
     rr: AtomicUsize,
     cfg: ShardedEngineConfig,
     classes: usize,
+    /// Hedged duplicates fired (pool-level; see [`PoolStats::hedges_fired`]).
+    hedges_fired: AtomicUsize,
+    /// Hedged duplicates whose answer won the race.
+    hedges_won: AtomicUsize,
+    /// Running p95 estimate of classify latency in nanos (frugal
+    /// streaming: asymmetric ±steps at a 19:1 ratio converge on the 95th
+    /// percentile in constant space). 0 = no sample yet.
+    hedge_p95_ns: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -539,8 +656,11 @@ impl ShardedEngine {
                 // batch finish with it and don't add future work) plus
                 // this request, at the replica's per-window rate, plus the
                 // expected remainder of any batch executing right now
-                // (½ the batch EWMA per busy worker).
-                (shared.waiting() + 1) as f64 * win + shared.busy_workers() as f64 * batch / 2.0
+                // (½ the batch EWMA per busy worker). Divided by the
+                // replica's explicit weight: a weight-w replica looks w×
+                // cheaper, attracting a proportional share of traffic.
+                ((shared.waiting() + 1) as f64 * win + shared.busy_workers() as f64 * batch / 2.0)
+                    / self.replicas[i].weight
             }),
         };
         Ok(pick)
@@ -602,7 +722,21 @@ impl ShardedEngine {
     /// (up to [`ShardedEngineConfig::max_reroutes`] times) when a replica
     /// cancels the request because its backend panicked. This is how a
     /// dying replica's traffic is re-routed rather than dropped.
+    ///
+    /// With [`ShardedEngineConfig::hedge`] set, a request that outlives the
+    /// hedge delay is additionally duplicated to a second replica and the
+    /// first answer wins (see [`HedgeConfig`]); with `hedge: None` (the
+    /// default) this is exactly the plain re-route loop.
     pub fn classify(&self, windows: Tensor) -> Result<RequestOutput, ServeError> {
+        match self.cfg.hedge {
+            Some(h) => self.classify_hedged(windows, h),
+            None => self.classify_unhedged(windows),
+        }
+    }
+
+    /// The pre-hedging classify path: route, submit, wait, re-route on
+    /// cancellation.
+    fn classify_unhedged(&self, windows: Tensor) -> Result<RequestOutput, ServeError> {
         let mut tried = Vec::new();
         let mut windows = windows;
         loop {
@@ -635,6 +769,104 @@ impl ShardedEngine {
         }
     }
 
+    /// The hedged classify path: submit to the routed primary, wait out
+    /// the hedge delay, then duplicate to a second healthy replica and
+    /// race the two copies. The losing copy's response handle is dropped —
+    /// the worker still executes and counts it, but nobody waits for it.
+    ///
+    /// Failure semantics are deliberately simple: the hedge *is* the
+    /// retry. If one copy errors the call blocks on the other; if both
+    /// error the surviving copy's error is returned. The unhedged
+    /// re-route loop is not layered on top.
+    fn classify_hedged(
+        &self,
+        windows: Tensor,
+        h: HedgeConfig,
+    ) -> Result<RequestOutput, ServeError> {
+        let started = Instant::now();
+        let primary_idx = self.route(&[])?;
+        let copy = windows.clone();
+        let mut primary = self.replicas[primary_idx].replica.submit(windows)?;
+        match primary.wait_timeout(self.hedge_delay(&h)) {
+            Ok(result) => return self.hedged_outcome(result, started, false),
+            Err(pending) => primary = pending,
+        }
+        // The primary outlived the delay: duplicate to a second healthy
+        // replica, never the primary, without blocking — a full hedge
+        // queue means "no hedge this time", not backpressure.
+        let hedged = self
+            .route(&[primary_idx])
+            .ok()
+            .and_then(|idx| self.replicas[idx].replica.try_submit(copy).ok());
+        let Some(mut hedge) = hedged else {
+            return self.hedged_outcome(primary.wait(), started, false);
+        };
+        self.hedges_fired.fetch_add(1, Ordering::Relaxed);
+        loop {
+            match primary.wait_timeout(HEDGE_POLL) {
+                Ok(Ok(out)) => return self.hedged_outcome(Ok(out), started, false),
+                Ok(Err(_)) => return self.hedged_outcome(hedge.wait(), started, true),
+                Err(pending) => primary = pending,
+            }
+            match hedge.try_wait() {
+                Ok(Ok(out)) => return self.hedged_outcome(Ok(out), started, true),
+                Ok(Err(_)) => return self.hedged_outcome(primary.wait(), started, false),
+                Err(pending) => hedge = pending,
+            }
+        }
+    }
+
+    /// Accounts for a finished hedged classify: bumps the win counter when
+    /// the hedge's answer was used, and feeds the p95 estimator on success.
+    fn hedged_outcome(
+        &self,
+        result: Result<RequestOutput, ServeError>,
+        started: Instant,
+        won_by_hedge: bool,
+    ) -> Result<RequestOutput, ServeError> {
+        if result.is_ok() {
+            if won_by_hedge {
+                self.hedges_won.fetch_add(1, Ordering::Relaxed);
+            }
+            self.note_latency(started.elapsed());
+        }
+        result
+    }
+
+    /// The hedge delay for the next request: the running p95 estimate,
+    /// clamped to the config's bounds ([`HedgeConfig::initial_delay`]
+    /// before any sample).
+    fn hedge_delay(&self, h: &HedgeConfig) -> Duration {
+        let est = self.hedge_p95_ns.load(Ordering::Relaxed);
+        let raw = if est == 0 {
+            h.initial_delay
+        } else {
+            Duration::from_nanos(est)
+        };
+        raw.clamp(h.min_delay, h.max_delay)
+    }
+
+    /// Frugal-streaming p95 update: step up 19 units on a sample above the
+    /// estimate, down 1 unit below it — at the 95th percentile up- and
+    /// down-steps balance (5 % × 19 = 95 % × 1). The unit is a 1/256th of
+    /// the current estimate, so convergence is multiplicative and scale-
+    /// free. Lossy under concurrent updates by design (it is an estimate).
+    fn note_latency(&self, sample: Duration) {
+        let s = (sample.as_nanos().min(u64::MAX as u128) as u64).max(1);
+        let cur = self.hedge_p95_ns.load(Ordering::Relaxed);
+        let next = if cur == 0 {
+            s
+        } else {
+            let unit = (cur >> 8).max(1);
+            if s > cur {
+                cur.saturating_add(19 * unit)
+            } else {
+                cur.saturating_sub(unit).max(1)
+            }
+        };
+        self.hedge_p95_ns.store(next, Ordering::Relaxed);
+    }
+
     /// A live snapshot of pool-level + per-replica statistics. Every pool
     /// total is the sum of the corresponding per-replica counters.
     ///
@@ -655,6 +887,7 @@ impl ShardedEngine {
                 replica: i,
                 backend: slot.replica.backend_name().to_string(),
                 quarantined: slot.quarantined.load(Ordering::Relaxed),
+                weight: slot.weight,
                 queue_depth: slot.replica.queue_depth(),
                 ewma_batch_latency: slot.replica.shared().ewma_batch_latency(),
                 ewma_window_latency: slot.replica.shared().ewma_window_latency(),
@@ -671,6 +904,8 @@ impl ShardedEngine {
             coalesced_batches: pool.coalesced_batches,
             windows: pool.windows,
             latency: pool.latency,
+            hedges_fired: self.hedges_fired.load(Ordering::Relaxed),
+            hedges_won: self.hedges_won.load(Ordering::Relaxed),
             per_replica,
         }
     }

@@ -44,6 +44,7 @@ use super::engine::{Engine, EngineStats};
 use super::proto::{encode_frame, ErrorCode, Frame, FrameDecoder};
 use super::queue::ServeError;
 use super::stream::{GestureEvent, SessionCheckpoint, StreamConfig, StreamSession, StreamSummary};
+use super::trace::{LatencyTrace, StageRecorder, StageSummary};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -198,6 +199,14 @@ pub struct ServerStats {
     pub live_sessions: usize,
     /// Suspended checkpoints currently parked for resume.
     pub parked_sessions: usize,
+    /// Per-stage decision-latency percentiles (p50/p95/p99 for buffering /
+    /// queueing / compute / smoothing) over the events emitted by **all**
+    /// sessions, rolled up by the pump. Traces from a session's final
+    /// finish/suspend drain live only in that session's
+    /// [`StreamSummary::stages`] — the pump rolls up traces per served
+    /// round, so the pool view can trail the per-session view by the few
+    /// events a stream emits while closing.
+    pub stages: StageSummary,
     /// The shared engine's statistics.
     pub engine: EngineStats,
 }
@@ -306,6 +315,9 @@ struct Registry {
     parked: BTreeMap<u64, Parked>,
     tenants: BTreeMap<String, ServeCounters>,
     totals: ServeCounters,
+    /// Pool-wide decision-latency rollup, fed by the pump's write-back
+    /// phase with the traces each round's sessions recorded.
+    stages: StageRecorder,
 }
 
 impl Registry {
@@ -353,6 +365,13 @@ impl Shared {
 /// In-process clients use [`StreamServer::connect`] /
 /// [`StreamServer::resume`] and the returned [`SessionHandle`]s directly;
 /// [`TcpGateway`] exposes the same lifecycle over the wire.
+///
+/// The server is engine-agnostic, but the recommended deployment is over a
+/// [`ShardedEngine`](super::ShardedEngine) pool rather than a single
+/// [`InferenceEngine`](super::InferenceEngine): replicas absorb tenant
+/// bursts independently, quarantine isolates a failing backend, and a mixed
+/// fp32 + int8 pool can be capacity-planned with per-replica weights (see
+/// `examples/serve_gateway.rs`).
 pub struct StreamServer {
     shared: Arc<Shared>,
     engine: Arc<dyn Engine>,
@@ -375,6 +394,7 @@ impl StreamServer {
                 parked: BTreeMap::new(),
                 tenants: BTreeMap::new(),
                 totals: ServeCounters::default(),
+                stages: StageRecorder::new(),
             }),
             work: Condvar::new(),
             room: Condvar::new(),
@@ -527,6 +547,7 @@ impl StreamServer {
                 .collect(),
             live_sessions: reg.live(),
             parked_sessions: reg.parked.len(),
+            stages: reg.stages.summary(),
             engine: self.engine.engine_stats(),
         }
     }
@@ -854,6 +875,9 @@ struct RoundResult {
     /// Windows decided over the logical stream after this round.
     decided_after: u64,
     events: Vec<GestureEvent>,
+    /// Decision-latency traces the session recorded this round, for the
+    /// pool-level rollup.
+    traces: Vec<LatencyTrace>,
     outcome: Option<RoundEnd>,
     detached: bool,
 }
@@ -965,6 +989,12 @@ fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
         // Phase 3 — write back events, counters and outcomes.
         let mut reg = shared.lock();
         for r in results {
+            // Roll traces into the pool-wide recorder before the slot
+            // lookup so a finished/evicted session's last round still
+            // counts.
+            for t in &r.traces {
+                reg.stages.record(*t);
+            }
             let Some(slot) = reg.slots.get_mut(&r.token) else {
                 continue;
             };
@@ -1061,6 +1091,7 @@ fn serve_round<'e>(
         samples: 0,
         decided_after: 0,
         events: Vec::new(),
+        traces: Vec::new(),
         outcome: None,
         detached: work.detached,
     };
@@ -1094,6 +1125,7 @@ fn serve_round<'e>(
         }
     }
     result.decided_after = session.windows_decided() as u64;
+    session.drain_new_traces(&mut result.traces);
     match work.end {
         None => {}
         Some(EndKind::Finish) => {
@@ -1409,6 +1441,11 @@ fn serve_connection(server: &StreamServer, mut sock: TcpStream, stop: &AtomicBoo
                             let _ = send_frame(
                                 &mut sock,
                                 &mut scratch,
+                                &Frame::Stats(report.summary.stages),
+                            );
+                            let _ = send_frame(
+                                &mut sock,
+                                &mut scratch,
                                 &Frame::SessionStats {
                                     windows: report.stats.windows,
                                     chunks: report.stats.chunks,
@@ -1443,6 +1480,7 @@ fn serve_connection(server: &StreamServer, mut sock: TcpStream, stop: &AtomicBoo
                 Frame::HelloAck { .. }
                 | Frame::Event(_)
                 | Frame::Summary { .. }
+                | Frame::Stats(_)
                 | Frame::SessionStats { .. }
                 | Frame::Error { .. } => {
                     send_error(

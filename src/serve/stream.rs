@@ -36,10 +36,23 @@
 
 use super::engine::Engine;
 use super::queue::{RequestOutput, ServeError};
+use super::trace::{LatencyTrace, StageRecorder, StageSummary};
 use bioformer_semg::windowing::OnlineWindower;
 use bioformer_semg::{Gesture, Normalizer};
 use bioformer_tensor::Tensor;
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Minimum absorbed-window marks a session retains for attributing an
+/// emitted event back to its triggering window's stage timings (grown to
+/// cover the vote depth when the policy needs more).
+const MARK_WINDOW: usize = 64;
+
+/// Fresh [`LatencyTrace`]s buffered between
+/// [`StreamSession::drain_new_traces`] calls; beyond this the oldest
+/// undrained trace is dropped (the session's own [`StageRecorder`] has
+/// already absorbed it).
+const TRACE_BACKLOG: usize = 256;
 
 /// The softmax probability of class `class` under `logits` — the
 /// confidence the decision layer feeds on.
@@ -47,6 +60,14 @@ use std::collections::VecDeque;
 /// Deterministic f32 arithmetic (max-subtracted exponentials, summed in
 /// index order), shared by the streaming and offline paths so their
 /// confidences are bit-identical.
+///
+/// Hardened against degenerate logits: when the result is non-finite —
+/// NaN logits poison the max-subtraction, or every shifted exponential
+/// underflows to a 0/0 — the window reports confidence **0.0**, so it
+/// *abstains* under any `confidence_floor` instead of a NaN silently
+/// passing the `conf < floor` comparison (NaN compares false) and voting
+/// with garbage. Finite extreme logits (±1e30) are already safe: the
+/// max-subtraction keeps every exponent ≤ 0.
 ///
 /// # Panics
 ///
@@ -58,7 +79,12 @@ pub fn confidence(logits: &[f32], class: usize) -> f32 {
     for &l in logits {
         sum += (l - max).exp();
     }
-    (logits[class] - max).exp() / sum
+    let p = (logits[class] - max).exp() / sum;
+    if p.is_finite() {
+        p
+    } else {
+        0.0
+    }
 }
 
 /// How per-window predictions are smoothed into gesture decisions.
@@ -461,6 +487,11 @@ pub struct SessionCheckpoint {
     smoother: DecisionSmoother,
     predictions: Vec<usize>,
     confidences: Vec<f32>,
+    /// Decision-latency recorder, carried across the seam so per-session
+    /// [`StageSummary`] percentiles survive park/resume. (Transient
+    /// attribution state — in-flight marks and undrained traces — is
+    /// timing of a stream that no longer exists, and is dropped.)
+    recorder: StageRecorder,
 }
 
 impl SessionCheckpoint {
@@ -503,6 +534,10 @@ pub struct StreamSummary {
     /// `push_samples`, plus the closing `Ended`). Events already returned
     /// by earlier `push_samples` calls are not repeated.
     pub events: Vec<GestureEvent>,
+    /// Per-stage decision-latency percentiles over the session's emitted
+    /// events (buffering / queueing / compute / smoothing), from the
+    /// session's [`StageRecorder`]. All zeros when no event was emitted.
+    pub stages: StageSummary,
 }
 
 /// One submitted window: the response handle plus what is needed to
@@ -515,6 +550,24 @@ struct Inflight {
     /// pay a per-window copy.
     window: Option<Tensor>,
     retries_left: usize,
+    /// Time the window's samples spent buffering before it was complete
+    /// (carried through retries into the decision-latency trace).
+    buffering: Duration,
+}
+
+/// Stage timings of one absorbed window, retained until the decision
+/// layer emits the event it supports (bounded ring; see [`MARK_WINDOW`]).
+#[derive(Debug, Clone, Copy)]
+struct WindowMark {
+    /// 0-based window index (the smoother's event clock).
+    window: usize,
+    /// The window's argmax class (its vote).
+    class: usize,
+    buffering: Duration,
+    queueing: Duration,
+    compute: Duration,
+    /// When the window's prediction was absorbed into the decision layer.
+    absorbed: Instant,
 }
 
 /// A client-facing streaming session over any [`Engine`]: push raw
@@ -553,6 +606,18 @@ pub struct StreamSession<'a> {
     inflight: VecDeque<Inflight>,
     predictions: Vec<usize>,
     confidences: Vec<f32>,
+    /// When the currently-buffering window started waiting for samples
+    /// (armed on the first push, re-armed each time a window completes).
+    buffer_from: Option<Instant>,
+    /// Recent absorbed-window stage timings for event attribution
+    /// (bounded at `mark_cap`; preallocated, never grown).
+    marks: VecDeque<WindowMark>,
+    mark_cap: usize,
+    /// Per-event decision-latency rollup (fixed rings; zero-alloc record).
+    recorder: StageRecorder,
+    /// Traces not yet handed to [`StreamSession::drain_new_traces`]
+    /// (bounded at [`TRACE_BACKLOG`]; preallocated, never grown).
+    pending_traces: VecDeque<LatencyTrace>,
 }
 
 impl<'a> StreamSession<'a> {
@@ -588,6 +653,9 @@ impl<'a> StreamSession<'a> {
                 )));
             }
         }
+        // Enough marks to attribute a `Started` event back to its earliest
+        // supporting vote, whatever the vote depth.
+        let mark_cap = MARK_WINDOW.max(cfg.policy.vote_depth + 1);
         Ok(StreamSession {
             engine,
             channels: cfg.channels,
@@ -600,6 +668,11 @@ impl<'a> StreamSession<'a> {
             inflight: VecDeque::new(),
             predictions: Vec::new(),
             confidences: Vec::new(),
+            buffer_from: None,
+            marks: VecDeque::with_capacity(mark_cap),
+            mark_cap,
+            recorder: StageRecorder::new(),
+            pending_traces: VecDeque::with_capacity(TRACE_BACKLOG),
         })
     }
 
@@ -639,6 +712,23 @@ impl<'a> StreamSession<'a> {
         &self.confidences
     }
 
+    /// Per-stage decision-latency percentiles over the events this session
+    /// has emitted so far (one [`LatencyTrace`] is recorded per event into
+    /// a fixed-capacity [`StageRecorder`]; the steady-state record path
+    /// performs no heap allocations).
+    pub fn stage_stats(&self) -> StageSummary {
+        self.recorder.summary()
+    }
+
+    /// Moves the traces recorded since the last call into `out` (the
+    /// [`StreamServer`](super::StreamServer) pump uses this to roll
+    /// per-session traces into the per-server recorder). The session's own
+    /// recorder keeps them regardless; at most 256 undrained traces are
+    /// retained.
+    pub fn drain_new_traces(&mut self, out: &mut Vec<LatencyTrace>) {
+        out.extend(self.pending_traces.drain(..));
+    }
+
     /// Ingests raw interleaved samples (`samples[k]` belongs to channel
     /// `k % channels`; any chunk length is fine, including ones that split
     /// a frame), extracting/normalizing/submitting every completed window
@@ -658,6 +748,11 @@ impl<'a> StreamSession<'a> {
     /// the session should be discarded.
     pub fn push_samples(&mut self, samples: &[f32]) -> Result<Vec<GestureEvent>, ServeError> {
         let mut events = Vec::new();
+        // Arm the buffering clock on the stream's first samples; completed
+        // windows re-arm it in `submit_window`.
+        if self.buffer_from.is_none() && !samples.is_empty() {
+            self.buffer_from = Some(Instant::now());
+        }
         self.windower.push_interleaved(samples);
         loop {
             let window = {
@@ -679,12 +774,18 @@ impl<'a> StreamSession<'a> {
     pub fn finish(mut self) -> Result<StreamSummary, ServeError> {
         let mut events = Vec::new();
         self.drain(true, &mut events)?;
+        let flushed_from = events.len();
         self.smoother.flush(&mut events);
+        let now = Instant::now();
+        for event in &events[flushed_from..] {
+            self.trace_event(event, now);
+        }
         Ok(StreamSummary {
             windows: self.predictions.len(),
             predictions: std::mem::take(&mut self.predictions),
             confidences: std::mem::take(&mut self.confidences),
             events,
+            stages: self.recorder.summary(),
         })
     }
 
@@ -709,6 +810,7 @@ impl<'a> StreamSession<'a> {
                 smoother: self.smoother.clone(),
                 predictions: std::mem::take(&mut self.predictions),
                 confidences: std::mem::take(&mut self.confidences),
+                recorder: self.recorder.clone(),
             },
             events,
         ))
@@ -754,15 +856,31 @@ impl<'a> StreamSession<'a> {
             )));
         }
         let mut session = StreamSession::new(engine, cfg)?;
+        // The checkpoint's policy governs the resumed stream; re-fit the
+        // attribution ring to its vote depth.
+        let mark_cap = MARK_WINDOW.max(checkpoint.smoother.policy().vote_depth + 1);
+        if mark_cap != session.mark_cap {
+            session.marks = VecDeque::with_capacity(mark_cap);
+            session.mark_cap = mark_cap;
+        }
         session.windower = checkpoint.windower;
         session.smoother = checkpoint.smoother;
         session.predictions = checkpoint.predictions;
         session.confidences = checkpoint.confidences;
+        session.recorder = checkpoint.recorder;
         Ok(session)
     }
 
     /// Normalizes and submits one extracted window.
     fn submit_window(&mut self, mut window: Vec<f32>) -> Result<(), ServeError> {
+        // Buffering stage: how long samples waited for this window to
+        // fill. Re-arm the clock for the next window.
+        let now = Instant::now();
+        let buffering = self
+            .buffer_from
+            .replace(now)
+            .map(|from| now.saturating_duration_since(from))
+            .unwrap_or_default();
         if let Some(norm) = &self.normalizer {
             norm.apply_window(&mut window);
         }
@@ -774,6 +892,7 @@ impl<'a> StreamSession<'a> {
             pending,
             window: retry_copy,
             retries_left: self.retries,
+            buffering,
         });
         Ok(())
     }
@@ -787,11 +906,12 @@ impl<'a> StreamSession<'a> {
         result: Result<RequestOutput, ServeError>,
         window: Option<Tensor>,
         retries_left: usize,
+        buffering: Duration,
         events: &mut Vec<GestureEvent>,
     ) -> Result<(), ServeError> {
         match (result, window) {
             (Ok(out), _) => {
-                self.absorb(out, events);
+                self.absorb(out, buffering, events);
                 Ok(())
             }
             (Err(ServeError::Cancelled), Some(window)) if retries_left > 0 => {
@@ -800,6 +920,7 @@ impl<'a> StreamSession<'a> {
                     pending,
                     window: Some(window),
                     retries_left: retries_left - 1,
+                    buffering,
                 });
                 Ok(())
             }
@@ -815,20 +936,22 @@ impl<'a> StreamSession<'a> {
             pending,
             window,
             retries_left,
+            buffering,
         }) = self.inflight.pop_front()
         {
             let must_wait = drain_all || self.inflight.len() >= self.lookahead;
             if must_wait {
                 let result = pending.wait();
-                self.resolve(result, window, retries_left, events)?;
+                self.resolve(result, window, retries_left, buffering, events)?;
             } else {
                 match pending.try_wait() {
-                    Ok(result) => self.resolve(result, window, retries_left, events)?,
+                    Ok(result) => self.resolve(result, window, retries_left, buffering, events)?,
                     Err(pending) => {
                         self.inflight.push_front(Inflight {
                             pending,
                             window,
                             retries_left,
+                            buffering,
                         });
                         break;
                     }
@@ -838,14 +961,80 @@ impl<'a> StreamSession<'a> {
         Ok(())
     }
 
-    /// Feeds one served window into the decision layer.
-    fn absorb(&mut self, out: RequestOutput, events: &mut Vec<GestureEvent>) {
+    /// Feeds one served window into the decision layer, marking its stage
+    /// timings so any event it triggers can be traced.
+    fn absorb(&mut self, out: RequestOutput, buffering: Duration, events: &mut Vec<GestureEvent>) {
         debug_assert_eq!(out.predictions.len(), 1, "stream requests hold one window");
         let class = out.predictions[0];
         let conf = confidence(out.logits.row(0), class);
+        if self.marks.len() == self.mark_cap {
+            self.marks.pop_front();
+        }
+        self.marks.push_back(WindowMark {
+            window: self.predictions.len(),
+            class,
+            buffering,
+            queueing: out.queue_wait,
+            compute: out.batch_latency,
+            absorbed: Instant::now(),
+        });
         self.predictions.push(class);
         self.confidences.push(conf);
+        let before = events.len();
         self.smoother.push(class, conf, events);
+        let now = Instant::now();
+        for event in &events[before..] {
+            self.trace_event(event, now);
+        }
+    }
+
+    /// Attributes one emitted event back to its triggering window's stage
+    /// marks and records the resulting [`LatencyTrace`]. Steady-state
+    /// zero-allocation: ring scans and ring writes only.
+    fn trace_event(&mut self, event: &GestureEvent, now: Instant) {
+        let Some(&latest) = self.marks.back() else {
+            return;
+        };
+        // Events anchor to a window index; fall back to the latest mark
+        // for events past the marked range (e.g. the flush-time `Ended`,
+        // anchored one window past the last absorbed one).
+        let mark = self
+            .marks
+            .iter()
+            .rev()
+            .find(|m| m.window == event.window())
+            .copied()
+            .unwrap_or(latest);
+        let smoothing = match event {
+            GestureEvent::Started { class, .. } => {
+                // A decision is enabled by its supporting votes: anchor
+                // the smoothing delay at the earliest vote for this class
+                // within the last `vote_depth` absorbed windows — that is
+                // the debounce delay a user feels.
+                let depth = self.smoother.policy().vote_depth;
+                let mut anchor = mark.absorbed;
+                for m in self.marks.iter().rev().take(depth) {
+                    if m.class == *class {
+                        anchor = m.absorbed;
+                    }
+                }
+                now.saturating_duration_since(anchor)
+            }
+            // `Ended` is emitted synchronously with the window (or flush)
+            // that closed the decision.
+            GestureEvent::Ended { .. } => now.saturating_duration_since(mark.absorbed),
+        };
+        let trace = LatencyTrace {
+            buffering: mark.buffering,
+            queueing: mark.queueing,
+            compute: mark.compute,
+            smoothing,
+        };
+        self.recorder.record(trace);
+        if self.pending_traces.len() == TRACE_BACKLOG {
+            self.pending_traces.pop_front();
+        }
+        self.pending_traces.push_back(trace);
     }
 }
 
@@ -1014,6 +1203,39 @@ mod tests {
         let sum: f32 = p.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6);
         assert!(p[1] > p[0] && p[0] > p[2] && p[2] > p[3]);
+    }
+
+    /// Regression: a backend emitting non-finite or extreme logits must
+    /// not produce a NaN confidence — NaN compares false against any
+    /// `confidence_floor`, so a poisoned window would *vote* instead of
+    /// abstaining. Degenerate inputs now read as confidence 0.0.
+    #[test]
+    fn confidence_survives_extreme_and_nan_logits() {
+        // Finite but huge: naive softmax overflows exp(1e30); the
+        // max-subtracted form stays exact.
+        let huge = [1e30f32, 0.0, -1e30];
+        let p = confidence(&huge, 0);
+        assert!((p - 1.0).abs() < 1e-6, "got {p}");
+        assert_eq!(confidence(&huge, 2), 0.0);
+
+        // Finite but hugely negative everywhere: every shifted exponential
+        // is exp(0) or exp(-inf); still a valid distribution.
+        let lows = [-1e30f32, -1e30];
+        let p = confidence(&lows, 0);
+        assert!(p.is_finite() && p > 0.0, "got {p}");
+
+        // A NaN logit poisons max-subtraction (max = NaN): the hardened
+        // path reports 0.0, never NaN.
+        let nan = [f32::NAN, 1.0, 2.0];
+        for c in 0..3 {
+            let p = confidence(&nan, c);
+            assert_eq!(p, 0.0, "class {c} got {p}");
+            // The abstention contract: 0.0 fails any positive floor.
+            assert!(p < 0.01, "NaN-derived confidence must abstain");
+        }
+        // +inf logits collapse to a 0/0 or inf/inf — also 0.0, not NaN.
+        let infs = [f32::INFINITY, f32::INFINITY];
+        assert_eq!(confidence(&infs, 0), 0.0);
     }
 
     #[test]

@@ -125,8 +125,8 @@ impl AsyncEngineConfig {
 }
 
 /// Per-worker cap on retained latency samples: totals stay exact forever,
-/// while p50/p95 are estimated over a sliding window of the most recent
-/// samples so a long-lived engine's memory stays bounded.
+/// while p50/p95/p99 are estimated over a sliding window of the most
+/// recent samples so a long-lived engine's memory stays bounded.
 const LATENCY_WINDOW: usize = 4096;
 
 /// Smoothing factor for the replica-level EWMAs (batch service time,
@@ -439,7 +439,7 @@ pub struct WorkerStats {
     /// Expected to stay 0.
     pub rejected: usize,
     /// Micro-batch latency summary for this worker. Count, total, mean,
-    /// min and max are exact over the worker's lifetime; p50/p95 are
+    /// min and max are exact over the worker's lifetime; p50/p95/p99 are
     /// estimated over a sliding window of the most recent samples.
     pub latency: LatencyStats,
 }
@@ -467,7 +467,7 @@ pub struct AsyncStats {
     /// Total windows served.
     pub windows: usize,
     /// Micro-batch latency summary across all workers (exact count/total/
-    /// mean/min/max; p50/p95 estimated over recent-sample windows).
+    /// mean/min/max; p50/p95/p99 estimated over recent-sample windows).
     pub latency: LatencyStats,
     /// Per-worker breakdown.
     pub per_worker: Vec<WorkerStats>,

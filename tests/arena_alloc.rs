@@ -16,9 +16,14 @@ use bioformers::core::{Bioformer, BioformerConfig};
 use bioformers::nn::serialize::state_dict;
 use bioformers::nn::InferForward;
 use bioformers::quant::QuantBioformer;
+use bioformers::serve::{
+    DecisionPolicy, GestureClassifier, InferenceEngine, LatencyTrace, StageRecorder, StreamConfig,
+    StreamSession,
+};
 use bioformers::tensor::{parallel, Tensor, TensorArena};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::time::Duration;
 
 thread_local! {
     static TRACKING: Cell<bool> = const { Cell::new(false) };
@@ -207,6 +212,130 @@ fn steady_state_quant_forward_makes_zero_heap_allocations() {
             "steady-state int8 forward #{trial} hit the heap {steady} times"
         );
     }
+    parallel::set_max_threads(0);
+}
+
+/// The decision-latency trace recorder is allocation-free from the very
+/// first `record` call: its per-stage rings are preallocated at
+/// construction and recording is four ring writes — strict zero, no
+/// warm-up needed, even while the window wraps thousands of times.
+#[test]
+fn stage_recorder_records_traces_with_zero_heap_allocations() {
+    let mut recorder = StageRecorder::new();
+    let trace = LatencyTrace {
+        buffering: Duration::from_millis(12),
+        queueing: Duration::from_micros(300),
+        compute: Duration::from_millis(2),
+        smoothing: Duration::from_millis(40),
+    };
+    let allocations = count_allocations(|| {
+        for _ in 0..10_000 {
+            recorder.record(trace);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "StageRecorder::record hit the heap {allocations} times"
+    );
+    assert_eq!(recorder.recorded(), 10_000);
+}
+
+/// Decision-latency tracing must not change a streaming session's
+/// steady-state allocation profile: window marks, the trace ring and the
+/// pending-trace backlog are all bounded structures preallocated at
+/// session construction. `push_samples` itself does allocate (window
+/// extraction, tensor construction, the returned event vec) — so the
+/// proof is that the per-push allocation count is **identical** across
+/// steady-state pushes while the trace machinery runs at full tilt
+/// (alternating classes force two traced events per push).
+#[test]
+fn traced_stream_session_per_push_allocations_stay_constant() {
+    parallel::set_max_threads(1);
+    let model = Bioformer::new(&BioformerConfig::bio1());
+
+    // Find two window signals the model classifies differently, so every
+    // push flips the decision and exercises the event-tracing path.
+    // Windows dominated by one hot channel spread over several argmax
+    // classes even on an untrained model (uniform random windows don't —
+    // the head's bias wins).
+    let candidates: Vec<Tensor> = (0..14)
+        .map(|hot| {
+            let amp = (hot + 1) as f32 * 2.0;
+            Tensor::from_fn(&[1, 14, 300], |i| {
+                let ch = (i / 300) % 14;
+                if ch == hot {
+                    amp
+                } else {
+                    -amp * 0.3
+                }
+            })
+        })
+        .collect();
+    let classes: Vec<usize> = candidates
+        .iter()
+        .map(|w| model.predict_batch(w).argmax_rows()[0])
+        .collect();
+    let (a, b) = {
+        let first = classes[0];
+        let other = classes
+            .iter()
+            .position(|&c| c != first)
+            .expect("hot-channel windows must span at least two classes");
+        (0, other)
+    };
+    // Interleave each `[1, 14, 300]` window into the frame stream an ADC
+    // delivers (`[c0 c1 … c13]` per time step).
+    let interleave = |w: &Tensor| -> Vec<f32> {
+        let (c, len) = (w.dims()[1], w.dims()[2]);
+        let mut out = Vec::with_capacity(c * len);
+        for t in 0..len {
+            for ch in 0..c {
+                out.push(w.data()[ch * len + t]);
+            }
+        }
+        out
+    };
+    let chunks = [interleave(&candidates[a]), interleave(&candidates[b])];
+
+    let engine = InferenceEngine::new(Box::new(model));
+    let cfg = StreamConfig::db6()
+        .with_slide(300)
+        .with_lookahead(0)
+        .with_policy(DecisionPolicy {
+            vote_depth: 1,
+            min_hold: 1,
+            confidence_floor: 0.0,
+        });
+    let mut session = StreamSession::new(&engine, cfg).expect("valid stream config");
+    let mut traces = Vec::with_capacity(64);
+
+    // Warm-up: 10 pushes populate the engine's arena, the packed-weight
+    // caches, and leave the session's growable vecs (predictions,
+    // confidences, the engine's latency samples) at capacity 16 — no
+    // doubling before push #17.
+    for i in 0..10 {
+        session.push_samples(&chunks[i % 2]).expect("stream push");
+        traces.clear();
+        session.drain_new_traces(&mut traces);
+    }
+
+    let mut counts = Vec::new();
+    for i in 0..4 {
+        let n = count_allocations(|| {
+            let events = session.push_samples(&chunks[i % 2]).expect("stream push");
+            assert!(!events.is_empty(), "class flip must emit traced events");
+            traces.clear();
+            session.drain_new_traces(&mut traces);
+        });
+        assert!(!traces.is_empty(), "events must leave traces to drain");
+        counts.push(n);
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "tracing changed the steady-state allocation profile: {counts:?}"
+    );
+    let stages = session.stage_stats();
+    assert!(stages.count() >= 8, "recorder missed the traced events");
     parallel::set_max_threads(0);
 }
 

@@ -9,7 +9,7 @@ use bioformers::nn::serialize::state_dict;
 use bioformers::quant::QuantBioformer;
 use bioformers::semg::{CHANNELS, WINDOW};
 use bioformers::serve::{
-    AsyncEngineConfig, GestureClassifier, RoutingPolicy, ServeError, ShardedEngine,
+    AsyncEngineConfig, GestureClassifier, HedgeConfig, RoutingPolicy, ServeError, ShardedEngine,
 };
 use bioformers::tensor::Tensor;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -417,6 +417,151 @@ fn pool_shutdown_drains_all_replicas() {
     assert_eq!(stats.requests, 8);
     assert_eq!(stats.expired, 0);
     assert_eq!(stats.failed, 0);
+}
+
+/// The tentpole's hedging semantics, end to end: against a pool whose
+/// round-robin primary is a deliberately slowed replica half the time, a
+/// hedge fires after the (clamped) hedge delay, the fast replica's answer
+/// wins the race, and the caller never waits out the slow replica's full
+/// service time. The losing duplicate is cancelled — its work still counts
+/// in the losing replica's own stats, so the pool rollup stays consistent
+/// (no double-counting, no missing counts).
+#[test]
+fn hedge_fires_against_a_slow_replica_and_the_fast_answer_wins() {
+    const SLOW: Duration = Duration::from_millis(150);
+    let slow_calls = Arc::new(AtomicUsize::new(0));
+    let fast_calls = Arc::new(AtomicUsize::new(0));
+    let pool = ShardedEngine::builder()
+        // Round-robin forces the slow replica to be the primary for half
+        // the requests — LatencyAware would route around it and never
+        // exercise the hedge.
+        .with_policy(RoutingPolicy::RoundRobin)
+        .with_hedging(HedgeConfig {
+            initial_delay: Duration::from_millis(5),
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+        })
+        .add_replica(Box::new(Delayed {
+            delay: SLOW,
+            calls: Arc::clone(&slow_calls),
+        }))
+        .add_replica(Box::new(Delayed {
+            delay: Duration::ZERO,
+            calls: Arc::clone(&fast_calls),
+        }))
+        .build();
+
+    const REQUESTS: usize = 6;
+    for _ in 0..REQUESTS {
+        let started = std::time::Instant::now();
+        let out = pool.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+        assert_eq!(out.logits.dims(), &[1, 4]);
+        // The hedge caps the decision latency at roughly the hedge delay
+        // (≤ 20 ms) plus the fast replica's service time — never the slow
+        // replica's 150 ms sleep.
+        assert!(
+            started.elapsed() < SLOW * 2 / 3,
+            "hedging failed to cut the slow replica's tail: {:?}",
+            started.elapsed()
+        );
+    }
+
+    let stats = pool.shutdown();
+    assert!(
+        stats.hedges_fired >= REQUESTS / 2,
+        "slow primaries must fire hedges: {} fired",
+        stats.hedges_fired
+    );
+    assert!(
+        stats.hedges_won >= 1,
+        "at least one hedge must win against a 150 ms primary"
+    );
+    assert!(stats.hedges_won <= stats.hedges_fired);
+    // The cancelled losers are ordinary requests in their replica's own
+    // counters: pool totals still equal the per-replica sums.
+    assert!(stats.rollup_consistent(), "hedging broke the stats rollup");
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.failed, 0);
+    // Both replicas actually executed work (the slow one as a losing
+    // primary, the fast one as the winning hedge or primary).
+    assert!(slow_calls.load(Ordering::Relaxed) >= 1);
+    assert!(fast_calls.load(Ordering::Relaxed) >= REQUESTS / 2);
+}
+
+/// With hedging off (the default), the hedge counters stay at zero and
+/// `classify` behaves exactly as before: same answers, one request counted
+/// per call, rollup intact.
+#[test]
+fn hedging_off_counts_nothing_and_serves_identically() {
+    let model = Arc::new(small_bioformer(55));
+    let pool = ShardedEngine::builder()
+        .add_replica(Box::new(Arc::clone(&model)))
+        .add_replica(Box::new(Arc::clone(&model)))
+        .build();
+    assert_eq!(pool.config().hedge, None, "hedging must default to off");
+
+    let w = one_window(71);
+    let direct = model.predict_batch(&w);
+    let out = pool.classify(w).unwrap();
+    assert_eq!(
+        out.logits.data(),
+        direct.data(),
+        "unhedged classify must stay bit-identical to the direct model"
+    );
+    let stats = pool.shutdown();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.hedges_fired, 0);
+    assert_eq!(stats.hedges_won, 0);
+    assert!(stats.rollup_consistent());
+}
+
+/// Explicit replica weights steer LatencyAware routing: at equal observed
+/// latency, a weight-4 replica's score is 4× cheaper, so it absorbs
+/// (nearly) all closed-loop traffic once both EWMAs have converged.
+#[test]
+fn weighted_routing_steers_traffic_toward_the_heavy_replica() {
+    const DELAY: Duration = Duration::from_millis(2);
+    let heavy_calls = Arc::new(AtomicUsize::new(0));
+    let light_calls = Arc::new(AtomicUsize::new(0));
+    let pool = ShardedEngine::builder()
+        .with_policy(RoutingPolicy::LatencyAware)
+        .add_replica_weighted(
+            Box::new(Delayed {
+                delay: DELAY,
+                calls: Arc::clone(&heavy_calls),
+            }),
+            4.0,
+        )
+        .add_replica_weighted(
+            Box::new(Delayed {
+                delay: DELAY,
+                calls: Arc::clone(&light_calls),
+            }),
+            1.0,
+        )
+        .build();
+
+    const REQUESTS: usize = 20;
+    for _ in 0..REQUESTS {
+        pool.classify(Tensor::zeros(&[1, 2, 5])).unwrap();
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.per_replica[0].weight, 4.0);
+    assert_eq!(stats.per_replica[1].weight, 1.0);
+
+    let heavy = heavy_calls.load(Ordering::Relaxed);
+    let light = light_calls.load(Ordering::Relaxed);
+    // Each replica is probed once while it has no history (score 0); from
+    // then on equal 2 ms EWMAs divided by 4 vs 1 always favour the heavy
+    // replica in this closed loop (queues are empty between requests).
+    assert!(
+        heavy >= REQUESTS - 5,
+        "weight-4 replica should dominate: heavy {heavy}, light {light}"
+    );
+    assert!(
+        light <= 5,
+        "weight-1 replica should only see probe traffic: {light}"
+    );
 }
 
 /// One shared model instance can back several replicas through the
