@@ -8,6 +8,8 @@
 //!   class token → MHSA encoder block(s) → linear head.
 //! * [`temponet`] — a TEMPONet-like temporal convolutional baseline
 //!   (Zanghieri et al. 2019), ≈0.5 M params / ≈15 MMAC.
+//! * [`waveformer`] — a WaveFormer-like model-zoo variant: fixed Haar
+//!   wavelet-packet front-end → patch conv → transformer encoder.
 //! * [`descriptor`] — a kernel-level description of each network, shared by
 //!   the complexity counters and the GAP8 deployment model.
 //! * [`complexity`] — analytic MAC/parameter counts (validated against the
@@ -26,8 +28,10 @@ pub mod descriptor;
 pub mod evaluate;
 pub mod protocol;
 pub mod temponet;
+pub mod waveformer;
 
 pub use bioformer::Bioformer;
 pub use config::BioformerConfig;
 pub use descriptor::{LayerDesc, NetworkDescriptor};
 pub use temponet::TempoNet;
+pub use waveformer::WaveFormer;

@@ -16,6 +16,8 @@
 //!   dimension `P`, `H·P` may differ from the embedding width).
 //! * [`TransformerBlock`] — pre-LN block: `x + MHSA(LN(x))`,
 //!   `x + FFN(LN(x))` with a GELU MLP.
+//! * [`HaarWavelet1d`] — parameter-free wavelet-packet front-end
+//!   (WaveFormer-style multi-resolution tokenisation).
 //!
 //! Every layer additionally exposes an inference-only `forward_infer(&self, …)`
 //! path: the same eval-mode arithmetic as `forward(x, false)` but through a
@@ -50,6 +52,7 @@ pub mod pool;
 pub mod schedule;
 pub mod serialize;
 pub mod trainer;
+pub mod wavelet;
 
 pub use activation::{Gelu, Relu};
 pub use attention::MultiHeadSelfAttention;
@@ -63,3 +66,4 @@ pub use model::{InferForward, Model};
 pub use norm::GroupNorm1d;
 pub use param::Param;
 pub use pool::AvgPool1d;
+pub use wavelet::HaarWavelet1d;

@@ -1,0 +1,278 @@
+//! Haar wavelet-packet front-end (WaveFormer-style).
+//!
+//! WaveFormer (Bian et al., "WaveFormer: transformer-based denoising
+//! method for gravitational-wave data"; the sEMG adaptation appears in
+//! PAPERS.md) replaces the learned strided-conv patching of a ViT with a
+//! fixed multi-resolution wavelet decomposition, so the attention stack
+//! sees frequency sub-bands instead of raw samples. The transform has no
+//! parameters, costs `O(C·L)` adds per level, and — being orthonormal —
+//! preserves signal energy exactly, which keeps downstream quantization
+//! ranges stable.
+//!
+//! [`HaarWavelet1d`] implements the *packet* variant: every step maps
+//! `[B, C, L] → [B, 2C, L/2]` (first `C` output channels are the
+//! approximation band, next `C` the detail band) and the step is applied
+//! recursively to **all** bands, so `levels = ℓ` yields `[B, C·2^ℓ, L/2^ℓ]`
+//! — a uniform filter bank over `2^ℓ` frequency sub-bands.
+
+use crate::param::Param;
+use bioformer_tensor::Tensor;
+
+const INV_SQRT2: f32 = std::f32::consts::FRAC_1_SQRT_2;
+
+/// Depth-`levels` Haar wavelet-packet analysis over the time axis.
+///
+/// # Example
+///
+/// ```
+/// use bioformer_nn::HaarWavelet1d;
+/// use bioformer_tensor::Tensor;
+///
+/// let mut dwt = HaarWavelet1d::new(2);
+/// let x = Tensor::zeros(&[1, 14, 300]);
+/// let y = dwt.forward(&x, false);
+/// assert_eq!(y.dims(), &[1, 56, 75]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HaarWavelet1d {
+    levels: usize,
+    fwd_dims: Option<(usize, usize, usize)>,
+}
+
+impl HaarWavelet1d {
+    /// Creates a packet transform of `levels` analysis steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` (use the identity instead).
+    pub fn new(levels: usize) -> Self {
+        assert!(levels > 0, "HaarWavelet1d: levels must be >= 1");
+        HaarWavelet1d {
+            levels,
+            fwd_dims: None,
+        }
+    }
+
+    /// Number of analysis steps.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Output channel count for `c` input channels (`c·2^levels`).
+    pub fn out_channels(&self, c: usize) -> usize {
+        c << self.levels
+    }
+
+    /// Output length for input length `l` (`l / 2^levels`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not divisible by `2^levels`.
+    pub fn out_len(&self, l: usize) -> usize {
+        assert_eq!(
+            l % (1 << self.levels),
+            0,
+            "HaarWavelet1d: length {l} not divisible by 2^{}",
+            self.levels
+        );
+        l >> self.levels
+    }
+
+    /// One analysis butterfly: `[B, C, L] → [B, 2C, L/2]`.
+    fn step(src: &Tensor) -> Tensor {
+        let (b, c, l) = (src.dims()[0], src.dims()[1], src.dims()[2]);
+        assert_eq!(l % 2, 0, "HaarWavelet1d: odd length {l}");
+        let half = l / 2;
+        let mut dst = Tensor::zeros(&[b, 2 * c, half]);
+        let s = src.data();
+        let d = dst.data_mut();
+        for bi in 0..b {
+            for ci in 0..c {
+                let row = &s[(bi * c + ci) * l..(bi * c + ci + 1) * l];
+                let a0 = (bi * 2 * c + ci) * half;
+                let d0 = (bi * 2 * c + c + ci) * half;
+                for i in 0..half {
+                    let lo = row[2 * i];
+                    let hi = row[2 * i + 1];
+                    d[a0 + i] = (lo + hi) * INV_SQRT2;
+                    d[d0 + i] = (lo - hi) * INV_SQRT2;
+                }
+            }
+        }
+        dst
+    }
+
+    /// One synthesis butterfly: `[B, 2C, L/2] → [B, C, L]` — the exact
+    /// inverse (and, being orthonormal, the transpose) of [`Self::step`].
+    fn unstep(src: &Tensor) -> Tensor {
+        let (b, c2, half) = (src.dims()[0], src.dims()[1], src.dims()[2]);
+        assert_eq!(c2 % 2, 0, "HaarWavelet1d: odd channel count {c2}");
+        let c = c2 / 2;
+        let l = half * 2;
+        let mut dst = Tensor::zeros(&[b, c, l]);
+        let s = src.data();
+        let d = dst.data_mut();
+        for bi in 0..b {
+            for ci in 0..c {
+                let a0 = (bi * c2 + ci) * half;
+                let d0 = (bi * c2 + c + ci) * half;
+                let out = &mut d[(bi * c + ci) * l..(bi * c + ci + 1) * l];
+                for i in 0..half {
+                    let a = s[a0 + i];
+                    let dt = s[d0 + i];
+                    out[2 * i] = (a + dt) * INV_SQRT2;
+                    out[2 * i + 1] = (a - dt) * INV_SQRT2;
+                }
+            }
+        }
+        dst
+    }
+
+    /// Analysis pass over `[batch, channels, length]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not divisible by `2^levels`.
+    pub fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.fwd_dims = Some((x.dims()[0], x.dims()[1], x.dims()[2]));
+        self.forward_infer(x)
+    }
+
+    /// Analysis pass through `&self` (the transform is stateless).
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let _ = self.out_len(x.dims()[2]);
+        let mut h = Self::step(x);
+        for _ in 1..self.levels {
+            h = Self::step(&h);
+        }
+        h
+    }
+
+    /// Exact inverse of [`Self::forward_infer`] (synthesis filter bank).
+    pub fn inverse(&self, y: &Tensor) -> Tensor {
+        let mut h = Self::unstep(y);
+        for _ in 1..self.levels {
+            h = Self::unstep(&h);
+        }
+        h
+    }
+
+    /// Gradient of the analysis pass. Because the transform is orthonormal
+    /// and parameter-free, the input gradient is the synthesis transform of
+    /// the output gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (b, c, l) = self
+            .fwd_dims
+            .expect("HaarWavelet1d: backward before forward");
+        let dx = self.inverse(dy);
+        assert_eq!(dx.dims(), &[b, c, l], "HaarWavelet1d: gradient shape");
+        dx
+    }
+
+    /// Visits trainable parameters (none — the filter bank is fixed).
+    pub fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Drops cached forward state.
+    pub fn clear_cache(&mut self) {
+        self.fwd_dims = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filled(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn shapes() {
+        let mut dwt = HaarWavelet1d::new(2);
+        let y = dwt.forward(&Tensor::zeros(&[3, 14, 300]), false);
+        assert_eq!(y.dims(), &[3, 56, 75]);
+        assert_eq!(dwt.out_channels(14), 56);
+        assert_eq!(dwt.out_len(300), 75);
+    }
+
+    #[test]
+    fn roundtrip_is_exact_to_float_precision() {
+        let dwt = HaarWavelet1d::new(2);
+        let x = filled(&[2, 3, 16], 1);
+        let back = dwt.inverse(&dwt.forward_infer(&x));
+        assert!(back.allclose(&x, 1e-5), "analysis→synthesis diverges");
+    }
+
+    #[test]
+    fn energy_preserved() {
+        let dwt = HaarWavelet1d::new(3);
+        let x = filled(&[1, 2, 64], 2);
+        let y = dwt.forward_infer(&x);
+        let ex: f32 = x.data().iter().map(|v| v * v).sum();
+        let ey: f32 = y.data().iter().map(|v| v * v).sum();
+        assert!(
+            (ex - ey).abs() < 1e-3 * ex.max(1.0),
+            "energy {ex} -> {ey} not preserved"
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut dwt = HaarWavelet1d::new(2);
+        let x = filled(&[1, 2, 8], 3);
+        let y = dwt.forward(&x, true);
+        let dy = filled(y.dims(), 4);
+        let dx = dwt.backward(&dy);
+        // d/dx_i of <forward(x), dy> — probe two positions.
+        let eps = 1e-3;
+        for idx in [0usize, 9] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp: f32 = dwt
+                .forward_infer(&xp)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fm: f32 = dwt
+                .forward_infer(&xm)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let got = dx.data()[idx];
+            assert!((num - got).abs() < 1e-2, "fd={num} analytic={got}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_approximation_band() {
+        let dwt = HaarWavelet1d::new(1);
+        let x = Tensor::ones(&[1, 1, 8]);
+        let y = dwt.forward_infer(&x);
+        // Approximation band = sqrt(2), detail band = 0.
+        for i in 0..4 {
+            assert!((y.data()[i] - std::f32::consts::SQRT_2).abs() < 1e-6);
+            assert!(y.data()[4 + i].abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_length_panics() {
+        let mut dwt = HaarWavelet1d::new(2);
+        let _ = dwt.forward(&Tensor::zeros(&[1, 1, 6]), false);
+    }
+}

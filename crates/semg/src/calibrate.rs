@@ -1,0 +1,331 @@
+//! Per-session user calibration (rest-period channel statistics).
+//!
+//! The paper's known weakness is inter-session drift: electrode re-donning
+//! shifts the mixing matrix and per-channel gains between recording days
+//! ([`crate::DatasetSpec::session_drift`] / `gain_drift` model exactly
+//! this), so a normalizer frozen at training time systematically mis-scales
+//! later sessions. The classic deployment fix — used by every commercial
+//! sEMG armband — is a short **calibration window at session start**: DB6's
+//! acquisition protocol opens every session with rest repetitions
+//! ([`crate::Gesture::Rest`] is class 0), giving a label-free sample of the
+//! session's channel statistics before any gesture is made.
+//!
+//! [`SessionCalibrator`] accumulates per-channel mean/variance over the
+//! first `warmup_windows` raw windows of a stream, then freezes a blended
+//! affine transform: channel statistics are moved from the frozen training
+//! statistics toward the observed session statistics by `blend ∈ [0, 1]`.
+//! Until warm-up completes the baseline transform applies unchanged, so a
+//! calibrated session never behaves *worse* than a frozen one during
+//! warm-up, and the switch is deterministic in the sample stream.
+
+use crate::dataset::Normalizer;
+
+/// Configuration of the per-session calibration transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationConfig {
+    /// Raw windows observed before the adapted transform freezes.
+    pub warmup_windows: usize,
+    /// Interpolation weight toward the observed session statistics
+    /// (`0` = frozen baseline, `1` = pure session statistics).
+    pub blend: f32,
+}
+
+impl Default for CalibrationConfig {
+    /// 20 windows (≈ 1.5 s at the paper's 15 ms slide after the first
+    /// window fills) and a balanced blend.
+    fn default() -> Self {
+        CalibrationConfig {
+            warmup_windows: 20,
+            blend: 0.5,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.warmup_windows == 0 {
+            return Err("warmup_windows must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.blend) || !self.blend.is_finite() {
+            return Err(format!("blend {} must be in [0, 1]", self.blend));
+        }
+        Ok(())
+    }
+}
+
+/// Streaming per-channel statistics that fit a session-adapted affine
+/// normalisation from the first seconds of a stream.
+///
+/// # Example
+///
+/// ```
+/// use bioformer_semg::{CalibrationConfig, SessionCalibrator};
+///
+/// let mut cal = SessionCalibrator::new(
+///     2,
+///     None,
+///     CalibrationConfig { warmup_windows: 1, blend: 1.0 },
+/// );
+/// // One [2, 4] channel-major window: channel 0 ≈ N(0,1), channel 1 scaled.
+/// let mut w = vec![1.0, -1.0, 1.0, -1.0, 10.0, -10.0, 10.0, -10.0];
+/// cal.normalize_window(&mut w);
+/// assert!(cal.is_ready());
+/// // Both channels now whitened by their own observed scale.
+/// assert_eq!(w[0], w[4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionCalibrator {
+    cfg: CalibrationConfig,
+    channels: usize,
+    baseline: Option<Normalizer>,
+    windows_seen: usize,
+    count: u64,
+    sum: Vec<f64>,
+    sumsq: Vec<f64>,
+    adapted: Option<Normalizer>,
+}
+
+impl SessionCalibrator {
+    /// Creates a calibrator for `channels`-channel windows. `baseline` is
+    /// the frozen training-time normalizer (applied during warm-up and
+    /// blended into the adapted transform); with `None` the warm-up applies
+    /// no transform and the adapted statistics are purely the session's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`, the config fails validation, or the
+    /// baseline's channel count differs.
+    pub fn new(channels: usize, baseline: Option<Normalizer>, cfg: CalibrationConfig) -> Self {
+        assert!(channels > 0, "SessionCalibrator: channels must be > 0");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid CalibrationConfig: {e}");
+        }
+        if let Some(b) = &baseline {
+            assert_eq!(
+                b.mean().len(),
+                channels,
+                "SessionCalibrator: baseline channel mismatch"
+            );
+        }
+        SessionCalibrator {
+            cfg,
+            channels,
+            baseline,
+            windows_seen: 0,
+            count: 0,
+            sum: vec![0.0; channels],
+            sumsq: vec![0.0; channels],
+            adapted: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CalibrationConfig {
+        &self.cfg
+    }
+
+    /// Whether warm-up has completed and the adapted transform applies.
+    pub fn is_ready(&self) -> bool {
+        self.adapted.is_some()
+    }
+
+    /// Raw windows observed so far (saturates at `warmup_windows`).
+    pub fn windows_seen(&self) -> usize {
+        self.windows_seen
+    }
+
+    /// The frozen session-adapted normalizer, once warm-up completed.
+    pub fn adapted(&self) -> Option<&Normalizer> {
+        self.adapted.as_ref()
+    }
+
+    /// Observes one **raw** channel-major window (`[channels, len]`
+    /// flattened). A no-op once warm-up has completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length is not a positive multiple of the
+    /// channel count.
+    pub fn observe_window(&mut self, window: &[f32]) {
+        if self.adapted.is_some() {
+            return;
+        }
+        let c = self.channels;
+        assert!(
+            !window.is_empty() && window.len().is_multiple_of(c),
+            "SessionCalibrator: window length {} not a multiple of {c}",
+            window.len()
+        );
+        let per = window.len() / c;
+        for ch in 0..c {
+            let row = &window[ch * per..(ch + 1) * per];
+            let mut s = 0.0f64;
+            let mut q = 0.0f64;
+            for &v in row {
+                s += v as f64;
+                q += (v as f64) * (v as f64);
+            }
+            self.sum[ch] += s;
+            self.sumsq[ch] += q;
+        }
+        self.count += per as u64;
+        self.windows_seen += 1;
+        if self.windows_seen >= self.cfg.warmup_windows {
+            self.freeze();
+        }
+    }
+
+    /// Blends session statistics into the baseline and freezes the adapted
+    /// transform. Overlapping sliding windows weight overlapped samples
+    /// multiply, which is deliberate: the estimate matches exactly what the
+    /// stream delivered.
+    fn freeze(&mut self) {
+        let n = self.count.max(1) as f64;
+        let b = self.cfg.blend as f64;
+        let mut mean = Vec::with_capacity(self.channels);
+        let mut std = Vec::with_capacity(self.channels);
+        for ch in 0..self.channels {
+            let m = self.sum[ch] / n;
+            let var = (self.sumsq[ch] / n - m * m).max(1e-12);
+            let s = var.sqrt();
+            let (bm, bs) = match &self.baseline {
+                Some(base) => (base.mean()[ch] as f64, base.std()[ch] as f64),
+                None => (0.0, 1.0),
+            };
+            mean.push(((1.0 - b) * bm + b * m) as f32);
+            std.push((((1.0 - b) * bs + b * s).max(1e-6)) as f32);
+        }
+        self.adapted = Some(Normalizer::from_stats(mean, std));
+    }
+
+    /// The full streaming entry point: observes the raw window (during
+    /// warm-up), then normalises it in place — with the adapted transform
+    /// once ready, with the frozen baseline (if any) before that.
+    pub fn normalize_window(&mut self, window: &mut [f32]) {
+        self.observe_window(window);
+        match (&self.adapted, &self.baseline) {
+            (Some(adapted), _) => adapted.apply_window(window),
+            (None, Some(base)) => base.apply_window(window),
+            (None, None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(c: usize, per: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut w = Vec::with_capacity(c * per);
+        for ch in 0..c {
+            for i in 0..per {
+                w.push(f(ch, i));
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn warmup_applies_baseline_then_switches() {
+        let base = Normalizer::from_stats(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let mut cal = SessionCalibrator::new(
+            2,
+            Some(base),
+            CalibrationConfig {
+                warmup_windows: 2,
+                blend: 1.0,
+            },
+        );
+        // Channel 1 runs 4× hotter than the baseline expects.
+        let mk = || {
+            window(
+                2,
+                8,
+                |ch, i| if ch == 0 { 1.0 } else { 4.0 } * if i % 2 == 0 { 1.0 } else { -1.0 },
+            )
+        };
+        let mut w1 = mk();
+        cal.normalize_window(&mut w1);
+        assert!(!cal.is_ready());
+        // Baseline is the identity here, so warm-up leaves values unscaled.
+        assert_eq!(w1[8].abs(), 4.0);
+        let mut w2 = mk();
+        cal.normalize_window(&mut w2);
+        assert!(cal.is_ready());
+        // Adapted transform whitens both channels to unit scale.
+        assert!((w2[0].abs() - 1.0).abs() < 1e-4);
+        assert!((w2[8].abs() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn blend_zero_reproduces_baseline_exactly() {
+        let base = Normalizer::from_stats(vec![0.25, -0.5], vec![2.0, 0.5]);
+        let mut cal = SessionCalibrator::new(
+            2,
+            Some(base.clone()),
+            CalibrationConfig {
+                warmup_windows: 1,
+                blend: 0.0,
+            },
+        );
+        let raw = window(2, 6, |ch, i| (ch * 10 + i) as f32 * 0.1);
+        let mut adapted = raw.clone();
+        cal.normalize_window(&mut adapted);
+        let mut frozen = raw;
+        base.apply_window(&mut frozen);
+        assert_eq!(adapted, frozen, "blend 0 must be bit-identical to frozen");
+    }
+
+    #[test]
+    fn observe_is_noop_after_freeze() {
+        let mut cal = SessionCalibrator::new(
+            1,
+            None,
+            CalibrationConfig {
+                warmup_windows: 1,
+                blend: 1.0,
+            },
+        );
+        cal.observe_window(&[1.0, -1.0, 1.0, -1.0]);
+        assert!(cal.is_ready());
+        let frozen = cal.adapted().unwrap().clone();
+        cal.observe_window(&[100.0, -100.0]);
+        assert_eq!(cal.adapted().unwrap(), &frozen);
+        assert_eq!(cal.windows_seen(), 1);
+    }
+
+    #[test]
+    fn deterministic_in_the_stream() {
+        let cfg = CalibrationConfig {
+            warmup_windows: 3,
+            blend: 0.7,
+        };
+        let run = || {
+            let mut cal = SessionCalibrator::new(2, None, cfg);
+            for k in 0..5u32 {
+                let mut w = window(2, 4, |ch, i| ((ch + i) as f32 + k as f32).sin());
+                cal.normalize_window(&mut w);
+            }
+            cal.adapted().unwrap().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CalibrationConfig")]
+    fn bad_blend_panics() {
+        let _ = SessionCalibrator::new(
+            1,
+            None,
+            CalibrationConfig {
+                warmup_windows: 1,
+                blend: 1.5,
+            },
+        );
+    }
+}

@@ -10,7 +10,11 @@
 //!    against the offline extract-normalize-predict path.
 //! 2. **A heterogeneous [`ShardedEngine`] pool** mixing an fp32 replica
 //!    with a weight-2 int8 replica under latency-aware routing and
-//!    request hedging — the recommended production topology. Per-window
+//!    request hedging — the **default production deployment** for a
+//!    [`StreamServer`] (the inline pass above exists for its bit-exact
+//!    guarantee; real gateways should front a pool, optionally registered
+//!    as a [`ModelZoo`](bioformers::serve::ModelZoo) variant — see
+//!    `examples/serve_zoo.rs`). Per-window
 //!    routing makes the serving replica nondeterministic, so the check
 //!    relaxes from bit-exact to *per-window membership*: every streamed
 //!    `(prediction, confidence)` pair must equal what one of the two
@@ -138,8 +142,9 @@ fn serve_and_verify(
             "[{label}] {tenant}: TCP-streamed predictions diverge from offline"
         );
 
-        let reference = InferenceEngine::new(Box::new(Arc::clone(&backend)));
-        let mut rs = StreamSession::new(&reference, cfg.clone()).expect("reference session");
+        let reference: Arc<dyn Engine> =
+            Arc::new(InferenceEngine::new(Box::new(Arc::clone(&backend))));
+        let mut rs = StreamSession::new(reference, cfg.clone()).expect("reference session");
         let mut ref_events = Vec::new();
         let burst = 50 * CHANNELS;
         for part in stream.chunks(burst) {
@@ -338,7 +343,7 @@ fn main() {
         &norm,
     );
 
-    // 4. The recommended production topology: one gateway over a mixed
+    // 4. The default production deployment: one gateway over a mixed
     //    fp32 + int8 ShardedEngine pool. The int8 replica carries weight
     //    2 (it is the faster backend, so latency-aware routing should
     //    offer it the bulk of the traffic), and hedging duplicates any

@@ -71,13 +71,13 @@ fn main() {
 
     // 3. A streaming session over the int8 engine: push 25 ms bursts (the
     //    cadence a DMA buffer would fire at), get debounced events back.
-    let engine = AsyncEngine::with_config(
+    let engine = std::sync::Arc::new(AsyncEngine::with_config(
         Box::new(std::sync::Arc::clone(&qmodel)),
         AsyncEngineConfig::default()
             .with_workers(2)
             .with_micro_batch(8)
             .with_linger(Duration::from_micros(200)),
-    );
+    ));
     let policy = DecisionPolicy {
         vote_depth: 5,
         min_hold: 3,
@@ -88,7 +88,8 @@ fn main() {
         .with_lookahead(4)
         .with_policy(policy.clone())
         .with_normalizer(norm.clone());
-    let mut session_stream = StreamSession::new(&engine, cfg).expect("stream config");
+    let mut session_stream =
+        StreamSession::new(std::sync::Arc::clone(&engine) as _, cfg).expect("stream config");
 
     let stream: Vec<f32> = {
         let mut out = Vec::with_capacity(CHANNELS * frames);
@@ -181,6 +182,9 @@ fn main() {
 
     // Shut down through the unified trait: the same call works for any
     // engine topology behind the stream.
+    // The session (finished above) held the only other reference.
+    let engine = std::sync::Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("session released its engine"));
     let stats = Engine::shutdown(Box::new(engine));
     println!(
         "\nengine [{}] on {} served {} windows in {} batches ({:.1} req/batch, p95 {:?})",

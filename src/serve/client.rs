@@ -126,6 +126,30 @@ impl GatewayClient {
             Frame::Hello {
                 tenant: tenant.to_string(),
                 resume: None,
+                model: None,
+            },
+        )
+    }
+
+    /// Opens a new session for `tenant` served by a specific model variant
+    /// from the server's zoo (wire protocol v2 `Hello.model`).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`GatewayClient::connect`] returns, plus
+    /// [`GatewayError::Server`] with [`ErrorCode::BadRequest`] for a model
+    /// name the server's zoo does not know.
+    pub fn connect_with_model(
+        addr: SocketAddr,
+        tenant: &str,
+        model: &str,
+    ) -> Result<Self, GatewayError> {
+        Self::open(
+            addr,
+            Frame::Hello {
+                tenant: tenant.to_string(),
+                resume: None,
+                model: Some(model.to_string()),
             },
         )
     }
@@ -143,6 +167,8 @@ impl GatewayClient {
             Frame::Hello {
                 tenant: tenant.to_string(),
                 resume: Some(token),
+                // The parked session's model governs on resume.
+                model: None,
             },
         )
     }

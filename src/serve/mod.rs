@@ -61,6 +61,7 @@ pub mod server;
 pub mod stream;
 pub mod trace;
 pub mod worker;
+pub mod zoo;
 
 pub use client::{ClientSessionStats, ClientSummary, GatewayClient, GatewayError};
 pub use engine::{Engine, EngineStats};
@@ -71,8 +72,8 @@ pub use router::{
     ShardedEngineConfig,
 };
 pub use server::{
-    FinishReport, ServeCounters, ServerStats, SessionHandle, SessionStats, StreamServer,
-    StreamServerConfig, TcpGateway, TenantStats,
+    FinishReport, ServeCounters, ServerStats, SessionHandle, SessionOptions, SessionStats,
+    StreamServer, StreamServerConfig, TcpGateway, TenantStats,
 };
 pub use stream::{
     DecisionPolicy, DecisionSmoother, GestureEvent, SessionCheckpoint, StreamConfig, StreamSession,
@@ -82,6 +83,10 @@ pub use trace::{
     BudgetReport, LatencyBudget, LatencyTrace, StageRecorder, StageStats, StageSummary,
 };
 pub use worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy, WorkerStats};
+pub use zoo::{
+    ExperimentStats, ModelStats, ModelZoo, PromotionDecision, PromotionPolicy, RouteMode,
+    ShadowEngine, ZooStats,
+};
 
 /// The serving prelude: one `use` for engine-generic code.
 ///
@@ -94,7 +99,7 @@ pub mod prelude {
     pub use super::queue::{PendingResponse, RequestOutput, ServeError};
     pub use super::router::{PoolStats, RoutingPolicy, ShardedEngine};
     pub use super::server::{
-        ServerStats, SessionHandle, StreamServer, StreamServerConfig, TcpGateway,
+        ServerStats, SessionHandle, SessionOptions, StreamServer, StreamServerConfig, TcpGateway,
     };
     pub use super::stream::{
         DecisionPolicy, DecisionSmoother, GestureEvent, SessionCheckpoint, StreamConfig,
@@ -102,12 +107,13 @@ pub mod prelude {
     };
     pub use super::trace::{LatencyBudget, LatencyTrace, StageStats, StageSummary};
     pub use super::worker::{AsyncEngine, AsyncEngineConfig, AsyncStats, LingerPolicy};
+    pub use super::zoo::{ModelZoo, PromotionDecision, PromotionPolicy, RouteMode, ZooStats};
     pub use super::{
         tuned_compute, GestureClassifier, InferenceEngine, LatencyStats, ServeOutcome,
     };
 }
 
-use bioformer_core::{Bioformer, TempoNet};
+use bioformer_core::{Bioformer, TempoNet, WaveFormer};
 use bioformer_nn::InferForward;
 use bioformer_quant::QuantBioformer;
 use bioformer_semg::GESTURE_CLASSES;
@@ -299,6 +305,39 @@ impl GestureClassifier for TempoNet {
 
     fn gemm_shapes(&self) -> Vec<GemmShape> {
         TempoNet::gemm_shapes(self)
+    }
+}
+
+impl GestureClassifier for WaveFormer {
+    /// Eval-mode forward through the zero-clone [`InferForward`] path; the
+    /// fixed Haar front-end has no weights to share, so the model-zoo
+    /// variant serves through the same seam as the paper's models.
+    fn predict_batch(&self, windows: &Tensor) -> Tensor {
+        self.forward_infer(windows)
+    }
+
+    fn num_classes(&self) -> usize {
+        GESTURE_CLASSES
+    }
+
+    fn name(&self) -> &str {
+        "waveformer-fp32"
+    }
+
+    fn input_shape(&self) -> Option<(usize, usize)> {
+        Some((bioformer_semg::CHANNELS, bioformer_semg::WINDOW))
+    }
+
+    fn install_compute(&mut self, compute: Arc<dyn ComputeBackend>) {
+        self.set_backend(compute);
+    }
+
+    fn compute_report(&self) -> String {
+        WaveFormer::compute_report(self)
+    }
+
+    fn gemm_shapes(&self) -> Vec<GemmShape> {
+        WaveFormer::gemm_shapes(self)
     }
 }
 

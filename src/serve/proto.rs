@@ -50,8 +50,18 @@ use std::time::Duration;
 /// UTF-8 ASCII so accidental text traffic fails fast.
 pub const MAGIC: [u8; 2] = [0xB1, 0x05];
 
-/// The protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// The protocol version this build speaks (and writes on every frame).
+///
+/// History:
+/// * **1** — initial framing.
+/// * **2** — [`Frame::Hello`] carries an optional model name, selecting
+///   which model-zoo entry serves the session. A v1 Hello (no model field)
+///   still decodes — the model defaults to the server's incumbent — so old
+///   clients keep working against new servers.
+pub const VERSION: u8 = 2;
+
+/// The oldest protocol version this build still decodes.
+pub const MIN_VERSION: u8 = 1;
 
 /// Hard cap on `LEN` (version + type + payload, in bytes): 1 MiB, i.e.
 /// ~262k samples per chunk — far beyond any sane DMA burst. Frames
@@ -113,6 +123,11 @@ pub enum Frame {
         tenant: String,
         /// Resume token of a suspended session, if reconnecting.
         resume: Option<u64>,
+        /// Model-zoo entry to serve this session (v2+). `None` — and every
+        /// v1 Hello — selects the server's default (incumbent) model. An
+        /// unknown name is answered with a typed [`Frame::Error`]
+        /// ([`ErrorCode::BadRequest`]), never a panic.
+        model: Option<String>,
     },
     /// Client → server: one chunk of raw `[channels]`-interleaved samples
     /// (any length, frame-splitting allowed — windowing is server-side).
@@ -239,7 +254,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                    "unsupported protocol version {v} (this build speaks {MIN_VERSION}..={VERSION})"
                 )
             }
             ProtoError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
@@ -279,7 +294,11 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> Result<(), ProtoError> 
     out.push(VERSION);
     out.push(frame.type_byte());
     match frame {
-        Frame::Hello { tenant, resume } => {
+        Frame::Hello {
+            tenant,
+            resume,
+            model,
+        } => {
             let name = tenant.as_bytes();
             if name.len() > u16::MAX as usize {
                 return Err(ProtoError::Unencodable(format!(
@@ -295,6 +314,23 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> Result<(), ProtoError> 
                 Some(token) => {
                     out.push(1);
                     out.extend_from_slice(&token.to_le_bytes());
+                }
+            }
+            // v2 field: model selector.
+            match model {
+                None => out.push(0),
+                Some(m) => {
+                    let m = m.as_bytes();
+                    if m.len() > u16::MAX as usize {
+                        return Err(ProtoError::Unencodable(format!(
+                            "model name is {} bytes, max {}",
+                            m.len(),
+                            u16::MAX
+                        )));
+                    }
+                    out.push(1);
+                    out.extend_from_slice(&(m.len() as u16).to_le_bytes());
+                    out.extend_from_slice(m);
                 }
             }
         }
@@ -466,8 +502,10 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Parses one complete frame body (`version` and `type` already split off).
-fn decode_body(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+/// Parses one complete frame body (`version` and `type` already split
+/// off). `version` is the frame's wire version: the only body whose layout
+/// it changes is Hello, which grew a model-selector field in v2.
+fn decode_body(version: u8, ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
     let mut r = Reader::new(payload, ty);
     let frame = match ty {
         0x01 => {
@@ -481,7 +519,30 @@ fn decode_body(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                 1 => Some(r.u64("resume token")?),
                 other => return Err(r.fail(format!("resume flag must be 0 or 1, got {other}"))),
             };
-            Frame::Hello { tenant, resume }
+            // v1 Hello ends here (`done()` rejects trailing bytes, so the
+            // model field must only be read when the frame declares v2+).
+            let model = if version >= 2 {
+                match r.u8("model flag")? {
+                    0 => None,
+                    1 => {
+                        let n = r.u16("model length")? as usize;
+                        let m = r.take(n, "model name")?;
+                        Some(
+                            std::str::from_utf8(m)
+                                .map_err(|_| r.fail("model name is not valid UTF-8"))?
+                                .to_string(),
+                        )
+                    }
+                    other => return Err(r.fail(format!("model flag must be 0 or 1, got {other}"))),
+                }
+            } else {
+                None
+            };
+            Frame::Hello {
+                tenant,
+                resume,
+                model,
+            }
         }
         0x02 => {
             let n = r.u32("sample count")? as usize;
@@ -654,11 +715,11 @@ impl FrameDecoder {
             return Ok(None);
         }
         let version = avail[PRELUDE];
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ProtoError::UnsupportedVersion(version));
         }
         let ty = avail[PRELUDE + 1];
-        let frame = decode_body(ty, &avail[PRELUDE + 2..PRELUDE + len])?;
+        let frame = decode_body(version, ty, &avail[PRELUDE + 2..PRELUDE + len])?;
         self.pos += PRELUDE + len;
         Ok(Some(frame))
     }
@@ -692,10 +753,17 @@ mod tests {
         roundtrip(Frame::Hello {
             tenant: "clinic-7".into(),
             resume: None,
+            model: None,
         });
         roundtrip(Frame::Hello {
             tenant: "".into(),
             resume: Some(u64::MAX),
+            model: None,
+        });
+        roundtrip(Frame::Hello {
+            tenant: "clinic-7".into(),
+            resume: Some(3),
+            model: Some("waveformer-fp32".into()),
         });
         roundtrip(Frame::Samples(vec![]));
         roundtrip(Frame::Samples(vec![0.0, -1.5, f32::MIN_POSITIVE, 3e8]));
@@ -766,6 +834,7 @@ mod tests {
             Frame::Hello {
                 tenant: "t".into(),
                 resume: Some(9),
+                model: Some("bioformer-int8".into()),
             },
             Frame::Samples(vec![1.0; 37]),
             Frame::Finish,
@@ -858,6 +927,85 @@ mod tests {
             dec.next_frame().unwrap_err(),
             ProtoError::UnknownFrameType(0x7E)
         );
+    }
+
+    /// Hand-builds a version-1 Hello (tenant + resume flag only — no model
+    /// field existed in v1) exactly as a pre-zoo client would send it.
+    fn v1_hello_wire(tenant: &str, resume: Option<u64>) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.push(1u8); // version
+        body.push(0x01); // Hello
+        body.extend_from_slice(&(tenant.len() as u16).to_le_bytes());
+        body.extend_from_slice(tenant.as_bytes());
+        match resume {
+            None => body.push(0),
+            Some(t) => {
+                body.push(1);
+                body.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        wire
+    }
+
+    #[test]
+    fn v1_hello_decodes_to_default_model() {
+        for resume in [None, Some(77u64)] {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&v1_hello_wire("legacy", resume));
+            assert_eq!(
+                dec.next_frame().unwrap(),
+                Some(Frame::Hello {
+                    tenant: "legacy".into(),
+                    resume,
+                    model: None,
+                })
+            );
+            dec.check_eof().unwrap();
+        }
+    }
+
+    #[test]
+    fn v1_hello_with_v2_model_field_is_malformed() {
+        // A v1 frame must not smuggle trailing bytes where v2's model field
+        // would sit: the version byte governs the layout.
+        let mut wire = v1_hello_wire("legacy", None);
+        let len = u32::from_le_bytes(wire[2..6].try_into().unwrap()) + 1;
+        wire[2..6].copy_from_slice(&len.to_le_bytes());
+        wire.push(0); // would be a valid "no model" flag in v2
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert!(matches!(
+            dec.next_frame().unwrap_err(),
+            ProtoError::Malformed { frame: 0x01, .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_model_field_is_malformed_not_a_panic() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Hello {
+                tenant: "t".into(),
+                resume: None,
+                model: Some("bioformer-fp32".into()),
+            },
+            &mut wire,
+        )
+        .unwrap();
+        // Chop the last 4 bytes of the model name and fix the length.
+        wire.truncate(wire.len() - 4);
+        let len = u32::from_le_bytes(wire[2..6].try_into().unwrap()) - 4;
+        wire[2..6].copy_from_slice(&len.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert!(matches!(
+            dec.next_frame().unwrap_err(),
+            ProtoError::Malformed { frame: 0x01, .. }
+        ));
     }
 
     #[test]

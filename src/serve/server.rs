@@ -44,7 +44,8 @@ use super::engine::{Engine, EngineStats};
 use super::proto::{encode_frame, ErrorCode, Frame, FrameDecoder};
 use super::queue::ServeError;
 use super::stream::{GestureEvent, SessionCheckpoint, StreamConfig, StreamSession, StreamSummary};
-use super::trace::{LatencyTrace, StageRecorder, StageSummary};
+use super::trace::{LatencyBudget, LatencyTrace, StageRecorder, StageSummary};
+use super::zoo::{ModelZoo, ZooStats};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +77,17 @@ pub struct StreamServerConfig {
     /// Drop parked checkpoints not resumed within this window. `None`
     /// parks them forever.
     pub resume_ttl: Option<Duration>,
+    /// Default per-session decision-latency budget (SLO). Sessions whose
+    /// per-session [`StageSummary`] blows the budget are flagged (counted
+    /// in [`ServeCounters::slo_violations`]) and — when
+    /// [`StreamServerConfig::slo_evict`] is set — evicted with their
+    /// checkpoint parked, exactly like an idle-timeout eviction.
+    /// [`SessionOptions::slo`] overrides it per session. `None` disables
+    /// SLO enforcement.
+    pub slo: Option<LatencyBudget>,
+    /// Whether an SLO violation evicts the session (park + free the slot)
+    /// or merely flags it.
+    pub slo_evict: bool,
 }
 
 impl StreamServerConfig {
@@ -89,6 +101,8 @@ impl StreamServerConfig {
             quantum: 4,
             idle_timeout: None,
             resume_ttl: Some(Duration::from_secs(60)),
+            slo: None,
+            slo_evict: false,
         }
     }
 
@@ -119,6 +133,19 @@ impl StreamServerConfig {
     /// Sets (or disables) the parked-checkpoint TTL.
     pub fn with_resume_ttl(mut self, resume_ttl: Option<Duration>) -> Self {
         self.resume_ttl = resume_ttl;
+        self
+    }
+
+    /// Sets the default per-session decision-latency budget (SLO).
+    pub fn with_slo(mut self, slo: LatencyBudget) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Makes SLO violations evict (park) the offending session instead of
+    /// only flagging it.
+    pub fn with_slo_evict(mut self, slo_evict: bool) -> Self {
+        self.slo_evict = slo_evict;
         self
     }
 
@@ -160,6 +187,10 @@ pub struct ServeCounters {
     pub windows: u64,
     /// Gesture events emitted.
     pub events: u64,
+    /// Sessions flagged for blowing their decision-latency budget (one per
+    /// session, on the first violating round). SLO-triggered evictions
+    /// additionally count under `evictions`.
+    pub slo_violations: u64,
 }
 
 impl ServeCounters {
@@ -174,6 +205,7 @@ impl ServeCounters {
         self.samples += other.samples;
         self.windows += other.windows;
         self.events += other.events;
+        self.slo_violations += other.slo_violations;
     }
 }
 
@@ -207,8 +239,12 @@ pub struct ServerStats {
     /// round, so the pool view can trail the per-session view by the few
     /// events a stream emits while closing.
     pub stages: StageSummary,
-    /// The shared engine's statistics.
+    /// The **default model's** engine statistics (kept for single-model
+    /// deployments; the full per-model picture is in `zoo`).
     pub engine: EngineStats,
+    /// The model zoo's snapshot: every registered model's [`EngineStats`]
+    /// plus the live shadow/A-B experiment's counters, if one is running.
+    pub zoo: ZooStats,
 }
 
 impl ServerStats {
@@ -221,7 +257,33 @@ impl ServerStats {
         for t in &self.per_tenant {
             sum.add(&t.counters);
         }
-        sum == self.totals
+        sum == self.totals && self.zoo.rollup_consistent()
+    }
+}
+
+/// Per-session options for [`StreamServer::connect_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Model variant to serve this session with (a name registered in the
+    /// server's [`ModelZoo`]); `None` selects the zoo's default model —
+    /// exactly what a v1 wire client gets.
+    pub model: Option<String>,
+    /// Per-session decision-latency budget, overriding
+    /// [`StreamServerConfig::slo`].
+    pub slo: Option<LatencyBudget>,
+}
+
+impl SessionOptions {
+    /// Selects a model variant by name.
+    pub fn with_model(mut self, model: &str) -> Self {
+        self.model = Some(model.to_string());
+        self
+    }
+
+    /// Sets the per-session latency budget.
+    pub fn with_slo(mut self, slo: LatencyBudget) -> Self {
+        self.slo = Some(slo);
+        self
     }
 }
 
@@ -276,9 +338,20 @@ enum Phase {
 }
 
 /// One open session's shared state (registry side).
-#[derive(Debug)]
 struct Slot {
     tenant: String,
+    /// The zoo model name this session was resolved against.
+    model: String,
+    /// The resolved engine the pump serves this session with. Resolution
+    /// happens once, at connect/resume time — a mid-session promotion or
+    /// experiment change never reroutes a live stream.
+    engine: Arc<dyn Engine>,
+    /// The session's decision-latency budget (per-session override or the
+    /// server-wide default), if any.
+    slo: Option<LatencyBudget>,
+    /// Set once the first SLO violation was counted, so a session is
+    /// flagged (and counted) at most once.
+    slo_flagged: bool,
     phase: Phase,
     /// Bounded inbound chunk buffer (the backpressure bound).
     inbound: VecDeque<Vec<f32>>,
@@ -297,9 +370,11 @@ struct Slot {
 }
 
 /// A suspended session's parked state, keyed by its token.
-#[derive(Debug)]
 struct Parked {
     tenant: String,
+    /// The model the session was opened with; resume re-resolves it so the
+    /// stream continues on the same variant it started on.
+    model: String,
     checkpoint: SessionCheckpoint,
     /// Undelivered events, re-queued into the slot on resume.
     events: Vec<GestureEvent>,
@@ -309,7 +384,6 @@ struct Parked {
 }
 
 /// The mutable registry behind the mutex.
-#[derive(Debug)]
 struct Registry {
     slots: BTreeMap<u64, Slot>,
     parked: BTreeMap<u64, Parked>,
@@ -374,19 +448,38 @@ impl Shared {
 /// `examples/serve_gateway.rs`).
 pub struct StreamServer {
     shared: Arc<Shared>,
-    engine: Arc<dyn Engine>,
+    zoo: Arc<ModelZoo>,
     pump: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl StreamServer {
-    /// Starts a server multiplexing sessions over `engine`.
+    /// Starts a server multiplexing sessions over a single `engine`,
+    /// registered as the zoo's sole model under the name `"default"`.
     ///
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] on a zero `max_sessions`,
     /// `inbound_chunks` or `quantum`.
     pub fn start(engine: Arc<dyn Engine>, cfg: StreamServerConfig) -> Result<Self, ServeError> {
+        Self::start_zoo(Arc::new(ModelZoo::single("default", engine)), cfg)
+    }
+
+    /// Starts a server over a [`ModelZoo`]: sessions pick a registered
+    /// model by name (wire protocol v2 `Hello.model`, or
+    /// [`SessionOptions::model`] in-process) and default to the zoo's
+    /// current default variant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on a zero `max_sessions`,
+    /// `inbound_chunks`, `quantum`, or an empty zoo.
+    pub fn start_zoo(zoo: Arc<ModelZoo>, cfg: StreamServerConfig) -> Result<Self, ServeError> {
         cfg.validate()?;
+        if zoo.names().is_empty() {
+            return Err(ServeError::BadRequest(
+                "StreamServer requires a zoo with at least one model".into(),
+            ));
+        }
         let shared = Arc::new(Shared {
             cfg,
             state: Mutex::new(Registry {
@@ -403,17 +496,21 @@ impl StreamServer {
         });
         let pump = {
             let shared = Arc::clone(&shared);
-            let engine = Arc::clone(&engine);
             std::thread::Builder::new()
                 .name("stream-server-pump".into())
-                .spawn(move || pump_loop(&shared, &*engine))
+                .spawn(move || pump_loop(&shared))
                 .expect("spawn stream-server pump")
         };
         Ok(StreamServer {
             shared,
-            engine,
+            zoo,
             pump: Mutex::new(Some(pump)),
         })
+    }
+
+    /// The server's model zoo (register variants, run experiments, promote).
+    pub fn zoo(&self) -> &Arc<ModelZoo> {
+        &self.zoo
     }
 
     /// The per-session stream template.
@@ -429,9 +526,31 @@ impl StreamServer {
     /// [`StreamServerConfig::max_sessions`] slots are occupied, and
     /// [`ServeError::ShuttingDown`] after [`StreamServer::shutdown`].
     pub fn connect(&self, tenant: &str) -> Result<SessionHandle, ServeError> {
+        self.connect_with(tenant, SessionOptions::default())
+    }
+
+    /// Opens a new session with per-session [`SessionOptions`]: an explicit
+    /// zoo model and/or a latency budget overriding
+    /// [`StreamServerConfig::slo`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`StreamServer::connect`] returns, plus
+    /// [`ServeError::BadRequest`] for a model name the zoo does not know.
+    pub fn connect_with(
+        &self,
+        tenant: &str,
+        opts: SessionOptions,
+    ) -> Result<SessionHandle, ServeError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
+        // Resolve before taking a slot so an unknown model costs nothing.
+        let model = opts
+            .model
+            .unwrap_or_else(|| self.zoo.default_model().to_string());
+        let engine = self.zoo.resolve(Some(&model))?;
+        let slo = opts.slo.or(self.shared.cfg.slo);
         let mut reg = self.shared.lock();
         if reg.live() >= self.shared.cfg.max_sessions {
             return Err(ServeError::Unavailable);
@@ -441,6 +560,10 @@ impl StreamServer {
             token,
             Slot {
                 tenant: tenant.to_string(),
+                model,
+                engine,
+                slo,
+                slo_flagged: false,
                 phase: Phase::Open,
                 inbound: VecDeque::new(),
                 events: Vec::new(),
@@ -498,6 +621,16 @@ impl StreamServer {
                 "resume token {token} belongs to tenant {owner:?}, not {tenant:?}"
             )));
         }
+        // Re-resolve the model the session started on: the stream must
+        // continue on the same variant, but an experiment started while it
+        // was parked may wrap it in a fresh shadow route.
+        let engine = match self.zoo.resolve(Some(&parked.model)) {
+            Ok(engine) => engine,
+            Err(e) => {
+                reg.parked.insert(token, parked);
+                return Err(e);
+            }
+        };
         // A fresh token: the old one may still name an evicted zombie slot
         // whose handle has not observed the eviction yet.
         let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
@@ -505,6 +638,10 @@ impl StreamServer {
             token,
             Slot {
                 tenant: parked.tenant,
+                model: parked.model,
+                engine,
+                slo: self.shared.cfg.slo,
+                slo_flagged: false,
                 phase: Phase::Open,
                 inbound: VecDeque::new(),
                 events: parked.events,
@@ -548,7 +685,12 @@ impl StreamServer {
             live_sessions: reg.live(),
             parked_sessions: reg.parked.len(),
             stages: reg.stages.summary(),
-            engine: self.engine.engine_stats(),
+            engine: self
+                .zoo
+                .engine(self.zoo.default_model())
+                .expect("zoo default model is always registered")
+                .engine_stats(),
+            zoo: self.zoo.stats(),
         }
     }
 
@@ -576,7 +718,8 @@ impl std::fmt::Debug for StreamServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let reg = self.shared.lock();
         f.debug_struct("StreamServer")
-            .field("engine", &self.engine.kind())
+            .field("default_model", &self.zoo.default_model())
+            .field("models", &self.zoo.names())
             .field("live_sessions", &reg.live())
             .field("parked_sessions", &reg.parked.len())
             .field("max_sessions", &self.shared.cfg.max_sessions)
@@ -854,6 +997,10 @@ impl Drop for SessionHandle {
 struct Work {
     token: u64,
     tenant: String,
+    /// The session's resolved engine (an `Arc` clone of the slot's).
+    engine: Arc<dyn Engine>,
+    /// The session's latency budget, checked after each served round.
+    slo: Option<LatencyBudget>,
     resume_from: Option<SessionCheckpoint>,
     chunks: Vec<Vec<f32>>,
     end: Option<EndKind>,
@@ -878,6 +1025,9 @@ struct RoundResult {
     /// Decision-latency traces the session recorded this round, for the
     /// pool-level rollup.
     traces: Vec<LatencyTrace>,
+    /// Set when the session's per-window stage summary blew its budget
+    /// this round.
+    slo_violation: bool,
     outcome: Option<RoundEnd>,
     detached: bool,
 }
@@ -892,10 +1042,11 @@ enum RoundEnd {
 /// The pump thread: owns every live [`StreamSession`], serves sessions
 /// round-robin in token order with a bounded per-round quantum, and applies
 /// lifecycle transitions (finish / park / evict / fail).
-fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
+fn pump_loop(shared: &Arc<Shared>) {
     let cfg = &shared.cfg;
-    // Sessions borrow the engine for the lifetime of this frame.
-    let mut sessions: BTreeMap<u64, StreamSession<'_>> = BTreeMap::new();
+    // Sessions own an `Arc` of their slot's resolved engine — different
+    // sessions may run different zoo models.
+    let mut sessions: BTreeMap<u64, StreamSession> = BTreeMap::new();
     let poll = cfg
         .idle_timeout
         .map(|t| (t / 4).clamp(Duration::from_millis(1), Duration::from_millis(20)))
@@ -957,6 +1108,13 @@ fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
             batch.push(Work {
                 token,
                 tenant: slot.tenant.clone(),
+                engine: Arc::clone(&slot.engine),
+                slo: if slot.slo_flagged && !cfg.slo_evict {
+                    // Already flagged and not evicting: stop re-checking.
+                    None
+                } else {
+                    slot.slo
+                },
                 resume_from: if needs_session {
                     slot.resume_from.take()
                 } else {
@@ -983,7 +1141,7 @@ fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
         // keep queueing into their buffers meanwhile).
         let mut results: Vec<RoundResult> = Vec::with_capacity(batch.len());
         for work in batch {
-            results.push(serve_round(engine, cfg, &mut sessions, work));
+            results.push(serve_round(cfg, &mut sessions, work));
         }
 
         // Phase 3 — write back events, counters and outcomes.
@@ -1011,6 +1169,10 @@ fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
                 events: r.events.len() as u64,
                 ..ServeCounters::default()
             };
+            if r.slo_violation && !slot.slo_flagged {
+                slot.slo_flagged = true;
+                delta.slo_violations = 1;
+            }
             slot.events.extend(r.events);
             // Detachment may have happened while serving; honour the
             // freshest flag.
@@ -1033,6 +1195,7 @@ fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
                     delta.disconnects = 1;
                     let parked = Parked {
                         tenant: slot.tenant.clone(),
+                        model: slot.model.clone(),
                         checkpoint: *checkpoint,
                         events: std::mem::take(&mut slot.events),
                         counters: slot.counters.clone(),
@@ -1049,6 +1212,7 @@ fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
                     delta.evictions = 1;
                     let parked = Parked {
                         tenant: slot.tenant.clone(),
+                        model: slot.model.clone(),
                         checkpoint: *checkpoint,
                         events: std::mem::take(&mut slot.events),
                         counters: slot.counters.clone(),
@@ -1077,11 +1241,11 @@ fn pump_loop(shared: &Arc<Shared>, engine: &dyn Engine) {
 }
 
 /// Serves one session's round: instantiate the session if needed, push the
-/// snapshotted chunks, apply the lifecycle transition.
-fn serve_round<'e>(
-    engine: &'e dyn Engine,
+/// snapshotted chunks, check the latency budget, apply the lifecycle
+/// transition.
+fn serve_round(
     cfg: &StreamServerConfig,
-    sessions: &mut BTreeMap<u64, StreamSession<'e>>,
+    sessions: &mut BTreeMap<u64, StreamSession>,
     work: Work,
 ) -> RoundResult {
     let mut result = RoundResult {
@@ -1092,10 +1256,12 @@ fn serve_round<'e>(
         decided_after: 0,
         events: Vec::new(),
         traces: Vec::new(),
+        slo_violation: false,
         outcome: None,
         detached: work.detached,
     };
     if let std::collections::btree_map::Entry::Vacant(entry) = sessions.entry(work.token) {
+        let engine = Arc::clone(&work.engine);
         let made = match work.resume_from {
             Some(checkpoint) => StreamSession::resume(engine, cfg.stream.clone(), checkpoint),
             None => StreamSession::new(engine, cfg.stream.clone()),
@@ -1126,6 +1292,28 @@ fn serve_round<'e>(
     }
     result.decided_after = session.windows_decided() as u64;
     session.drain_new_traces(&mut result.traces);
+    // SLO enforcement: compare the session's lifetime stage summary against
+    // its budget once it has decided at least one window.
+    if let Some(budget) = work.slo {
+        let summary = session.stage_stats();
+        if summary.count() > 0 && !budget.evaluate(&summary).fits {
+            result.slo_violation = true;
+            if cfg.slo_evict && work.end.is_none() {
+                // Evict-on-violation: suspend like an idle eviction so the
+                // client can resume (perhaps against a cheaper model).
+                let session = sessions.remove(&work.token).expect("present");
+                match session.suspend() {
+                    Ok((checkpoint, events)) => {
+                        result.decided_after = checkpoint.windows_decided() as u64;
+                        result.events.extend(events);
+                        result.outcome = Some(RoundEnd::Evicted(Box::new(checkpoint)));
+                    }
+                    Err(e) => result.outcome = Some(RoundEnd::Failed(e)),
+                }
+                return result;
+            }
+        }
+    }
     match work.end {
         None => {}
         Some(EndKind::Finish) => {
@@ -1359,9 +1547,16 @@ fn serve_connection(server: &StreamServer, mut sock: TcpStream, stop: &AtomicBoo
                 }
             };
             match frame {
-                Frame::Hello { tenant, resume } if handle.is_none() => {
+                Frame::Hello {
+                    tenant,
+                    resume,
+                    model,
+                } if handle.is_none() => {
                     let opened = match resume {
-                        None => server.connect(&tenant),
+                        None => server.connect_with(&tenant, SessionOptions { model, slo: None }),
+                        // On resume the parked session's model governs —
+                        // the stream must continue on the variant it
+                        // started on, so any model in the frame is ignored.
                         Some(token) => server.resume(&tenant, token),
                     };
                     match opened {

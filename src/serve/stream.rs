@@ -38,9 +38,10 @@ use super::engine::Engine;
 use super::queue::{RequestOutput, ServeError};
 use super::trace::{LatencyTrace, StageRecorder, StageSummary};
 use bioformer_semg::windowing::OnlineWindower;
-use bioformer_semg::{Gesture, Normalizer};
+use bioformer_semg::{CalibrationConfig, Gesture, Normalizer, SessionCalibrator};
 use bioformer_tensor::Tensor;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Minimum absorbed-window marks a session retains for attributing an
@@ -415,6 +416,15 @@ pub struct StreamConfig {
     /// Per-channel normalization applied to each extracted window
     /// (training-time statistics). `None` streams raw windows.
     pub normalizer: Option<Normalizer>,
+    /// Per-session user calibration: when set, the session fits a
+    /// session-adapted affine transform from its first
+    /// [`CalibrationConfig::warmup_windows`] raw windows (DB6 sessions open
+    /// with rest repetitions, so this is classic rest-period calibration)
+    /// and uses it in place of the frozen `normalizer` from then on. The
+    /// frozen `normalizer` is the calibration baseline: it applies
+    /// unchanged during warm-up and is blended into the adapted transform
+    /// by [`CalibrationConfig::blend`].
+    pub calibration: Option<CalibrationConfig>,
 }
 
 impl StreamConfig {
@@ -429,6 +439,7 @@ impl StreamConfig {
             retries: 2,
             policy: DecisionPolicy::default(),
             normalizer: None,
+            calibration: None,
         }
     }
 
@@ -467,6 +478,13 @@ impl StreamConfig {
         self.normalizer = Some(normalizer);
         self
     }
+
+    /// Enables per-session user calibration (see
+    /// [`StreamConfig::calibration`]).
+    pub fn with_calibration(mut self, calibration: CalibrationConfig) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
 }
 
 /// The portable state of a suspended [`StreamSession`], produced by
@@ -492,6 +510,10 @@ pub struct SessionCheckpoint {
     /// attribution state — in-flight marks and undrained traces — is
     /// timing of a stream that no longer exists, and is dropped.)
     recorder: StageRecorder,
+    /// Per-session calibration state (warm-up accumulators or the frozen
+    /// adapted transform), carried across the seam: a resumed session
+    /// normalizes exactly like one that was never suspended.
+    calibrator: Option<SessionCalibrator>,
 }
 
 impl SessionCheckpoint {
@@ -518,6 +540,12 @@ impl SessionCheckpoint {
     /// The active gesture decision's class label at suspension, if any.
     pub fn current_class(&self) -> Option<usize> {
         self.smoother.current()
+    }
+
+    /// Whether the suspended stream's calibration had frozen its adapted
+    /// transform (`None` when the session ran without calibration).
+    pub fn calibration_ready(&self) -> Option<bool> {
+        self.calibrator.as_ref().map(SessionCalibrator::is_ready)
     }
 }
 
@@ -573,13 +601,20 @@ struct WindowMark {
 /// A client-facing streaming session over any [`Engine`]: push raw
 /// interleaved sEMG samples, get debounced [`GestureEvent`]s back.
 ///
+/// The session **owns** its engine handle (`Arc<dyn Engine>`), so sessions
+/// can outlive the scope that resolved the engine — the model-zoo layer
+/// hands each session the `Arc` of whichever model variant it selected
+/// (possibly a [`ShadowEngine`](super::ShadowEngine) while an experiment is
+/// live), and the multi-tenant server keeps sessions in plain owned maps.
+///
 /// ```
+/// use std::sync::Arc;
 /// use bioformers::core::{Bioformer, BioformerConfig};
 /// use bioformers::serve::{InferenceEngine, StreamConfig, StreamSession};
 ///
-/// let engine = InferenceEngine::new(Box::new(Bioformer::new(&BioformerConfig::bio1())));
+/// let engine = Arc::new(InferenceEngine::new(Box::new(Bioformer::new(&BioformerConfig::bio1()))));
 /// let cfg = StreamConfig::db6().with_slide(300).with_lookahead(0);
-/// let mut session = StreamSession::new(&engine, cfg).unwrap();
+/// let mut session = StreamSession::new(engine, cfg).unwrap();
 /// // One 150 ms frame burst: 300 frames × 14 channels, interleaved.
 /// let burst = vec![0.0f32; 300 * 14];
 /// let events = session.push_samples(&burst).unwrap();
@@ -592,14 +627,17 @@ struct WindowMark {
 /// assert_eq!(summary.windows, 1);
 /// assert_eq!(summary.predictions.len(), 1);
 /// ```
-pub struct StreamSession<'a> {
-    engine: &'a dyn Engine,
+pub struct StreamSession {
+    engine: Arc<dyn Engine>,
     channels: usize,
     window: usize,
     lookahead: usize,
     retries: usize,
     windower: OnlineWindower,
     normalizer: Option<Normalizer>,
+    /// Per-session calibration; when set it **replaces** the bare
+    /// normalizer on the window path (the normalizer is its baseline).
+    calibrator: Option<SessionCalibrator>,
     smoother: DecisionSmoother,
     /// In-flight window requests, oldest first; absorbed strictly in
     /// order so decisions are deterministic.
@@ -620,16 +658,17 @@ pub struct StreamSession<'a> {
     pending_traces: VecDeque<LatencyTrace>,
 }
 
-impl<'a> StreamSession<'a> {
+impl StreamSession {
     /// Opens a session over `engine`.
     ///
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] when the config is invalid (zero
-    /// channels/window/slide, bad policy, a normalizer whose channel count
-    /// differs from the stream's) or when the engine declares an input
-    /// shape that differs from `[channels, window]`.
-    pub fn new(engine: &'a dyn Engine, cfg: StreamConfig) -> Result<Self, ServeError> {
+    /// channels/window/slide, bad policy, an invalid calibration config, a
+    /// normalizer whose channel count differs from the stream's) or when
+    /// the engine declares an input shape that differs from
+    /// `[channels, window]`.
+    pub fn new(engine: Arc<dyn Engine>, cfg: StreamConfig) -> Result<Self, ServeError> {
         if cfg.channels == 0 || cfg.window == 0 || cfg.slide == 0 {
             return Err(ServeError::BadRequest(format!(
                 "StreamConfig: channels {}, window {}, slide {} must all be >= 1",
@@ -653,6 +692,19 @@ impl<'a> StreamSession<'a> {
                 )));
             }
         }
+        let calibrator = match cfg.calibration {
+            Some(cal) => {
+                cal.validate().map_err(|e| {
+                    ServeError::BadRequest(format!("invalid CalibrationConfig: {e}"))
+                })?;
+                Some(SessionCalibrator::new(
+                    cfg.channels,
+                    cfg.normalizer.clone(),
+                    cal,
+                ))
+            }
+            None => None,
+        };
         // Enough marks to attribute a `Started` event back to its earliest
         // supporting vote, whatever the vote depth.
         let mark_cap = MARK_WINDOW.max(cfg.policy.vote_depth + 1);
@@ -664,6 +716,7 @@ impl<'a> StreamSession<'a> {
             retries: cfg.retries,
             windower: OnlineWindower::new(cfg.channels, cfg.window, cfg.slide),
             normalizer: cfg.normalizer,
+            calibrator,
             smoother: DecisionSmoother::new(cfg.policy)?,
             inflight: VecDeque::new(),
             predictions: Vec::new(),
@@ -718,6 +771,12 @@ impl<'a> StreamSession<'a> {
     /// performs no heap allocations).
     pub fn stage_stats(&self) -> StageSummary {
         self.recorder.summary()
+    }
+
+    /// The per-session calibrator, when calibration is enabled — `None`
+    /// for sessions normalizing with the frozen training statistics only.
+    pub fn calibrator(&self) -> Option<&SessionCalibrator> {
+        self.calibrator.as_ref()
     }
 
     /// Moves the traces recorded since the last call into `out` (the
@@ -811,6 +870,7 @@ impl<'a> StreamSession<'a> {
                 predictions: std::mem::take(&mut self.predictions),
                 confidences: std::mem::take(&mut self.confidences),
                 recorder: self.recorder.clone(),
+                calibrator: self.calibrator.clone(),
             },
             events,
         ))
@@ -823,9 +883,11 @@ impl<'a> StreamSession<'a> {
     /// whole logical stream, pre- and post-suspension windows alike.
     ///
     /// The checkpoint overrides `cfg.policy` (the smoother resumes as
-    /// suspended) while `lookahead`, `retries` and the normalizer are taken
-    /// from `cfg` — operational knobs may change across a reconnect, stream
-    /// semantics may not.
+    /// suspended) **and** `cfg.calibration` (the calibrator resumes with
+    /// its warm-up accumulators or frozen adapted transform — a reconnect
+    /// must not restart calibration), while `lookahead`, `retries` and the
+    /// normalizer are taken from `cfg` — operational knobs may change
+    /// across a reconnect, stream semantics may not.
     ///
     /// # Errors
     ///
@@ -833,7 +895,7 @@ impl<'a> StreamSession<'a> {
     /// disagree with the checkpoint's, or on the same config/engine
     /// mismatches [`StreamSession::new`] rejects.
     pub fn resume(
-        engine: &'a dyn Engine,
+        engine: Arc<dyn Engine>,
         cfg: StreamConfig,
         checkpoint: SessionCheckpoint,
     ) -> Result<Self, ServeError> {
@@ -868,6 +930,7 @@ impl<'a> StreamSession<'a> {
         session.predictions = checkpoint.predictions;
         session.confidences = checkpoint.confidences;
         session.recorder = checkpoint.recorder;
+        session.calibrator = checkpoint.calibrator;
         Ok(session)
     }
 
@@ -881,8 +944,13 @@ impl<'a> StreamSession<'a> {
             .replace(now)
             .map(|from| now.saturating_duration_since(from))
             .unwrap_or_default();
-        if let Some(norm) = &self.normalizer {
-            norm.apply_window(&mut window);
+        match (&mut self.calibrator, &self.normalizer) {
+            // Calibration subsumes the normalizer: it observes the raw
+            // window, then applies the adapted transform (or the baseline
+            // normalizer during warm-up).
+            (Some(cal), _) => cal.normalize_window(&mut window),
+            (None, Some(norm)) => norm.apply_window(&mut window),
+            (None, None) => {}
         }
         let tensor = Tensor::from_vec(window, &[1, self.channels, self.window]);
         // Keep a retry copy only when a retry could ever use it.
@@ -1038,7 +1106,7 @@ impl<'a> StreamSession<'a> {
     }
 }
 
-impl std::fmt::Debug for StreamSession<'_> {
+impl std::fmt::Debug for StreamSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StreamSession")
             .field("engine", &self.engine.kind())

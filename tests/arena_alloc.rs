@@ -297,7 +297,8 @@ fn traced_stream_session_per_push_allocations_stay_constant() {
     };
     let chunks = [interleave(&candidates[a]), interleave(&candidates[b])];
 
-    let engine = InferenceEngine::new(Box::new(model));
+    let engine: std::sync::Arc<dyn bioformers::serve::Engine> =
+        std::sync::Arc::new(InferenceEngine::new(Box::new(model)));
     let cfg = StreamConfig::db6()
         .with_slide(300)
         .with_lookahead(0)
@@ -306,7 +307,7 @@ fn traced_stream_session_per_push_allocations_stay_constant() {
             min_hold: 1,
             confidence_floor: 0.0,
         });
-    let mut session = StreamSession::new(&engine, cfg).expect("valid stream config");
+    let mut session = StreamSession::new(engine, cfg).expect("valid stream config");
     let mut traces = Vec::with_capacity(64);
 
     // Warm-up: 10 pushes populate the engine's arena, the packed-weight

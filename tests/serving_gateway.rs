@@ -59,6 +59,9 @@ fn rand_frame(state: &mut u64) -> Frame {
         0 => Frame::Hello {
             tenant: rand_string(state, 24),
             resume: xorshift(state).is_multiple_of(2).then(|| xorshift(state)),
+            model: xorshift(state)
+                .is_multiple_of(2)
+                .then(|| rand_string(state, 16)),
         },
         1 => {
             let n = (xorshift(state) as usize) % 300;
@@ -319,8 +322,8 @@ fn gateway(cfg: StreamServerConfig) -> (Arc<StreamServer>, TcpGateway) {
 
 /// The uninterrupted in-process reference for `stream`.
 fn reference(stream: &[f32]) -> StreamSummary {
-    let engine = InferenceEngine::new(Box::new(MockBackend));
-    let mut session = StreamSession::new(&engine, stream_cfg()).expect("reference session");
+    let engine: Arc<dyn Engine> = Arc::new(InferenceEngine::new(Box::new(MockBackend)));
+    let mut session = StreamSession::new(engine, stream_cfg()).expect("reference session");
     let mut events = Vec::new();
     for chunk in stream.chunks(CHUNK) {
         events.extend(session.push_samples(chunk).expect("reference push"));

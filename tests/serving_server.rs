@@ -9,9 +9,9 @@
 //! bit-equivalence of the underlying sessions by `tests/serving_stream.rs`.
 
 use bioformers::serve::{
-    DecisionPolicy, Engine, GestureClassifier, GestureEvent, InferenceEngine, ServeError,
-    SessionHandle, ShardedEngine, StreamConfig, StreamServer, StreamServerConfig, StreamSession,
-    StreamSummary,
+    DecisionPolicy, Engine, GestureClassifier, GestureEvent, InferenceEngine, LatencyBudget,
+    ModelZoo, ServeError, SessionHandle, SessionOptions, ShardedEngine, StreamConfig, StreamServer,
+    StreamServerConfig, StreamSession, StreamSummary,
 };
 use bioformers::tensor::Tensor;
 use std::sync::Arc;
@@ -84,8 +84,7 @@ fn mock_engine() -> Arc<dyn Engine> {
 
 /// The uninterrupted single-session reference for `stream`.
 fn reference(stream: &[f32]) -> StreamSummary {
-    let engine = InferenceEngine::new(Box::new(MockBackend));
-    let mut session = StreamSession::new(&engine, stream_cfg()).expect("reference session");
+    let mut session = StreamSession::new(mock_engine(), stream_cfg()).expect("reference session");
     let mut events = Vec::new();
     for chunk in stream.chunks(CHUNK) {
         events.extend(session.push_samples(chunk).expect("reference push"));
@@ -448,4 +447,162 @@ fn zero_bounds_are_rejected() {
         let err = StreamServer::start(mock_engine(), cfg).unwrap_err();
         assert!(matches!(err, ServeError::BadRequest(_)), "got {err:?}");
     }
+}
+
+/// Satellite: a per-session latency budget flags a violating session
+/// exactly once (not once per scheduling round), the flag lands in the
+/// pool's `slo_violations` rollup, and a per-session override via
+/// `SessionOptions::with_slo` takes precedence over the server default.
+#[test]
+fn slo_violation_flags_once_and_respects_per_session_override() {
+    // A zero budget is unmeetable: any round with recorded stage latency
+    // violates it. `slo_evict` stays off, so the session keeps streaming.
+    let server = StreamServer::start(
+        mock_engine(),
+        StreamServerConfig::new(stream_cfg()).with_slo(LatencyBudget::new(Duration::ZERO)),
+    )
+    .expect("server");
+
+    let handle = server.connect("hog").expect("connect");
+    let stream = signal(12, 77);
+    for chunk in stream.chunks(CHUNK) {
+        handle.send(chunk).expect("send");
+    }
+    let report = handle.finish().expect("finish");
+    assert_eq!(report.summary.windows, 12, "flagging must not drop work");
+    wait_for(
+        || (server.stats().totals.slo_violations == 1).then_some(()),
+        "slo violation flag",
+    );
+
+    // A lenient per-session override wins over the strict server default.
+    let lenient = server
+        .connect_with(
+            "patient",
+            SessionOptions::default().with_slo(LatencyBudget::new(Duration::from_secs(3600))),
+        )
+        .expect("connect_with");
+    for chunk in signal(8, 78).chunks(CHUNK) {
+        lenient.send(chunk).expect("send");
+    }
+    lenient.finish().expect("finish");
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.totals.slo_violations, 1,
+        "only the strict session may be flagged, and only once"
+    );
+    assert!(stats.rollup_consistent());
+}
+
+/// Satellite: with `slo_evict` on, a budget-violating session is parked
+/// like an idle one — the handle observes `Evicted`, the checkpoint is
+/// resumable, and (because the checkpoint carries the session's stage
+/// recorder) the resumed session deterministically re-trips the budget.
+#[test]
+fn slo_eviction_parks_a_resumable_session() {
+    let server = StreamServer::start(
+        mock_engine(),
+        StreamServerConfig::new(stream_cfg())
+            .with_slo(LatencyBudget::new(Duration::ZERO))
+            .with_slo_evict(true),
+    )
+    .expect("server");
+
+    let handle = server.connect("hog").expect("connect");
+    let token = handle.token();
+    wait_for(
+        || match handle.send(&signal(1, 7)) {
+            Err(ServeError::Evicted) => Some(()),
+            Ok(()) => None,
+            Err(e) => panic!("unexpected send error {e}"),
+        },
+        "slo eviction",
+    );
+    wait_for(
+        || {
+            let s = server.stats();
+            (s.totals.evictions == 1 && s.totals.slo_violations == 1 && s.parked_sessions == 1)
+                .then_some(())
+        },
+        "slo eviction counters",
+    );
+
+    // The parked checkpoint resumes — and because its stage recorder came
+    // back with it, the very next round re-evaluates the (still zero)
+    // budget against real history and evicts again.
+    let resumed = server.resume("hog", token).expect("resume");
+    wait_for(
+        || match resumed.send(&signal(1, 8)) {
+            Err(ServeError::Evicted) => Some(()),
+            Ok(()) => None,
+            Err(e) => panic!("unexpected resumed send error {e}"),
+        },
+        "second slo eviction",
+    );
+    wait_for(
+        || {
+            let s = server.stats();
+            (s.totals.evictions == 2 && s.totals.slo_violations == 2).then_some(())
+        },
+        "second eviction counters",
+    );
+    let stats = server.stats();
+    assert_eq!(stats.totals.reconnects, 1);
+    assert!(stats.rollup_consistent());
+}
+
+/// Tentpole: sessions pick their model by name from the zoo at connect
+/// time; work lands on the named engine (visible per-model in
+/// `ZooStats`), an unknown name is a typed `BadRequest`, and the zoo
+/// rollup stays consistent with the per-tenant one.
+#[test]
+fn sessions_select_zoo_models_and_zoo_stats_roll_up() {
+    let mut zoo = ModelZoo::new();
+    zoo.register("alpha", mock_engine())
+        .expect("register alpha");
+    zoo.register("beta", mock_engine()).expect("register beta");
+    let server = StreamServer::start_zoo(
+        Arc::new(zoo),
+        StreamServerConfig::new(stream_cfg()).with_max_sessions(4),
+    )
+    .expect("server");
+
+    // One session on the default (alpha), one explicitly on beta.
+    let on_default = server.connect("clinic/a").expect("connect");
+    for chunk in signal(4, 31).chunks(CHUNK) {
+        on_default.send(chunk).expect("send");
+    }
+    assert_eq!(on_default.finish().expect("finish").summary.windows, 4);
+
+    let on_beta = server
+        .connect_with("clinic/b", SessionOptions::default().with_model("beta"))
+        .expect("connect_with");
+    for chunk in signal(6, 32).chunks(CHUNK) {
+        on_beta.send(chunk).expect("send");
+    }
+    assert_eq!(on_beta.finish().expect("finish").summary.windows, 6);
+
+    let err = server
+        .connect_with("clinic/c", SessionOptions::default().with_model("gamma"))
+        .expect_err("unknown model");
+    assert!(matches!(err, ServeError::BadRequest(_)), "got {err:?}");
+
+    let stats = server.shutdown();
+    assert!(stats.rollup_consistent());
+    let windows_of = |name: &str| {
+        let m = stats
+            .zoo
+            .models
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("model {name} missing from ZooStats"));
+        (m.default, m.engine.windows)
+    };
+    assert_eq!(windows_of("alpha"), (true, 4), "default routes to alpha");
+    assert_eq!(
+        windows_of("beta"),
+        (false, 6),
+        "named session routes to beta"
+    );
 }

@@ -112,7 +112,7 @@ fn offline_path(
 /// Streams `signal` through a session over `engine` in `chunk`-sample
 /// pushes and returns the summary (predictions, confidences, events).
 fn stream_path(
-    engine: &dyn Engine,
+    engine: Arc<dyn Engine>,
     signal: &Tensor,
     slide: usize,
     chunk: usize,
@@ -174,8 +174,9 @@ proptest! {
         let backends: [Arc<dyn GestureClassifier>; 2] = [fp32, int8];
         for backend in backends {
             let (preds, confs) = offline_path(backend.as_ref(), &signal, slide, &test_normalizer());
-            let engine = InferenceEngine::new(Box::new(Arc::clone(&backend)));
-            let summary = stream_path(&engine, &signal, slide, chunk, lookahead, policy.clone());
+            let engine: Arc<dyn Engine> =
+                Arc::new(InferenceEngine::new(Box::new(Arc::clone(&backend))));
+            let summary = stream_path(engine, &signal, slide, chunk, lookahead, policy.clone());
             prop_assert_eq!(&summary.predictions, &preds, "{} predictions", backend.name());
             prop_assert_eq!(&summary.confidences, &confs, "{} confidences", backend.name());
             prop_assert_eq!(
@@ -217,21 +218,9 @@ fn streamed_db6_session_bit_matches_offline_batch_path_fp32_and_int8() {
         assert!(preds.len() > 20, "{name}: session prefix too short");
         let expected_events = offline_events(&preds, &confs, policy.clone());
 
-        let engines: Vec<Box<dyn Engine>> = vec![
-            Box::new(InferenceEngine::new(Box::new(Arc::clone(&backend)))),
-            Box::new(AsyncEngine::with_config(
-                Box::new(Arc::clone(&backend)),
-                AsyncEngineConfig::default()
-                    .with_workers(2)
-                    .with_micro_batch(8)
-                    .with_linger(Duration::from_micros(200)),
-            )),
-        ];
-        for engine in engines {
-            // 997 samples per push: frames split across pushes, windows
-            // split across chunks — the stream never sees clean edges.
-            let summary = stream_path(engine.as_ref(), &signal, slide, 997, 3, policy.clone());
-            let kind = engine.kind();
+        let verify = |summary: &bioformers::serve::StreamSummary,
+                      stats: &bioformers::serve::EngineStats,
+                      kind: &str| {
             assert_eq!(
                 summary.predictions, preds,
                 "{name}/{kind}: streamed predictions diverge from offline batch"
@@ -244,10 +233,41 @@ fn streamed_db6_session_bit_matches_offline_batch_path_fp32_and_int8() {
                 summary.events, expected_events,
                 "{name}/{kind}: streamed decisions diverge"
             );
-            let stats = engine.shutdown();
             assert_eq!(stats.requests, preds.len(), "{name}/{kind}");
             assert_eq!(stats.windows, preds.len(), "{name}/{kind}");
-        }
+        };
+
+        // 997 samples per push: frames split across pushes, windows split
+        // across chunks — the stream never sees clean edges.
+        let inline = Arc::new(InferenceEngine::new(Box::new(Arc::clone(&backend))));
+        let summary = stream_path(
+            Arc::clone(&inline) as Arc<dyn Engine>,
+            &signal,
+            slide,
+            997,
+            3,
+            policy.clone(),
+        );
+        let inline = Arc::try_unwrap(inline).unwrap_or_else(|_| panic!("engine released"));
+        verify(&summary, &Engine::shutdown(Box::new(inline)), "inline");
+
+        let pipelined = Arc::new(AsyncEngine::with_config(
+            Box::new(Arc::clone(&backend)),
+            AsyncEngineConfig::default()
+                .with_workers(2)
+                .with_micro_batch(8)
+                .with_linger(Duration::from_micros(200)),
+        ));
+        let summary = stream_path(
+            Arc::clone(&pipelined) as Arc<dyn Engine>,
+            &signal,
+            slide,
+            997,
+            3,
+            policy.clone(),
+        );
+        let pipelined = Arc::try_unwrap(pipelined).unwrap_or_else(|_| panic!("engine released"));
+        verify(&summary, &Engine::shutdown(Box::new(pipelined)), "async");
     }
 }
 
@@ -259,17 +279,27 @@ fn stream_session_runs_over_a_sharded_pool() {
     let (fp32, _int8) = backends(71);
     // Two replicas of the same fp32 weights: routing is free to split the
     // stream, predictions must still bit-match the offline path.
-    let pool = ShardedEngine::builder()
-        .add_replica(Box::new(Arc::clone(&fp32)))
-        .add_replica(Box::new(Arc::clone(&fp32)))
-        .build();
+    let pool = Arc::new(
+        ShardedEngine::builder()
+            .add_replica(Box::new(Arc::clone(&fp32)))
+            .add_replica(Box::new(Arc::clone(&fp32)))
+            .build(),
+    );
     let signal = signal_tensor(WINDOW + 900, 17);
     let slide = 150;
     let policy = DecisionPolicy::default();
     let (preds, confs) = offline_path(fp32.as_ref(), &signal, slide, &test_normalizer());
-    let summary = stream_path(&pool, &signal, slide, 512, 2, policy);
+    let summary = stream_path(
+        Arc::clone(&pool) as Arc<dyn Engine>,
+        &signal,
+        slide,
+        512,
+        2,
+        policy,
+    );
     assert_eq!(summary.predictions, preds);
     assert_eq!(summary.confidences, confs);
+    let pool = Arc::try_unwrap(pool).unwrap_or_else(|_| panic!("session released the pool"));
     let stats = pool.shutdown();
     assert_eq!(stats.requests, preds.len());
 }
@@ -311,20 +341,20 @@ impl GestureClassifier for FlakyBackend {
 /// the same resilience the batch `classify` path gets from re-routing.
 #[test]
 fn stream_retries_transiently_cancelled_windows() {
-    let engine = AsyncEngine::with_config(
+    let engine: Arc<dyn Engine> = Arc::new(AsyncEngine::with_config(
         Box::new(FlakyBackend {
             failures_left: std::sync::atomic::AtomicUsize::new(1),
         }),
         AsyncEngineConfig::default()
             .with_workers(1)
             .with_linger(Duration::ZERO),
-    );
+    ));
     let signal = signal_tensor(WINDOW + 450, 23);
     let cfg = StreamConfig::db6()
         .with_slide(150)
         .with_lookahead(2)
         .with_retries(2);
-    let mut session = StreamSession::new(&engine, cfg).unwrap();
+    let mut session = StreamSession::new(engine, cfg).unwrap();
     session
         .push_samples(&interleave(&signal))
         .expect("the cancelled window must be re-submitted, not surface as an error");
@@ -334,19 +364,19 @@ fn stream_retries_transiently_cancelled_windows() {
     assert_eq!(summary.predictions, vec![7; 4]);
 
     // With no retry budget the same fault kills the session.
-    let engine = AsyncEngine::with_config(
+    let engine: Arc<dyn Engine> = Arc::new(AsyncEngine::with_config(
         Box::new(FlakyBackend {
             failures_left: std::sync::atomic::AtomicUsize::new(1),
         }),
         AsyncEngineConfig::default()
             .with_workers(1)
             .with_linger(Duration::ZERO),
-    );
+    ));
     let cfg = StreamConfig::db6()
         .with_slide(150)
         .with_lookahead(0)
         .with_retries(0);
-    let mut session = StreamSession::new(&engine, cfg).unwrap();
+    let mut session = StreamSession::new(engine, cfg).unwrap();
     let err = session
         .push_samples(&interleave(&signal))
         .expect_err("retries = 0 must surface the cancellation");
@@ -358,24 +388,24 @@ fn stream_retries_transiently_cancelled_windows() {
 #[test]
 fn stream_session_validates_config_against_engine() {
     let (fp32, _) = backends(61);
-    let engine = InferenceEngine::new(Box::new(Arc::clone(&fp32)));
+    let engine: Arc<dyn Engine> = Arc::new(InferenceEngine::new(Box::new(Arc::clone(&fp32))));
     // Wrong channel count vs the engine's declared [14, 300].
     let bad_shape = StreamConfig::new(8, WINDOW);
-    assert!(StreamSession::new(&engine, bad_shape).is_err());
+    assert!(StreamSession::new(Arc::clone(&engine), bad_shape).is_err());
     // Zero slide.
     let bad_slide = StreamConfig::db6().with_slide(0);
-    assert!(StreamSession::new(&engine, bad_slide).is_err());
+    assert!(StreamSession::new(Arc::clone(&engine), bad_slide).is_err());
     // Normalizer channel mismatch.
     let bad_norm =
         StreamConfig::db6().with_normalizer(Normalizer::from_stats(vec![0.0; 4], vec![1.0; 4]));
-    assert!(StreamSession::new(&engine, bad_norm).is_err());
+    assert!(StreamSession::new(Arc::clone(&engine), bad_norm).is_err());
     // Bad policy.
     let bad_policy = StreamConfig::db6().with_policy(DecisionPolicy {
         vote_depth: 0,
         min_hold: 0,
         confidence_floor: 0.0,
     });
-    assert!(StreamSession::new(&engine, bad_policy).is_err());
+    assert!(StreamSession::new(Arc::clone(&engine), bad_policy).is_err());
     // A valid config still opens.
-    assert!(StreamSession::new(&engine, StreamConfig::db6()).is_ok());
+    assert!(StreamSession::new(engine, StreamConfig::db6()).is_ok());
 }
